@@ -1,0 +1,183 @@
+//! Criterion micro-benchmarks of the operational costs the paper's
+//! Table 2 trade-off rests on: how expensive is one model evaluation vs
+//! one (simulated) execution, one featurization, one legality check.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
+use dlcm_ir::{apply_schedule, interpret, synthetic_inputs, Schedule};
+use dlcm_machine::{analyze_program, Machine, Measurement};
+use dlcm_model::{CostModel, CostModelConfig, Featurizer, FeaturizerConfig, SpeedupPredictor};
+use dlcm_search::{BeamSearch, ExecutionEvaluator, SearchSpace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_programs() -> Vec<dlcm_ir::Program> {
+    let generator = ProgramGenerator::new(ProgramGenConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    (0..8)
+        .map(|i| generator.generate(&mut rng, &format!("bench{i}")))
+        .collect()
+}
+
+fn schedules_for(programs: &[dlcm_ir::Program]) -> Vec<Schedule> {
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    programs
+        .iter()
+        .map(|p| schedgen.generate(p, &mut rng))
+        .collect()
+}
+
+/// Featurization throughput (the model evaluator's fixed cost).
+fn featurization(c: &mut Criterion) {
+    let programs = bench_programs();
+    let schedules = schedules_for(&programs);
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    c.bench_function("featurize_program", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let k = i % programs.len();
+            i += 1;
+            featurizer.featurize(&programs[k], &schedules[k])
+        });
+    });
+}
+
+/// Model inference latency (one candidate evaluation, Table 2's fast path).
+fn model_inference(c: &mut Criterion) {
+    let programs = bench_programs();
+    let schedules = schedules_for(&programs);
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let feats: Vec<_> = programs
+        .iter()
+        .zip(&schedules)
+        .map(|(p, s)| featurizer.featurize(p, s))
+        .collect();
+    let model = CostModel::new(
+        CostModelConfig::fast(featurizer.config().vector_width()),
+        0,
+    );
+    c.bench_function("model_predict", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let k = i % feats.len();
+            i += 1;
+            model.predict(&feats[k])
+        });
+    });
+}
+
+/// Analytical machine evaluation (one simulated "execution").
+fn machine_execute(c: &mut Criterion) {
+    let programs = bench_programs();
+    let schedules = schedules_for(&programs);
+    let machine = Machine::default();
+    let scheduled: Vec<_> = programs
+        .iter()
+        .zip(&schedules)
+        .map(|(p, s)| apply_schedule(p, s).expect("legal"))
+        .collect();
+    c.bench_function("machine_execute", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let k = i % scheduled.len();
+            i += 1;
+            machine.execute(&scheduled[k])
+        });
+    });
+    c.bench_function("machine_analyze", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let k = i % scheduled.len();
+            i += 1;
+            analyze_program(&scheduled[k])
+        });
+    });
+}
+
+/// Legality checking + schedule application (the paper's step 2).
+fn legality(c: &mut Criterion) {
+    let programs = bench_programs();
+    let schedules = schedules_for(&programs);
+    c.bench_function("apply_schedule", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let k = i % programs.len();
+            i += 1;
+            apply_schedule(&programs[k], &schedules[k]).expect("legal")
+        });
+    });
+    c.bench_function("dependence_analysis", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let k = i % programs.len();
+            i += 1;
+            dlcm_ir::deps::analyze(&programs[k])
+        });
+    });
+}
+
+/// Reference-interpreter throughput on a small stencil.
+fn interpreter(c: &mut Criterion) {
+    let program = dlcm_benchsuite::heat2d(0.05);
+    let sp = apply_schedule(&program, &Schedule::empty()).expect("legal");
+    let inputs = synthetic_inputs(&program, 0);
+    c.bench_function("interpret_heat2d_small", |b| {
+        b.iter(|| interpret(&sp, &inputs).expect("interpretable"));
+    });
+}
+
+/// Random generation throughput (dataset pipeline).
+fn generation(c: &mut Criterion) {
+    let generator = ProgramGenerator::new(ProgramGenConfig::default());
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    c.bench_function("generate_program", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut i = 0;
+        b.iter(|| {
+            i += 1;
+            generator.generate(&mut rng, &format!("g{i}"))
+        });
+    });
+    c.bench_function("generate_schedule", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let program = generator.generate(&mut rng, "fixed");
+        b.iter(|| schedgen.generate(&program, &mut rng));
+    });
+    c.bench_function("label_speedup", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let program = generator.generate(&mut rng, "fixed");
+        let harness = Measurement::default();
+        let schedule = schedgen.generate(&program, &mut rng);
+        b.iter(|| harness.speedup(&program, &schedule, 0).expect("legal"));
+    });
+}
+
+/// Full beam-search run with the execution evaluator on a small benchmark.
+fn search(c: &mut Criterion) {
+    let program = dlcm_benchsuite::heat2d(0.1);
+    let space = SearchSpace {
+        tile_sizes: vec![32, 64],
+        unroll_factors: vec![4],
+        ..SearchSpace::default()
+    };
+    c.bench_function("beam_search_exec_heat2d", |b| {
+        b.iter_batched(
+            || ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0),
+            |mut ev| BeamSearch::new(2, space.clone()).search(&program, &mut ev),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    featurization,
+    model_inference,
+    machine_execute,
+    legality,
+    interpreter,
+    generation,
+    search
+);
+criterion_main!(benches);

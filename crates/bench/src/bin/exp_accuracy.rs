@@ -1,0 +1,108 @@
+//! EXP-ACC (§6, "Model Accuracy"): train the cost model and report the
+//! headline metrics — test MAPE (paper: 16%), Pearson r (0.90),
+//! Spearman's rho (0.95). Persists the dataset, split, and trained model
+//! for the downstream figure/table experiments.
+//!
+//! `cargo run --release -p dlcm-bench --bin exp_accuracy [--quick] [epochs]`
+
+use dlcm_bench::{dataset_config, harness, quick_mode, results_dir, write_json};
+use dlcm_datagen::Dataset;
+use dlcm_model::{
+    evaluate, metrics, prepare, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig,
+    TrainConfig,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AccuracyReport {
+    num_programs: usize,
+    num_points: usize,
+    epochs: usize,
+    train_points: usize,
+    test_points: usize,
+    test_mape: f64,
+    pearson: f64,
+    spearman: f64,
+    r2: f64,
+    paper_mape: f64,
+    paper_pearson: f64,
+    paper_spearman: f64,
+}
+
+fn main() {
+    let quick = quick_mode();
+    let epochs: usize = std::env::args()
+        .filter(|a| a != "--quick")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 8 } else { 60 });
+
+    eprintln!("=== EXP-ACC: model accuracy (quick={quick}) ===");
+    let cfg = dataset_config(quick);
+    eprintln!(
+        "generating {} programs x {} schedules ...",
+        cfg.num_programs, cfg.schedules_per_program
+    );
+    let dataset = Dataset::generate(&cfg, &harness());
+    dataset
+        .save_json(&results_dir().join("dataset.json"))
+        .expect("persist dataset");
+    let split = dataset.split(0);
+
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    eprintln!("featurizing {} points ...", dataset.len());
+    let train_set = prepare(&featurizer, &dataset, &split.train);
+    let val_set = prepare(&featurizer, &dataset, &split.val);
+    let test_set = prepare(&featurizer, &dataset, &split.test);
+
+    let mut model = CostModel::new(
+        CostModelConfig::fast(featurizer.config().vector_width()),
+        0,
+    );
+    eprintln!(
+        "training {} params for {epochs} epochs on {} samples ...",
+        model.num_params(),
+        train_set.len()
+    );
+    train(
+        &mut model,
+        &train_set,
+        &val_set,
+        &TrainConfig {
+            epochs,
+            verbose: true,
+            eval_every: 5,
+            ..TrainConfig::default()
+        },
+    );
+
+    let (test_mape, preds) = evaluate(&model, &test_set);
+    let targets: Vec<f64> = test_set.iter().map(|s| s.target).collect();
+    let report = AccuracyReport {
+        num_programs: dataset.programs.len(),
+        num_points: dataset.len(),
+        epochs,
+        train_points: train_set.len(),
+        test_points: test_set.len(),
+        test_mape,
+        pearson: metrics::pearson(&targets, &preds),
+        spearman: metrics::spearman(&targets, &preds),
+        r2: metrics::r2(&targets, &preds),
+        paper_mape: 0.16,
+        paper_pearson: 0.90,
+        paper_spearman: 0.95,
+    };
+
+    println!("--- test set ({} points, {} unseen programs) ---",
+        report.test_points,
+        split.test.iter().map(|&i| dataset.points[i].program).collect::<std::collections::HashSet<_>>().len());
+    println!("MAPE         : {:.1}%   (paper: 16%)", 100.0 * report.test_mape);
+    println!("Pearson r    : {:.3}   (paper: 0.90)", report.pearson);
+    println!("Spearman rho : {:.3}   (paper: 0.95)", report.spearman);
+    println!("R^2          : {:.3}", report.r2);
+
+    write_json("accuracy.json", &report);
+    let file = std::fs::File::create(results_dir().join("model.json")).expect("create model file");
+    serde_json::to_writer(std::io::BufWriter::new(file), &model).expect("serialize model");
+    eprintln!("wrote model.json");
+}

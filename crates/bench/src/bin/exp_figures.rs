@@ -1,0 +1,150 @@
+//! FIG-4, FIG-5, FIG-7, FIG-8: the prediction-quality figures of §6,
+//! regenerated from the model trained by `exp_accuracy`.
+//!
+//! - Figure 4: predicted vs measured speedups for 100 test programs x
+//!   their schedules, sorted ascending (`fig4.csv`);
+//! - Figure 5: the APE histogram and APE-vs-speedup scatter
+//!   (`fig5_hist.csv`, `fig5_scatter.csv`);
+//! - Figure 7: per-program Pearson/Spearman coefficients (`fig7.csv`);
+//! - Figure 8: 16 per-program measured/predicted scatters (`fig8.csv`).
+//!
+//! `cargo run --release -p dlcm-bench --bin exp_figures [--quick]`
+
+use std::collections::BTreeMap;
+
+use dlcm_bench::{load_model, load_or_generate_dataset, quick_mode, write_csv};
+use dlcm_model::{metrics, prepare, Featurizer, FeaturizerConfig, LabeledFeatures};
+
+fn main() {
+    let quick = quick_mode();
+    eprintln!("=== FIG-4/5/7/8: prediction-quality figures (quick={quick}) ===");
+    let dataset = load_or_generate_dataset(quick);
+    let model = load_model();
+    let split = dataset.split(0);
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let test_set: Vec<LabeledFeatures> = prepare(&featurizer, &dataset, &split.test);
+    let programs: Vec<usize> = split.test.iter().map(|&i| dataset.points[i].program).collect();
+
+    eprintln!("predicting {} test points ...", test_set.len());
+    let preds: Vec<f64> = {
+        let (_, p) = dlcm_model::evaluate(&model, &test_set);
+        p
+    };
+    let targets: Vec<f64> = test_set.iter().map(|s| s.target).collect();
+
+    // ---- Figure 4: sorted predicted vs measured (subset of ~100 programs).
+    let subset_programs: Vec<usize> = {
+        let mut uniq: Vec<usize> = programs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        uniq.into_iter().take(100).collect()
+    };
+    let mut fig4: Vec<(f64, f64)> = targets
+        .iter()
+        .zip(&preds)
+        .zip(&programs)
+        .filter(|(_, p)| subset_programs.contains(p))
+        .map(|((&t, &p), _)| (t, p))
+        .collect();
+    fig4.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    write_csv(
+        "fig4.csv",
+        "rank,measured,predicted",
+        &fig4
+            .iter()
+            .enumerate()
+            .map(|(i, (t, p))| format!("{i},{t:.6},{p:.6}"))
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "Figure 4: {} transformed programs; measured range {:.3}..{:.3}",
+        fig4.len(),
+        fig4.first().map_or(0.0, |x| x.0),
+        fig4.last().map_or(0.0, |x| x.0)
+    );
+
+    // ---- Figure 5 (top): APE histogram with the paper's 0.06-wide bins.
+    let ape = metrics::ape(&targets, &preds);
+    let mut bins = vec![0usize; 17];
+    for &e in &ape {
+        let b = ((e / 0.06) as usize).min(16);
+        bins[b] += 1;
+    }
+    write_csv(
+        "fig5_hist.csv",
+        "ape_bin_low,count",
+        &bins
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:.2},{c}", i as f64 * 0.06))
+            .collect::<Vec<_>>(),
+    );
+    // (bottom): APE vs measured speedup.
+    write_csv(
+        "fig5_scatter.csv",
+        "measured_speedup,ape",
+        &targets
+            .iter()
+            .zip(&ape)
+            .map(|(&t, &e)| format!("{t:.6},{e:.6}"))
+            .collect::<Vec<_>>(),
+    );
+    // Paper's qualitative claim: error is lower near speedup 1.
+    let near: Vec<f64> = targets
+        .iter()
+        .zip(&ape)
+        .filter(|(&t, _)| (0.5..2.0).contains(&t))
+        .map(|(_, &e)| e)
+        .collect();
+    let far: Vec<f64> = targets
+        .iter()
+        .zip(&ape)
+        .filter(|(&t, _)| !(0.5..2.0).contains(&t))
+        .map(|(_, &e)| e)
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "Figure 5: mean APE near speedup 1: {:.3}; far from 1: {:.3} (paper: error grows away from 1)",
+        mean(&near),
+        mean(&far)
+    );
+
+    // ---- Figures 7 & 8: per-program coefficients and scatters.
+    let mut by_program: BTreeMap<usize, Vec<(f64, f64)>> = BTreeMap::new();
+    for ((&t, &p), &prog) in targets.iter().zip(&preds).zip(&programs) {
+        by_program.entry(prog).or_default().push((t, p));
+    }
+    let mut fig7 = Vec::new();
+    let mut good_rank = 0usize;
+    for (prog, pts) in &by_program {
+        if pts.len() < 4 {
+            continue;
+        }
+        let t: Vec<f64> = pts.iter().map(|x| x.0).collect();
+        let p: Vec<f64> = pts.iter().map(|x| x.1).collect();
+        let pearson = metrics::pearson(&t, &p);
+        let spearman = metrics::spearman(&t, &p);
+        if spearman > 0.75 {
+            good_rank += 1;
+        }
+        fig7.push(format!("{prog},{pearson:.4},{spearman:.4}"));
+    }
+    let n7 = fig7.len();
+    write_csv("fig7.csv", "program,pearson,spearman", &fig7);
+    println!(
+        "Figure 7: {n7} test programs; {} have per-program Spearman > 0.75 ({:.0}%)",
+        good_rank,
+        100.0 * good_rank as f64 / n7.max(1) as f64
+    );
+
+    let fig8: Vec<String> = by_program
+        .iter()
+        .take(16)
+        .flat_map(|(prog, pts)| {
+            pts.iter()
+                .map(move |(t, p)| format!("{prog},{t:.6},{p:.6}"))
+        })
+        .collect();
+    write_csv("fig8.csv", "program,measured,predicted", &fig8);
+    println!("Figure 8: wrote measured/predicted pairs for 16 test programs");
+}

@@ -1,0 +1,151 @@
+//! FIG-6 + TAB-2: search-space exploration on the ten §6 benchmarks.
+//!
+//! Four configurations per benchmark:
+//! - **BSE** — beam search with (simulated) execution: the reference;
+//! - **BSM** — beam search with the trained cost model;
+//! - **MCTS** — MCTS with the model + top-k execution correction;
+//! - **Halide** — beam search driven by the Halide-style baseline model
+//!   trained on image-processing/DL-patterned programs only.
+//!
+//! Outputs `fig6.csv` (speedups over the §6 parallel baseline) and
+//! `table2.csv` (search-time improvement vs performance degradation).
+//!
+//! `cargo run --release -p dlcm-bench --bin exp_search [--quick]`
+
+use dlcm_baseline::{HalideEvaluator, HalideModel, HalideTrainConfig};
+use dlcm_bench::{harness, load_model, quick_mode, write_csv};
+use dlcm_datagen::{Dataset, DatasetConfig, ProgramGenConfig};
+use dlcm_ir::Schedule;
+use dlcm_machine::{parallel_baseline, MachineConfig};
+use dlcm_model::{Featurizer, FeaturizerConfig};
+use dlcm_search::{BeamSearch, ExecutionEvaluator, Mcts, ModelEvaluator, SearchSpace};
+
+fn main() {
+    let quick = quick_mode();
+    eprintln!("=== FIG-6 / TAB-2: benchmark search (quick={quick}) ===");
+    let scale = if quick { 0.15 } else { 1.0 };
+    let model = load_model();
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let harness = harness();
+
+    // Halide-style baseline trained on image/DL-flavoured programs only
+    // (no reductions), reproducing its §6 domain gap.
+    eprintln!("training the Halide-style baseline ...");
+    let halide_ds = Dataset::generate(
+        &DatasetConfig {
+            num_programs: if quick { 32 } else { 192 },
+            schedules_per_program: 12,
+            seed: 99,
+            progen: ProgramGenConfig {
+                pattern_weights: [3, 3, 0],
+                ..ProgramGenConfig::default()
+            },
+            ..DatasetConfig::default()
+        },
+        &harness,
+    );
+    let mut halide = HalideModel::new(MachineConfig::default(), 0);
+    let idx: Vec<usize> = (0..halide_ds.len()).collect();
+    halide.train(&halide_ds, &idx, &HalideTrainConfig::default());
+
+    let space = SearchSpace::default();
+    let beam_width = 4;
+    let mut fig6 = Vec::new();
+    let mut table2 = Vec::new();
+    println!(
+        "{:<13} {:>7} {:>7} {:>7} {:>8} | {:>9} {:>9} | {:>7} {:>7}",
+        "benchmark", "BSE", "BSM", "MCTS", "Halide", "BSM tAcc", "MCTS tAcc", "BSM dg%", "MCTS dg%"
+    );
+
+    for bench in dlcm_benchsuite::suite() {
+        let program = (bench.build)(scale);
+        let baseline = parallel_baseline(&program);
+        let t_base = harness
+            .measure_schedule(&program, &baseline, 1)
+            .expect("baseline legal");
+        let measured = |s: &Schedule| {
+            t_base / harness.measure_schedule(&program, s, 1).expect("legal schedule")
+        };
+
+        // BSE.
+        let mut ev_bse = ExecutionEvaluator::new(harness.clone(), 0);
+        let bse = BeamSearch::new(beam_width, space.clone()).search(&program, &mut ev_bse);
+        let bse_speedup = measured(&bse.schedule);
+
+        // BSM.
+        let mut ev_bsm = ModelEvaluator::new(&model, featurizer.clone());
+        let bsm = BeamSearch::new(beam_width, space.clone()).search(&program, &mut ev_bsm);
+        let bsm_speedup = measured(&bsm.schedule);
+
+        // MCTS (model rollouts + top-3 executed).
+        let mut ev_m = ModelEvaluator::new(&model, featurizer.clone());
+        let mut ev_x = ExecutionEvaluator::new(harness.clone(), 0);
+        let mcts = Mcts {
+            iterations: if quick { 40 } else { 150 },
+            space: space.clone(),
+            ..Mcts::default()
+        }
+        .search(&program, &mut ev_m, &mut ev_x);
+        let mcts_speedup = measured(&mcts.schedule);
+
+        // Halide autoscheduler.
+        let mut ev_h = HalideEvaluator::new(&halide);
+        let hal = BeamSearch::new(beam_width, space.clone()).search(&program, &mut ev_h);
+        let hal_speedup = measured(&hal.schedule);
+
+        // Table 2 quantities.
+        let bsm_accel = bse.search_time / bsm.search_time.max(1e-9);
+        let mcts_accel = bse.search_time / mcts.search_time.max(1e-9);
+        let degr = |s: f64| 100.0 * (1.0 - s / bse_speedup.max(1e-12)).max(0.0);
+        let bsm_degr = degr(bsm_speedup);
+        let mcts_degr = degr(mcts_speedup);
+
+        println!(
+            "{:<13} {:>6.2}x {:>6.2}x {:>6.2}x {:>7.2}x | {:>8.0}x {:>8.0}x | {:>6.0}% {:>6.0}%",
+            bench.name,
+            bse_speedup,
+            bsm_speedup,
+            mcts_speedup,
+            hal_speedup,
+            bsm_accel,
+            mcts_accel,
+            bsm_degr,
+            mcts_degr
+        );
+        fig6.push(format!(
+            "{},{bse_speedup:.4},{bsm_speedup:.4},{mcts_speedup:.4},{hal_speedup:.4}",
+            bench.name
+        ));
+        table2.push(format!(
+            "{},{bsm_accel:.1},{bsm_degr:.1},{mcts_accel:.1},{mcts_degr:.1}",
+            bench.name
+        ));
+    }
+
+    write_csv(
+        "fig6.csv",
+        "benchmark,beam_exec,beam_model,mcts_model,halide",
+        &fig6,
+    );
+    write_csv(
+        "table2.csv",
+        "benchmark,bsm_search_accel,bsm_perf_degradation_pct,mcts_search_accel,mcts_perf_degradation_pct",
+        &table2,
+    );
+
+    // Averages (the paper's Table 2 bottom row: 106.5x / 15% and 11.8x / 12.5%).
+    let avg = |col: usize| {
+        table2
+            .iter()
+            .map(|r| r.split(',').nth(col).unwrap().parse::<f64>().unwrap())
+            .sum::<f64>()
+            / table2.len() as f64
+    };
+    println!(
+        "Average: BSM {:.1}x faster search, {:.1}% degradation (paper: 106.5x / 15%); MCTS {:.1}x, {:.1}% (paper: 11.8x / 12.5%)",
+        avg(1),
+        avg(2),
+        avg(3),
+        avg(4)
+    );
+}

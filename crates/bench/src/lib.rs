@@ -1,0 +1,111 @@
+//! # dlcm-bench
+//!
+//! Experiment binaries and Criterion benches that regenerate every table
+//! and figure of the paper's evaluation (§6). See DESIGN.md for the
+//! experiment index. Artifacts are written to `results/` at the workspace
+//! root:
+//!
+//! - `exp_accuracy` → trains the model, writes `model.json`,
+//!   `dataset.json`, and `accuracy.json` (§6 headline metrics);
+//! - `exp_figures` → Figures 4, 5, 7, 8 CSVs from the trained model;
+//! - `exp_search` → Figure 6 + Table 2 (BSE / BSM / MCTS / Halide);
+//! - `exp_ablation` → §4.4 alternative-architecture comparison;
+//! - `exp_halide_r2` → §6 R² comparison against the Halide-style model.
+//!
+//! Every binary accepts `--quick` for a scaled-down smoke run.
+
+use std::path::PathBuf;
+
+use dlcm_datagen::{Dataset, DatasetConfig};
+use dlcm_machine::{Machine, Measurement};
+use dlcm_model::CostModel;
+
+/// Directory where experiment artifacts are written.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("DLCM_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// `true` when `--quick` was passed on the command line.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The shared measurement harness (paper protocol: median of 30 runs,
+/// 2% noise, simulated Xeon E5-2680v3).
+pub fn harness() -> Measurement {
+    Measurement::new(Machine::default())
+}
+
+/// The canonical dataset configuration for the accuracy experiments.
+/// Scaled down from the paper's 56,250 x 32 to fit the simulated
+/// environment; `quick` shrinks it further for smoke tests.
+pub fn dataset_config(quick: bool) -> DatasetConfig {
+    if quick {
+        DatasetConfig {
+            num_programs: 48,
+            schedules_per_program: 8,
+            seed: 7,
+            ..DatasetConfig::default()
+        }
+    } else {
+        DatasetConfig {
+            num_programs: 128,
+            schedules_per_program: 32,
+            seed: 7,
+            ..DatasetConfig::default()
+        }
+    }
+}
+
+/// Loads the dataset written by `exp_accuracy`, or regenerates it
+/// deterministically when missing.
+pub fn load_or_generate_dataset(quick: bool) -> Dataset {
+    let path = results_dir().join("dataset.json");
+    if path.exists() {
+        if let Ok(ds) = Dataset::load_json(&path) {
+            return ds;
+        }
+    }
+    let ds = Dataset::generate(&dataset_config(quick), &harness());
+    let _ = ds.save_json(&path);
+    ds
+}
+
+/// Loads the model trained by `exp_accuracy`.
+///
+/// # Panics
+///
+/// Panics with a pointer to `exp_accuracy` when the artifact is missing.
+pub fn load_model() -> CostModel {
+    let path = results_dir().join("model.json");
+    let file = std::fs::File::open(&path).unwrap_or_else(|_| {
+        panic!("{path:?} not found — run `cargo run --release -p dlcm-bench --bin exp_accuracy` first")
+    });
+    serde_json::from_reader(std::io::BufReader::new(file)).expect("valid model artifact")
+}
+
+/// Writes a CSV file into the results directory.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = results_dir().join(name);
+    let mut out = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    out.push_str(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    std::fs::write(&path, out).expect("write csv");
+    eprintln!("wrote {path:?}");
+}
+
+/// Writes a JSON artifact into the results directory.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(name);
+    let file = std::fs::File::create(&path).expect("create json");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), value).expect("serialize");
+    eprintln!("wrote {path:?}");
+}

@@ -1,0 +1,508 @@
+//! # dlcm-benchsuite
+//!
+//! The ten real-world benchmarks of the paper's evaluation (§6, Table 3),
+//! expressed in the DLCM IR: box blur, conv + relu, convolution,
+//! cvtcolor, doitgen, heat2d, heat3d, jacobi2d, mvt, and seidel2d.
+//!
+//! Every builder takes a `scale` in `(0, 1]`: `1.0` reproduces the
+//! paper's input sizes exactly; smaller values shrink the linear
+//! dimensions proportionally (with a floor) so the same programs can be
+//! run through the reference interpreter in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! let suite = dlcm_benchsuite::suite();
+//! assert_eq!(suite.len(), 10);
+//! let heat2d = dlcm_benchsuite::heat2d(1.0);
+//! assert!(heat2d.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+use dlcm_ir::{BinOp, Expr, LinExpr, Program, ProgramBuilder};
+
+/// Application domain of a benchmark, used to reproduce the §6 analysis of
+/// where the Halide baseline wins and loses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Image-processing filters (Halide's home turf).
+    ImageProcessing,
+    /// Neural-network layers.
+    DeepLearning,
+    /// Dense linear algebra.
+    LinearAlgebra,
+    /// Scientific stencil computations ("which Halide was not trained to
+    /// handle" per the paper).
+    Stencil,
+}
+
+/// A named benchmark builder.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Benchmark name as used in the paper's figures.
+    pub name: &'static str,
+    /// Domain category.
+    pub category: Category,
+    /// Builder: `scale = 1.0` gives the paper's Table 3 sizes.
+    pub build: fn(f64) -> Program,
+}
+
+/// The full suite in the paper's Figure 6 order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark { name: "box blur", category: Category::ImageProcessing, build: box_blur },
+        Benchmark { name: "conv + relu", category: Category::DeepLearning, build: conv_relu },
+        Benchmark { name: "convolution", category: Category::DeepLearning, build: convolution },
+        Benchmark { name: "cvtcolor", category: Category::ImageProcessing, build: cvtcolor },
+        Benchmark { name: "doitgen", category: Category::LinearAlgebra, build: doitgen },
+        Benchmark { name: "heat2d", category: Category::Stencil, build: heat2d },
+        Benchmark { name: "heat3d", category: Category::Stencil, build: heat3d },
+        Benchmark { name: "jacobi2d", category: Category::Stencil, build: jacobi2d },
+        Benchmark { name: "mvt", category: Category::LinearAlgebra, build: mvt },
+        Benchmark { name: "seidel2d", category: Category::Stencil, build: seidel2d },
+    ]
+}
+
+fn dim(paper: i64, scale: f64) -> i64 {
+    ((paper as f64 * scale) as i64).max(8)
+}
+
+/// 3x3 box blur over a 3x1024x1024 image (Table 3: `3 × 1024 × 1024`).
+pub fn box_blur(scale: f64) -> Program {
+    let (h, w) = (dim(1024, scale), dim(1024, scale));
+    let mut b = ProgramBuilder::new("box_blur");
+    let c = b.iter("c", 0, 3);
+    let y = b.iter("y", 0, h - 2);
+    let x = b.iter("x", 0, w - 2);
+    let img = b.input("img", &[3, h, w]);
+    let out = b.buffer("blur", &[3, h - 2, w - 2]);
+    let iters = [c, y, x];
+    let mut sum: Option<Expr> = None;
+    for dy in 0..3 {
+        for dx in 0..3 {
+            let load = Expr::Load(b.access(
+                img,
+                &[c.into(), LinExpr::from(y) + dy, LinExpr::from(x) + dx],
+                &iters,
+            ));
+            sum = Some(match sum {
+                None => load,
+                Some(e) => Expr::binary(BinOp::Add, e, load),
+            });
+        }
+    }
+    let avg = Expr::binary(BinOp::Mul, sum.expect("nine taps"), Expr::Const(1.0 / 9.0));
+    b.assign("blur", &iters, out, &[c.into(), y.into(), x.into()], avg);
+    b.build().expect("box_blur is well-formed")
+}
+
+fn conv_common(scale: f64, with_relu: bool) -> Program {
+    // Table 3: batch 8, input 1024x1024x3, kernel 3x3, output features 2.
+    let (n, cin, cout) = (8, 3, 2);
+    let (h, w) = (dim(1024, scale), dim(1024, scale));
+    let name = if with_relu { "conv_relu" } else { "convolution" };
+    let mut b = ProgramBuilder::new(name);
+    let bn = b.iter("n", 0, n);
+    let fo = b.iter("fout", 0, cout);
+    let y = b.iter("y", 0, h - 2);
+    let x = b.iter("x", 0, w - 2);
+    let fi = b.iter("fin", 0, cin);
+    let k0 = b.iter("k0", 0, 3);
+    let k1 = b.iter("k1", 0, 3);
+    let input = b.input("input", &[n, cin, h, w]);
+    let weights = b.input("weights", &[cout, cin, 3, 3]);
+    let conv = b.buffer("conv", &[n, cout, h - 2, w - 2]);
+    let iters = [bn, fo, y, x, fi, k0, k1];
+    let w_acc = b.access(weights, &[fo.into(), fi.into(), k0.into(), k1.into()], &iters);
+    let i_acc = b.access(
+        input,
+        &[
+            bn.into(),
+            fi.into(),
+            LinExpr::from(y) + LinExpr::from(k0),
+            LinExpr::from(x) + LinExpr::from(k1),
+        ],
+        &iters,
+    );
+    b.reduce(
+        "conv",
+        &iters,
+        BinOp::Add,
+        conv,
+        &[bn.into(), fo.into(), y.into(), x.into()],
+        Expr::binary(BinOp::Mul, Expr::Load(w_acc), Expr::Load(i_acc)),
+    );
+    if with_relu {
+        let bn2 = b.iter("n2", 0, n);
+        let fo2 = b.iter("fout2", 0, cout);
+        let y2 = b.iter("y2", 0, h - 2);
+        let x2 = b.iter("x2", 0, w - 2);
+        let relu = b.buffer("relu", &[n, cout, h - 2, w - 2]);
+        let iters2 = [bn2, fo2, y2, x2];
+        let c_acc = b.access(
+            conv,
+            &[bn2.into(), fo2.into(), y2.into(), x2.into()],
+            &iters2,
+        );
+        b.assign(
+            "relu",
+            &iters2,
+            relu,
+            &[bn2.into(), fo2.into(), y2.into(), x2.into()],
+            Expr::binary(BinOp::Max, Expr::Load(c_acc), Expr::Const(0.0)),
+        );
+    }
+    b.build().expect("conv is well-formed")
+}
+
+/// conv + relu: two successive layers that benefit from operator fusion.
+pub fn conv_relu(scale: f64) -> Program {
+    conv_common(scale, true)
+}
+
+/// A direct neural-network convolution (the paper's §2 running example).
+pub fn convolution(scale: f64) -> Program {
+    conv_common(scale, false)
+}
+
+/// RGB → gray conversion over 3x1024x1024.
+pub fn cvtcolor(scale: f64) -> Program {
+    let (h, w) = (dim(1024, scale), dim(1024, scale));
+    let mut b = ProgramBuilder::new("cvtcolor");
+    let y = b.iter("y", 0, h);
+    let x = b.iter("x", 0, w);
+    let rgb = b.input("rgb", &[3, h, w]);
+    let gray = b.buffer("gray", &[h, w]);
+    let iters = [y, x];
+    let chan = |b: &mut ProgramBuilder, c: i64, coef: f32| {
+        let acc = b.access(
+            rgb,
+            &[LinExpr::constant_expr(c), y.into(), x.into()],
+            &iters,
+        );
+        Expr::binary(BinOp::Mul, Expr::Const(coef), Expr::Load(acc))
+    };
+    let r = chan(&mut b, 0, 0.299);
+    let g = chan(&mut b, 1, 0.587);
+    let bl = chan(&mut b, 2, 0.114);
+    let sum = Expr::binary(BinOp::Add, Expr::binary(BinOp::Add, r, g), bl);
+    b.assign("gray", &iters, gray, &[y.into(), x.into()], sum);
+    b.build().expect("cvtcolor is well-formed")
+}
+
+/// doitgen from PolyBench (multiresolution adaptive numerical simulation):
+/// `sum[r,q,p] += A[r,q,s] * C4[s,p]` (Table 3: 256x256x128, 256x256
+/// problem instance; `NP = 128` per PolyBench's structure).
+pub fn doitgen(scale: f64) -> Program {
+    let (nr, nq, np) = (dim(256, scale), dim(256, scale), dim(128, scale));
+    let mut b = ProgramBuilder::new("doitgen");
+    let r = b.iter("r", 0, nr);
+    let q = b.iter("q", 0, nq);
+    let pp = b.iter("p", 0, np);
+    let s = b.iter("s", 0, np);
+    let a = b.input("A", &[nr, nq, np]);
+    let c4 = b.input("C4", &[np, np]);
+    let sum = b.buffer("sum", &[nr, nq, np]);
+    let iters = [r, q, pp, s];
+    let a_acc = b.access(a, &[r.into(), q.into(), s.into()], &iters);
+    let c_acc = b.access(c4, &[s.into(), pp.into()], &iters);
+    b.reduce(
+        "sum",
+        &iters,
+        BinOp::Add,
+        sum,
+        &[r.into(), q.into(), pp.into()],
+        Expr::binary(BinOp::Mul, Expr::Load(a_acc), Expr::Load(c_acc)),
+    );
+    b.build().expect("doitgen is well-formed")
+}
+
+/// One sweep of the 2-D heat equation over 1024x1024 (5-point stencil).
+pub fn heat2d(scale: f64) -> Program {
+    let n = dim(1024, scale);
+    let mut b = ProgramBuilder::new("heat2d");
+    let y = b.iter("y", 1, n - 1);
+    let x = b.iter("x", 1, n - 1);
+    let a = b.input("A", &[n, n]);
+    let out = b.buffer("B", &[n, n]);
+    let iters = [y, x];
+    let tap = |b: &mut ProgramBuilder, dy: i64, dx: i64| {
+        Expr::Load(b.access(
+            a,
+            &[LinExpr::from(y) + dy, LinExpr::from(x) + dx],
+            &iters,
+        ))
+    };
+    let center = Expr::binary(BinOp::Mul, Expr::Const(0.5), tap(&mut b, 0, 0));
+    let cross = [
+        tap(&mut b, -1, 0),
+        tap(&mut b, 1, 0),
+        tap(&mut b, 0, -1),
+        tap(&mut b, 0, 1),
+    ]
+    .into_iter()
+    .reduce(|acc, t| Expr::binary(BinOp::Add, acc, t))
+    .expect("four taps");
+    let rhs = Expr::binary(
+        BinOp::Add,
+        center,
+        Expr::binary(BinOp::Mul, Expr::Const(0.125), cross),
+    );
+    b.assign("heat", &iters, out, &[y.into(), x.into()], rhs);
+    b.build().expect("heat2d is well-formed")
+}
+
+/// One sweep of the 3-D heat equation over 770x898x1024 (7-point stencil).
+pub fn heat3d(scale: f64) -> Program {
+    let (nz, ny, nx) = (dim(770, scale), dim(898, scale), dim(1024, scale));
+    let mut b = ProgramBuilder::new("heat3d");
+    let z = b.iter("z", 1, nz - 1);
+    let y = b.iter("y", 1, ny - 1);
+    let x = b.iter("x", 1, nx - 1);
+    let a = b.input("A", &[nz, ny, nx]);
+    let out = b.buffer("B", &[nz, ny, nx]);
+    let iters = [z, y, x];
+    let tap = |b: &mut ProgramBuilder, dz: i64, dy: i64, dx: i64| {
+        Expr::Load(b.access(
+            a,
+            &[
+                LinExpr::from(z) + dz,
+                LinExpr::from(y) + dy,
+                LinExpr::from(x) + dx,
+            ],
+            &iters,
+        ))
+    };
+    let center = Expr::binary(BinOp::Mul, Expr::Const(0.4), tap(&mut b, 0, 0, 0));
+    let taps = [
+        tap(&mut b, -1, 0, 0),
+        tap(&mut b, 1, 0, 0),
+        tap(&mut b, 0, -1, 0),
+        tap(&mut b, 0, 1, 0),
+        tap(&mut b, 0, 0, -1),
+        tap(&mut b, 0, 0, 1),
+    ]
+    .into_iter()
+    .reduce(|acc, t| Expr::binary(BinOp::Add, acc, t))
+    .expect("six taps");
+    let rhs = Expr::binary(
+        BinOp::Add,
+        center,
+        Expr::binary(BinOp::Mul, Expr::Const(0.1), taps),
+    );
+    b.assign("heat", &iters, out, &[z.into(), y.into(), x.into()], rhs);
+    b.build().expect("heat3d is well-formed")
+}
+
+/// Jacobi-style 5-point stencil over 130x1024 data.
+pub fn jacobi2d(scale: f64) -> Program {
+    let (h, w) = (dim(130, scale), dim(1024, scale));
+    let mut b = ProgramBuilder::new("jacobi2d");
+    let i = b.iter("i", 1, h - 1);
+    let j = b.iter("j", 1, w - 1);
+    let a = b.input("A", &[h, w]);
+    let out = b.buffer("B", &[h, w]);
+    let iters = [i, j];
+    let tap = |b: &mut ProgramBuilder, di: i64, dj: i64| {
+        Expr::Load(b.access(
+            a,
+            &[LinExpr::from(i) + di, LinExpr::from(j) + dj],
+            &iters,
+        ))
+    };
+    let sum = [
+        tap(&mut b, 0, 0),
+        tap(&mut b, 0, -1),
+        tap(&mut b, 0, 1),
+        tap(&mut b, -1, 0),
+        tap(&mut b, 1, 0),
+    ]
+    .into_iter()
+    .reduce(|acc, t| Expr::binary(BinOp::Add, acc, t))
+    .expect("five taps");
+    let rhs = Expr::binary(BinOp::Mul, Expr::Const(0.2), sum);
+    b.assign("jacobi", &iters, out, &[i.into(), j.into()], rhs);
+    b.build().expect("jacobi2d is well-formed")
+}
+
+/// mvt from PolyBench: `x1 += A·y1` composed with `x2 += Aᵀ·y2`
+/// (1024x1024).
+pub fn mvt(scale: f64) -> Program {
+    let n = dim(1024, scale);
+    let mut b = ProgramBuilder::new("mvt");
+    let a = b.input("A", &[n, n]);
+    let y1 = b.input("y1", &[n]);
+    let y2 = b.input("y2", &[n]);
+    let x1 = b.buffer("x1", &[n]);
+    let x2 = b.buffer("x2", &[n]);
+
+    let i = b.iter("i", 0, n);
+    let j = b.iter("j", 0, n);
+    let iters1 = [i, j];
+    let a_acc = b.access(a, &[i.into(), j.into()], &iters1);
+    let y1_acc = b.access(y1, &[j.into()], &iters1);
+    b.reduce(
+        "x1",
+        &iters1,
+        BinOp::Add,
+        x1,
+        &[i.into()],
+        Expr::binary(BinOp::Mul, Expr::Load(a_acc), Expr::Load(y1_acc)),
+    );
+
+    let i2 = b.iter("i2", 0, n);
+    let j2 = b.iter("j2", 0, n);
+    let iters2 = [i2, j2];
+    let at_acc = b.access(a, &[j2.into(), i2.into()], &iters2);
+    let y2_acc = b.access(y2, &[j2.into()], &iters2);
+    b.reduce(
+        "x2",
+        &iters2,
+        BinOp::Add,
+        x2,
+        &[i2.into()],
+        Expr::binary(BinOp::Mul, Expr::Load(at_acc), Expr::Load(y2_acc)),
+    );
+    b.build().expect("mvt is well-formed")
+}
+
+/// Gauss–Seidel 9-point in-place stencil over 256x256: an `init`
+/// computation copies the input, then the sweep updates in place (reads of
+/// already-updated neighbours give the loop-carried dependences that make
+/// seidel2d hard to parallelize).
+pub fn seidel2d(scale: f64) -> Program {
+    let n = dim(256, scale);
+    let mut b = ProgramBuilder::new("seidel2d");
+    let init_i = b.iter("ii", 0, n);
+    let init_j = b.iter("ij", 0, n);
+    let input = b.input("in", &[n, n]);
+    let a = b.buffer("A", &[n, n]);
+    let init_iters = [init_i, init_j];
+    let in_acc = b.access(input, &[init_i.into(), init_j.into()], &init_iters);
+    b.assign(
+        "init",
+        &init_iters,
+        a,
+        &[init_i.into(), init_j.into()],
+        Expr::Load(in_acc),
+    );
+
+    let i = b.iter("i", 1, n - 1);
+    let j = b.iter("j", 1, n - 1);
+    let iters = [i, j];
+    let mut sum: Option<Expr> = None;
+    for di in -1..=1 {
+        for dj in -1..=1 {
+            let load = Expr::Load(b.access(
+                a,
+                &[LinExpr::from(i) + di, LinExpr::from(j) + dj],
+                &iters,
+            ));
+            sum = Some(match sum {
+                None => load,
+                Some(e) => Expr::binary(BinOp::Add, e, load),
+            });
+        }
+    }
+    let rhs = Expr::binary(BinOp::Mul, sum.expect("nine taps"), Expr::Const(1.0 / 9.0));
+    b.assign("seidel", &iters, a, &[i.into(), j.into()], rhs);
+    b.build().expect("seidel2d is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlcm_ir::{apply_schedule, Schedule};
+
+    #[test]
+    fn all_benchmarks_validate_at_paper_scale() {
+        for bench in suite() {
+            let p = (bench.build)(1.0);
+            assert!(p.validate().is_ok(), "{} invalid", bench.name);
+            assert!(
+                apply_schedule(&p, &Schedule::empty()).is_ok(),
+                "{} cannot be scheduled",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn paper_sizes_match_table3() {
+        let blur = box_blur(1.0);
+        assert_eq!(blur.buffer(dlcm_ir::BufferId(0)).dims, vec![3, 1024, 1024]);
+        let conv = convolution(1.0);
+        assert_eq!(
+            conv.buffer(dlcm_ir::BufferId(0)).dims,
+            vec![8, 3, 1024, 1024]
+        );
+        assert_eq!(conv.buffer(dlcm_ir::BufferId(1)).dims, vec![2, 3, 3, 3]);
+        let h3 = heat3d(1.0);
+        assert_eq!(h3.buffer(dlcm_ir::BufferId(0)).dims, vec![770, 898, 1024]);
+        let j2 = jacobi2d(1.0);
+        assert_eq!(j2.buffer(dlcm_ir::BufferId(0)).dims, vec![130, 1024]);
+        let s2 = seidel2d(1.0);
+        assert_eq!(s2.buffer(dlcm_ir::BufferId(0)).dims, vec![256, 256]);
+        let m = mvt(1.0);
+        assert_eq!(m.buffer(dlcm_ir::BufferId(0)).dims, vec![1024, 1024]);
+    }
+
+    #[test]
+    fn conv_relu_has_two_fusable_computations() {
+        let p = conv_relu(0.05);
+        assert_eq!(p.num_comps(), 2);
+        // Fusion of relu into conv at the 4 shared levels must be legal.
+        let fuse = Schedule::new(vec![dlcm_ir::Transform::Fuse {
+            comp: dlcm_ir::CompId(1),
+            with: dlcm_ir::CompId(0),
+            depth: 4,
+        }]);
+        assert!(apply_schedule(&p, &fuse).is_ok(), "conv+relu fusion should be legal");
+    }
+
+    #[test]
+    fn seidel_outer_parallelism_is_illegal() {
+        // The in-place sweep carries dependences on both loops.
+        let p = seidel2d(0.2);
+        let par = Schedule::new(vec![dlcm_ir::Transform::Parallelize {
+            comp: dlcm_ir::CompId(1),
+            level: 0,
+        }]);
+        assert!(apply_schedule(&p, &par).is_err(), "seidel2d must not parallelize");
+    }
+
+    #[test]
+    fn small_scale_benchmarks_interpret_correctly() {
+        use dlcm_ir::{interpret, interpret_baseline, max_relative_error, synthetic_inputs};
+        // Tile + unroll heat2d at small scale and check semantics.
+        let p = heat2d(0.03);
+        let sched = Schedule::new(vec![
+            dlcm_ir::Transform::Tile {
+                comp: dlcm_ir::CompId(0),
+                level_a: 0,
+                level_b: 1,
+                size_a: 8,
+                size_b: 8,
+            },
+            dlcm_ir::Transform::Unroll { comp: dlcm_ir::CompId(0), factor: 2 },
+        ]);
+        let sp = apply_schedule(&p, &sched).unwrap();
+        let inputs = synthetic_inputs(&p, 3);
+        let base = interpret_baseline(&p, &inputs).unwrap();
+        let opt = interpret(&sp, &inputs).unwrap();
+        assert!(max_relative_error(&base, &opt) < 1e-5);
+    }
+
+    #[test]
+    fn categories_cover_the_paper_domains() {
+        let suite = suite();
+        assert!(suite.iter().any(|b| b.category == Category::ImageProcessing));
+        assert!(suite.iter().any(|b| b.category == Category::DeepLearning));
+        assert!(suite.iter().any(|b| b.category == Category::LinearAlgebra));
+        assert_eq!(
+            suite.iter().filter(|b| b.category == Category::Stencil).count(),
+            4
+        );
+    }
+}

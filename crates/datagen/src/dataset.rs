@@ -1,0 +1,292 @@
+//! Dataset construction: (program, schedule, measured speedup) triplets.
+//!
+//! §3 of the paper: 56,250 random algorithms x 32 random transformation
+//! sequences = 1.8 M labeled programs, measured as the median of 30 runs
+//! on a 16-node cluster over three weeks. This module reproduces the
+//! pipeline at configurable scale: programs and labels are generated in
+//! parallel with rayon (our stand-in for the cluster) against the
+//! simulated machine of `dlcm-machine`.
+
+use dlcm_ir::{Program, Schedule};
+use dlcm_machine::Measurement;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::progen::{ProgramGenConfig, ProgramGenerator};
+use crate::schedgen::{ScheduleGenConfig, ScheduleGenerator};
+
+/// One labeled triplet. `program` indexes [`Dataset::programs`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Index into [`Dataset::programs`].
+    pub program: usize,
+    /// The transformation sequence.
+    pub schedule: Schedule,
+    /// Measured speedup over the unoptimized program.
+    pub speedup: f64,
+}
+
+/// Scale and randomness knobs for dataset generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of random programs (the paper uses 56,250).
+    pub num_programs: usize,
+    /// Random schedules per program (the paper uses 32).
+    pub schedules_per_program: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Program-generator configuration.
+    pub progen: ProgramGenConfig,
+    /// Schedule-generator configuration.
+    pub schedgen: ScheduleGenConfig,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            num_programs: 256,
+            schedules_per_program: 32,
+            seed: 0,
+            progen: ProgramGenConfig::default(),
+            schedgen: ScheduleGenConfig::default(),
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// A tiny configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            num_programs: 8,
+            schedules_per_program: 6,
+            seed,
+            progen: ProgramGenConfig {
+                size_pool: vec![16, 32, 64],
+                max_points: 1 << 16,
+                ..ProgramGenConfig::default()
+            },
+            schedgen: ScheduleGenConfig::default(),
+        }
+    }
+}
+
+/// Train/validation/test split, by *program* so that no program leaks
+/// between splits (the paper batches points of the same algorithm
+/// together and uses a 60/20/20 split).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    /// Point indices for training (60%).
+    pub train: Vec<usize>,
+    /// Point indices for validation (20%).
+    pub val: Vec<usize>,
+    /// Point indices for testing (20%).
+    pub test: Vec<usize>,
+}
+
+/// A fully labeled dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Generated programs.
+    pub programs: Vec<Program>,
+    /// Labeled (program, schedule, speedup) triplets.
+    pub points: Vec<DataPoint>,
+}
+
+impl Dataset {
+    /// Generates a dataset: programs, schedules, and ground-truth labels
+    /// from `measurement`, in parallel.
+    pub fn generate(cfg: &DatasetConfig, measurement: &Measurement) -> Dataset {
+        let progen = ProgramGenerator::new(cfg.progen.clone());
+        let schedgen = ScheduleGenerator::new(cfg.schedgen.clone());
+
+        let per_program: Vec<(Program, Vec<DataPoint>)> = (0..cfg.num_programs)
+            .into_par_iter()
+            .map(|pi| {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    cfg.seed ^ (pi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let program = progen.generate(&mut rng, &format!("rand_{pi}"));
+                let schedules =
+                    schedgen.generate_distinct(&program, cfg.schedules_per_program, &mut rng);
+                let points = schedules
+                    .into_iter()
+                    .map(|schedule| {
+                        let speedup = measurement
+                            .speedup(&program, &schedule, cfg.seed ^ (pi as u64) << 8)
+                            .expect("generated schedules are legal");
+                        DataPoint {
+                            program: pi,
+                            schedule,
+                            speedup,
+                        }
+                    })
+                    .collect();
+                (program, points)
+            })
+            .collect();
+
+        let mut programs = Vec::with_capacity(cfg.num_programs);
+        let mut points = Vec::new();
+        for (program, pts) in per_program {
+            programs.push(program);
+            points.extend(pts);
+        }
+        Dataset { programs, points }
+    }
+
+    /// Number of labeled points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points exist.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The program of a data point.
+    pub fn program_of(&self, point: &DataPoint) -> &Program {
+        &self.programs[point.program]
+    }
+
+    /// 60/20/20 split by program (deterministic given `seed`).
+    pub fn split(&self, seed: u64) -> Split {
+        let n_prog = self.programs.len();
+        let mut order: Vec<usize> = (0..n_prog).collect();
+        // Fisher–Yates with a splitmix-style generator.
+        let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..n_prog).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let n_train = (n_prog * 6) / 10;
+        let n_val = (n_prog * 2) / 10;
+        let train_prog: Vec<usize> = order[..n_train].to_vec();
+        let val_prog: Vec<usize> = order[n_train..n_train + n_val].to_vec();
+
+        let bucket = |pi: usize| -> u8 {
+            if train_prog.contains(&pi) {
+                0
+            } else if val_prog.contains(&pi) {
+                1
+            } else {
+                2
+            }
+        };
+        let mut split = Split {
+            train: Vec::new(),
+            val: Vec::new(),
+            test: Vec::new(),
+        };
+        for (i, p) in self.points.iter().enumerate() {
+            match bucket(p.program) {
+                0 => split.train.push(i),
+                1 => split.val.push(i),
+                _ => split.test.push(i),
+            }
+        }
+        split
+    }
+
+    /// Serializes the dataset to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization/IO failures.
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Loads a dataset from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserialization/IO failures.
+    pub fn load_json(path: &std::path::Path) -> std::io::Result<Dataset> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlcm_machine::Machine;
+
+    fn tiny_dataset(seed: u64) -> Dataset {
+        Dataset::generate(&DatasetConfig::tiny(seed), &Measurement::exact(Machine::default()))
+    }
+
+    #[test]
+    fn generation_produces_labeled_points() {
+        let ds = tiny_dataset(0);
+        assert_eq!(ds.programs.len(), 8);
+        assert!(!ds.is_empty());
+        for p in &ds.points {
+            assert!(p.speedup.is_finite() && p.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn speedups_are_diverse() {
+        let ds = tiny_dataset(1);
+        let min = ds.points.iter().map(|p| p.speedup).fold(f64::MAX, f64::min);
+        let max = ds.points.iter().map(|p| p.speedup).fold(0.0, f64::max);
+        assert!(
+            max / min > 1.5,
+            "labels should vary across schedules: {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn split_is_by_program_and_complete() {
+        let ds = tiny_dataset(2);
+        let split = ds.split(0);
+        let total = split.train.len() + split.val.len() + split.test.len();
+        assert_eq!(total, ds.len());
+        // No program appears in two splits.
+        let progs = |idx: &[usize]| -> std::collections::HashSet<usize> {
+            idx.iter().map(|&i| ds.points[i].program).collect()
+        };
+        let tr = progs(&split.train);
+        let va = progs(&split.val);
+        let te = progs(&split.test);
+        assert!(tr.is_disjoint(&va) && tr.is_disjoint(&te) && va.is_disjoint(&te));
+        assert!(!tr.is_empty() && !te.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny_dataset(3);
+        let b = tiny_dataset(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = tiny_dataset(4);
+        let dir = std::env::temp_dir().join("dlcm_test_ds.json");
+        ds.save_json(&dir).unwrap();
+        let back = Dataset::load_json(&dir).unwrap();
+        assert_eq!(ds.programs, back.programs);
+        assert_eq!(ds.len(), back.len());
+        for (a, b) in ds.points.iter().zip(&back.points) {
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.schedule, b.schedule);
+            // serde_json's fast float path may be 1 ULP off.
+            assert!((a.speedup - b.speedup).abs() <= f64::EPSILON * a.speedup.abs());
+        }
+        let _ = std::fs::remove_file(dir);
+    }
+}

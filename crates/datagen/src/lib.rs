@@ -1,0 +1,31 @@
+//! # dlcm-datagen
+//!
+//! The data-generation pipeline of the DLCM reproduction of *"A Deep
+//! Learning Based Cost Model for Automatic Code Optimization"* (MLSys
+//! 2021), §3: random Tiramisu-like programs over the paper's three
+//! assignment patterns, random legal transformation sequences, and
+//! labeled `(program, schedule, speedup)` triplets measured on the
+//! simulated machine of `dlcm-machine`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dlcm_datagen::{Dataset, DatasetConfig};
+//! use dlcm_machine::{Machine, Measurement};
+//!
+//! let cfg = DatasetConfig::tiny(42);
+//! let dataset = Dataset::generate(&cfg, &Measurement::exact(Machine::default()));
+//! assert!(!dataset.is_empty());
+//! let split = dataset.split(0);
+//! assert!(!split.train.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod progen;
+mod schedgen;
+
+pub use dataset::{DataPoint, Dataset, DatasetConfig, Split};
+pub use progen::{Pattern, ProgramGenConfig, ProgramGenerator};
+pub use schedgen::{ScheduleGenConfig, ScheduleGenerator};

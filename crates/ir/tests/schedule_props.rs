@@ -1,0 +1,153 @@
+//! Property-based tests of the scheduling machinery: for arbitrary
+//! programs within a constrained family and arbitrary transform
+//! parameters, legality decisions and structural rewrites must be
+//! consistent with the reference interpreter.
+
+use dlcm_ir::*;
+use proptest::prelude::*;
+
+/// A small constrained program family: 2-D pointwise map with an optional
+/// stencil offset, sizes in 8..=24.
+fn arb_program() -> impl Strategy<Value = Program> {
+    // Sizes >= 8 with offsets <= 2 keep every access in bounds.
+    (8i64..24, 8i64..24, -2i64..=2, -2i64..=2).prop_map(|(n, m, di, dj)| {
+        let mut b = ProgramBuilder::new("prop");
+        let (lo_i, hi_i) = (di.unsigned_abs() as i64, n - di.unsigned_abs() as i64);
+        let (lo_j, hi_j) = (dj.unsigned_abs() as i64, m - dj.unsigned_abs() as i64);
+        let i = b.iter("i", lo_i, hi_i);
+        let j = b.iter("j", lo_j, hi_j);
+        let inp = b.input("in", &[n, m]);
+        let out = b.buffer("out", &[n, m]);
+        let acc = b.access(
+            inp,
+            &[LinExpr::from(i) + di, LinExpr::from(j) + dj],
+            &[i, j],
+        );
+        b.assign(
+            "c",
+            &[i, j],
+            out,
+            &[i.into(), j.into()],
+            Expr::binary(BinOp::Add, Expr::Load(acc), Expr::Const(1.0)),
+        );
+        b.build().expect("family is valid by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tiling with any in-range sizes preserves pointwise semantics
+    /// bit-exactly.
+    #[test]
+    fn tiling_is_exact(p in arb_program(), sa in 2i64..16, sb in 2i64..16) {
+        let schedule = Schedule::new(vec![Transform::Tile {
+            comp: CompId(0), level_a: 0, level_b: 1, size_a: sa, size_b: sb,
+        }]);
+        let inputs = synthetic_inputs(&p, 0);
+        match apply_schedule(&p, &schedule) {
+            Err(ScheduleError::BadFactor { .. }) => {} // size > extent: fine
+            Err(e) => prop_assert!(false, "unexpected rejection: {e}"),
+            Ok(sp) => {
+                let base = interpret_baseline(&p, &inputs).unwrap();
+                let opt = interpret(&sp, &inputs).unwrap();
+                prop_assert_eq!(max_relative_error(&base, &opt), 0.0);
+            }
+        }
+    }
+
+    /// Interchange of a pointwise loop nest is always legal and exact.
+    #[test]
+    fn interchange_is_exact(p in arb_program()) {
+        let schedule = Schedule::new(vec![Transform::Interchange {
+            comp: CompId(0), level_a: 0, level_b: 1,
+        }]);
+        let sp = apply_schedule(&p, &schedule).expect("pointwise interchange is legal");
+        let inputs = synthetic_inputs(&p, 1);
+        let base = interpret_baseline(&p, &inputs).unwrap();
+        let opt = interpret(&sp, &inputs).unwrap();
+        prop_assert_eq!(max_relative_error(&base, &opt), 0.0);
+    }
+
+    /// Tags (parallel/vector/unroll) never change interpreter semantics.
+    #[test]
+    fn tags_are_semantically_transparent(p in arb_program(), f in 2i64..8) {
+        let mut transforms = vec![Transform::Parallelize { comp: CompId(0), level: 0 }];
+        transforms.push(Transform::Vectorize { comp: CompId(0), factor: f });
+        transforms.push(Transform::Unroll { comp: CompId(0), factor: f });
+        let schedule = Schedule::new(transforms);
+        let inputs = synthetic_inputs(&p, 2);
+        match apply_schedule(&p, &schedule) {
+            Err(ScheduleError::BadFactor { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected rejection: {e}"),
+            Ok(sp) => {
+                let base = interpret_baseline(&p, &inputs).unwrap();
+                let opt = interpret(&sp, &inputs).unwrap();
+                prop_assert_eq!(max_relative_error(&base, &opt), 0.0);
+            }
+        }
+    }
+
+    /// Schedule application is deterministic.
+    #[test]
+    fn apply_is_deterministic(p in arb_program(), sa in 2i64..8) {
+        let schedule = Schedule::new(vec![
+            Transform::Interchange { comp: CompId(0), level_a: 0, level_b: 1 },
+            Transform::Tile { comp: CompId(0), level_a: 0, level_b: 1, size_a: sa, size_b: sa },
+        ]);
+        let a = apply_schedule(&p, &schedule);
+        let b = apply_schedule(&p, &schedule);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Dependence analysis on the stencil family: the computed distance
+/// matches the constructed offset.
+#[test]
+fn stencil_distances_match_construction() {
+    for di in -2i64..=2 {
+        for dj in -2i64..=2 {
+            let n = 16;
+            let mut b = ProgramBuilder::new("own");
+            let lo = 2;
+            let i = b.iter("i", lo, n - lo);
+            let j = b.iter("j", lo, n - lo);
+            let out = b.buffer("out", &[n, n]);
+            let acc = b.access(
+                out,
+                &[LinExpr::from(i) + di, LinExpr::from(j) + dj],
+                &[i, j],
+            );
+            b.assign(
+                "c",
+                &[i, j],
+                out,
+                &[i.into(), j.into()],
+                Expr::binary(BinOp::Add, Expr::Load(acc), Expr::Const(1.0)),
+            );
+            let p = b.build().unwrap();
+            let deps = dlcm_ir::deps::analyze(&p);
+            if di == 0 && dj == 0 {
+                assert!(deps.is_empty(), "same-cell access has no constraint");
+                continue;
+            }
+            assert_eq!(deps.len(), 1, "offset ({di},{dj})");
+            let d = deps[0].distance.as_ref().expect("uniform");
+            // Distance is the offset, oriented to be lexicographically
+            // non-negative.
+            let expect = if di > 0 || (di == 0 && dj > 0) {
+                vec![di, dj]
+            } else {
+                vec![-di, -dj]
+            };
+            let got: Vec<i64> = d
+                .iter()
+                .map(|c| match c {
+                    dlcm_ir::deps::Dist::Exact(v) => *v,
+                    dlcm_ir::deps::Dist::Star => panic!("unexpected star"),
+                })
+                .collect();
+            assert_eq!(got, expect, "offset ({di},{dj})");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # dlcm-model
+//!
+//! The primary contribution of the reproduced paper, *"A Deep Learning
+//! Based Cost Model for Automatic Code Optimization"* (MLSys 2021): a
+//! deep regression model that takes an unoptimized program plus a
+//! sequence of code transformations and predicts the resulting speedup.
+//!
+//! - [`Featurizer`] encodes `(program, schedule)` into the paper's
+//!   computation vectors and program tree (§4.1–4.2, Table 1, Figure 1);
+//! - [`CostModel`] is the three-layer architecture of §4.4 / Figure 2:
+//!   computation-embedding MLP → recursive loop embedding (two LSTMs + a
+//!   merge layer per loop level) → regression head;
+//! - [`train`] implements appendix A.1: MAPE loss, AdamW (wd 0.0075),
+//!   One-Cycle LR (max 1e-3), structure-grouped batches of 32;
+//! - [`ablation`] holds the §4.4 alternatives (flat LSTM, concat FFN);
+//! - [`metrics`] computes MAPE, Pearson, Spearman, and R² (§6).
+//!
+//! # Examples
+//!
+//! Train a small model on a generated dataset and evaluate it:
+//!
+//! ```no_run
+//! use dlcm_datagen::{Dataset, DatasetConfig};
+//! use dlcm_machine::{Machine, Measurement};
+//! use dlcm_model::{
+//!     evaluate, prepare, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig,
+//!     TrainConfig,
+//! };
+//!
+//! let dataset = Dataset::generate(&DatasetConfig::tiny(0), &Measurement::exact(Machine::default()));
+//! let split = dataset.split(0);
+//! let featurizer = Featurizer::new(FeaturizerConfig::default());
+//! let train_set = prepare(&featurizer, &dataset, &split.train);
+//! let test_set = prepare(&featurizer, &dataset, &split.test);
+//!
+//! let cfg = CostModelConfig::fast(featurizer.config().vector_width());
+//! let mut model = CostModel::new(cfg, 0);
+//! train(&mut model, &train_set, &test_set, &TrainConfig::default());
+//! let (mape, _preds) = evaluate(&model, &test_set);
+//! println!("test MAPE: {mape:.3}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+mod costmodel;
+mod featurize;
+pub mod metrics;
+mod train;
+
+pub use costmodel::{train_rng, CostModel, CostModelConfig, SpeedupPredictor};
+pub use featurize::{FeatNode, Featurizer, FeaturizerConfig, ProgramFeatures, LOOP_FEATS};
+pub use train::{evaluate, prepare, train, EpochStats, LabeledFeatures, TrainConfig, TrainReport};

@@ -1,0 +1,148 @@
+//! Accuracy metrics used in the paper's evaluation (§6): MAPE, Pearson
+//! correlation, Spearman's rank correlation, and R².
+
+/// Mean Absolute Percentage Error between measured `y` and predicted
+/// `y_hat` (the paper's headline metric; 16% on its test set).
+///
+/// # Panics
+///
+/// Panics if lengths differ or `y` is empty.
+pub fn mape(y: &[f64], y_hat: &[f64]) -> f64 {
+    assert_eq!(y.len(), y_hat.len(), "length mismatch");
+    assert!(!y.is_empty(), "empty metric input");
+    y.iter()
+        .zip(y_hat)
+        .map(|(&yi, &pi)| ((yi - pi) / yi).abs())
+        .sum::<f64>()
+        / y.len() as f64
+}
+
+/// Per-point Absolute Percentage Errors (Figure 5's distribution).
+pub fn ape(y: &[f64], y_hat: &[f64]) -> Vec<f64> {
+    assert_eq!(y.len(), y_hat.len(), "length mismatch");
+    y.iter()
+        .zip(y_hat)
+        .map(|(&yi, &pi)| ((yi - pi) / yi).abs())
+        .collect()
+}
+
+/// Pearson correlation coefficient (paper: 0.90).
+///
+/// Returns 0 for degenerate (constant) inputs.
+pub fn pearson(y: &[f64], y_hat: &[f64]) -> f64 {
+    assert_eq!(y.len(), y_hat.len(), "length mismatch");
+    let n = y.len() as f64;
+    if y.is_empty() {
+        return 0.0;
+    }
+    let my = y.iter().sum::<f64>() / n;
+    let mp = y_hat.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vy = 0.0;
+    let mut vp = 0.0;
+    for (&yi, &pi) in y.iter().zip(y_hat) {
+        cov += (yi - my) * (pi - mp);
+        vy += (yi - my) * (yi - my);
+        vp += (pi - mp) * (pi - mp);
+    }
+    if vy <= 0.0 || vp <= 0.0 {
+        return 0.0;
+    }
+    cov / (vy.sqrt() * vp.sqrt())
+}
+
+/// Fractional ranks with ties averaged (midranks), as used by Spearman.
+pub fn ranks(x: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("finite values"));
+    let mut out = vec![0.0; x.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman's rank correlation (paper: 0.95): Pearson over ranks —
+/// `rs(y, ŷ) = r(rg(y), rg(ŷ))` (§6).
+pub fn spearman(y: &[f64], y_hat: &[f64]) -> f64 {
+    pearson(&ranks(y), &ranks(y_hat))
+}
+
+/// Coefficient of determination R² (Halide's metric; §6 comparison).
+pub fn r2(y: &[f64], y_hat: &[f64]) -> f64 {
+    assert_eq!(y.len(), y_hat.len(), "length mismatch");
+    let n = y.len() as f64;
+    if y.is_empty() {
+        return 0.0;
+    }
+    let my = y.iter().sum::<f64>() / n;
+    let ss_tot: f64 = y.iter().map(|&yi| (yi - my) * (yi - my)).sum();
+    let ss_res: f64 = y.iter().zip(y_hat).map(|(&yi, &pi)| (yi - pi) * (yi - pi)).sum();
+    if ss_tot <= 0.0 {
+        return 0.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basics() {
+        assert_eq!(mape(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((mape(&[2.0], &[1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&y, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&y, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_invariant_to_monotone_transform() {
+        let y = [1.0, 2.0, 3.0, 10.0];
+        let pred = [0.1, 0.2, 0.3, 100.0]; // same order, wild scale
+        assert!((spearman(&y, &pred) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn r2_perfect_is_one_mean_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        assert!((r2(&y, &y) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&y, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ape_matches_mape() {
+        let y = [1.0, 2.0, 4.0];
+        let p = [2.0, 1.0, 4.0];
+        let a = ape(&y, &p);
+        let m = mape(&y, &p);
+        assert!((a.iter().sum::<f64>() / 3.0 - m).abs() < 1e-12);
+    }
+}

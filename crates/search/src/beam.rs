@@ -1,0 +1,182 @@
+//! Beam search over the transformation decision tree (§5, Figure 3).
+//!
+//! "At each node of the tree, an evaluation is conducted using the cost
+//! model to assess whether the chosen transformations provide a good
+//! speedup." The beam keeps the `width` best candidates per stage, scored
+//! on their *finalized* schedules (decision prefix + the §4 heuristic
+//! parallelization/vectorization tags).
+
+use dlcm_ir::{Program, Schedule};
+use serde::{Deserialize, Serialize};
+
+use crate::evaluator::Evaluator;
+use crate::space::{expand, finalize, Candidate, SearchSpace};
+
+/// Outcome of one search run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// The best finalized schedule found.
+    pub schedule: Schedule,
+    /// The evaluator's score for it (speedup over unoptimized).
+    pub score: f64,
+    /// Number of evaluator calls performed.
+    pub evals: usize,
+    /// Accumulated search time in seconds (see
+    /// [`crate::evaluator::Evaluator::search_time`]).
+    pub search_time: f64,
+}
+
+/// Beam search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BeamSearch {
+    /// Beam width (candidates kept per stage).
+    pub width: usize,
+    /// The candidate space.
+    pub space: SearchSpace,
+}
+
+impl Default for BeamSearch {
+    fn default() -> Self {
+        Self {
+            width: 4,
+            space: SearchSpace::default(),
+        }
+    }
+}
+
+impl BeamSearch {
+    /// Creates a beam search with the given width.
+    pub fn new(width: usize, space: SearchSpace) -> Self {
+        Self { width, space }
+    }
+
+    /// Runs the search, scoring candidates through `evaluator`.
+    pub fn search(&self, program: &Program, evaluator: &mut dyn Evaluator) -> SearchResult {
+        let evals_before = evaluator.num_evals();
+        let time_before = evaluator.search_time();
+
+        let mut frontier: Vec<(Candidate, f64, Schedule)> = Vec::new();
+        {
+            let root = Candidate::root(program);
+            let finalized = finalize(program, &self.space, &root.schedule);
+            let score = evaluator.speedup(program, &finalized);
+            frontier.push((root, score, finalized));
+        }
+
+        // Expand until every beam entry is complete.
+        while frontier.iter().any(|(c, _, _)| !c.is_complete()) {
+            let mut next: Vec<(Candidate, f64, Schedule)> = Vec::new();
+            for (cand, score, finalized) in frontier {
+                if cand.is_complete() {
+                    next.push((cand, score, finalized));
+                    continue;
+                }
+                for child in expand(program, &self.space, &cand) {
+                    // The skip child has the same transforms: reuse the
+                    // parent's score rather than re-evaluating.
+                    if child.schedule == cand.schedule {
+                        next.push((child, score, finalized.clone()));
+                        continue;
+                    }
+                    let child_final = finalize(program, &self.space, &child.schedule);
+                    let child_score = evaluator.speedup(program, &child_final);
+                    next.push((child, child_score, child_final));
+                }
+            }
+            next.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+            next.truncate(self.width.max(1));
+            frontier = next;
+        }
+
+        let (_, score, schedule) = frontier
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))
+            .expect("non-empty frontier");
+        SearchResult {
+            schedule,
+            score,
+            evals: evaluator.num_evals() - evals_before,
+            search_time: evaluator.search_time() - time_before,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ExecutionEvaluator;
+    use dlcm_ir::{BinOp, Expr, ProgramBuilder};
+    use dlcm_machine::{Machine, Measurement};
+
+    fn mm(n: i64) -> Program {
+        let mut b = ProgramBuilder::new("mm");
+        let i = b.iter("i", 0, n);
+        let j = b.iter("j", 0, n);
+        let k = b.iter("k", 0, n);
+        let a_buf = b.input("a", &[n, n]);
+        let b_buf = b.input("b", &[n, n]);
+        let out = b.buffer("out", &[n, n]);
+        let iters = [i, j, k];
+        let a_acc = b.access(a_buf, &[i.into(), k.into()], &iters);
+        let b_acc = b.access(b_buf, &[k.into(), j.into()], &iters);
+        b.reduce(
+            "mm",
+            &iters,
+            BinOp::Add,
+            out,
+            &[i.into(), j.into()],
+            Expr::binary(BinOp::Mul, Expr::Load(a_acc), Expr::Load(b_acc)),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn beam_with_execution_beats_heuristic_baseline() {
+        let p = mm(256);
+        let mut ev = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
+        let beam = BeamSearch::new(3, SearchSpace {
+            tile_sizes: vec![32, 64],
+            unroll_factors: vec![4],
+            ..SearchSpace::default()
+        });
+        let result = beam.search(&p, &mut ev);
+        // Empty-schedule finalized (parallel+vector only) is the first
+        // candidate; the search must do at least as well.
+        let mut ev2 = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
+        let baseline = finalize(&p, &beam.space, &Schedule::empty());
+        let base_score = ev2.speedup(&p, &baseline);
+        assert!(
+            result.score >= base_score,
+            "beam ({}) must not lose to its own root ({base_score}): {}",
+            result.score,
+            result.schedule.describe()
+        );
+        assert!(result.evals > 5);
+        assert!(result.search_time > 0.0);
+    }
+
+    #[test]
+    fn wider_beam_never_worse() {
+        let p = mm(128);
+        let space = SearchSpace {
+            tile_sizes: vec![16, 32],
+            unroll_factors: vec![2, 4],
+            ..SearchSpace::default()
+        };
+        let run = |w: usize| {
+            let mut ev = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
+            BeamSearch::new(w, space.clone()).search(&p, &mut ev).score
+        };
+        let narrow = run(1);
+        let wide = run(8);
+        assert!(wide >= narrow * 0.999, "wider beam regressed: {narrow} -> {wide}");
+    }
+
+    #[test]
+    fn result_schedule_is_legal() {
+        let p = mm(64);
+        let mut ev = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
+        let result = BeamSearch::default().search(&p, &mut ev);
+        assert!(dlcm_ir::apply_schedule(&p, &result.schedule).is_ok());
+    }
+}

@@ -1,0 +1,185 @@
+//! Candidate evaluators: by (simulated) execution or by the cost model.
+//!
+//! §5/§6 of the paper compare three search configurations — beam search
+//! with execution (BSE), beam search with the model (BSM), and MCTS with
+//! the model. The expensive evaluator compiles and runs every candidate
+//! (30 runs each); the cheap one calls the trained network. Both are
+//! modeled here with explicit search-time accounting so Table 2's
+//! time-vs-quality tradeoff can be regenerated.
+
+use std::time::Instant;
+
+use dlcm_ir::{Program, Schedule};
+use dlcm_machine::Measurement;
+use dlcm_model::{CostModel, Featurizer, SpeedupPredictor};
+
+/// Scores `(program, schedule)` candidates during search.
+pub trait Evaluator {
+    /// Estimated/measured speedup of the schedule over the unoptimized
+    /// program. Must return a finite positive value for legal schedules.
+    fn speedup(&mut self, program: &Program, schedule: &Schedule) -> f64;
+
+    /// Number of evaluations performed so far.
+    fn num_evals(&self) -> usize;
+
+    /// Accumulated search time in seconds. For execution this is the
+    /// *simulated* compile+run time (standing in for the paper's real
+    /// hardware); for the model it is measured wall-clock inference time.
+    fn search_time(&self) -> f64;
+}
+
+/// Evaluation by (simulated) compilation and execution: the paper's
+/// ground-truth evaluator, and the slow path of Table 2.
+#[derive(Debug, Clone)]
+pub struct ExecutionEvaluator {
+    measurement: Measurement,
+    seed: u64,
+    /// Simulated seconds to compile one candidate.
+    pub compile_cost: f64,
+    evals: usize,
+    time: f64,
+    base_time: Option<f64>,
+}
+
+impl ExecutionEvaluator {
+    /// Creates an execution evaluator with a 2-second simulated compile
+    /// cost per candidate (Tiramisu → Halide → LLVM is not cheap).
+    pub fn new(measurement: Measurement, seed: u64) -> Self {
+        Self {
+            measurement,
+            seed,
+            compile_cost: 2.0,
+            evals: 0,
+            time: 0.0,
+            base_time: None,
+        }
+    }
+
+    /// The underlying harness.
+    pub fn measurement(&self) -> &Measurement {
+        &self.measurement
+    }
+}
+
+impl Evaluator for ExecutionEvaluator {
+    fn speedup(&mut self, program: &Program, schedule: &Schedule) -> f64 {
+        self.evals += 1;
+        let repeats = f64::from(self.measurement.repeats.max(1));
+        let base = match self.base_time {
+            Some(t) => t,
+            None => {
+                let t = self
+                    .measurement
+                    .measure_schedule(program, &Schedule::empty(), self.seed ^ 0xBA5E)
+                    .expect("empty schedule is legal");
+                self.time += self.compile_cost + repeats * t;
+                self.base_time = Some(t);
+                t
+            }
+        };
+        match self.measurement.measure_schedule(program, schedule, self.seed) {
+            Ok(t) => {
+                self.time += self.compile_cost + repeats * t;
+                base / t.max(f64::MIN_POSITIVE)
+            }
+            Err(_) => {
+                // Candidates are validated before evaluation; an illegal
+                // one contributes a failed compile.
+                self.time += self.compile_cost;
+                0.0
+            }
+        }
+    }
+
+    fn num_evals(&self) -> usize {
+        self.evals
+    }
+
+    fn search_time(&self) -> f64 {
+        self.time
+    }
+}
+
+/// Evaluation by the trained cost model: the fast path of Table 2.
+pub struct ModelEvaluator<'m> {
+    model: &'m CostModel,
+    featurizer: Featurizer,
+    evals: usize,
+    time: f64,
+}
+
+impl<'m> ModelEvaluator<'m> {
+    /// Creates a model evaluator.
+    pub fn new(model: &'m CostModel, featurizer: Featurizer) -> Self {
+        Self {
+            model,
+            featurizer,
+            evals: 0,
+            time: 0.0,
+        }
+    }
+}
+
+impl Evaluator for ModelEvaluator<'_> {
+    fn speedup(&mut self, program: &Program, schedule: &Schedule) -> f64 {
+        self.evals += 1;
+        let start = Instant::now();
+        let feats = self.featurizer.featurize(program, schedule);
+        let pred = self.model.predict(&feats);
+        self.time += start.elapsed().as_secs_f64();
+        pred.max(f64::MIN_POSITIVE)
+    }
+
+    fn num_evals(&self) -> usize {
+        self.evals
+    }
+
+    fn search_time(&self) -> f64 {
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlcm_ir::{CompId, Expr, ProgramBuilder, Transform};
+    use dlcm_machine::Machine;
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new("p");
+        let i = b.iter("i", 0, 1024);
+        let j = b.iter("j", 0, 1024);
+        let inp = b.input("in", &[1024, 1024]);
+        let out = b.buffer("out", &[1024, 1024]);
+        let acc = b.access(inp, &[i.into(), j.into()], &[i, j]);
+        b.assign("c", &[i, j], out, &[i.into(), j.into()], Expr::Load(acc));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn execution_evaluator_tracks_time_and_count() {
+        let p = program();
+        let mut ev = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
+        let s1 = ev.speedup(&p, &Schedule::empty());
+        assert!((s1 - 1.0).abs() < 1e-9);
+        let s2 = ev.speedup(
+            &p,
+            &Schedule::new(vec![Transform::Parallelize { comp: CompId(0), level: 0 }]),
+        );
+        assert!(s2 > 1.0);
+        assert_eq!(ev.num_evals(), 2);
+        assert!(ev.search_time() > 2.0 * ev.compile_cost);
+    }
+
+    #[test]
+    fn execution_base_time_charged_once() {
+        let p = program();
+        let mut ev = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
+        ev.speedup(&p, &Schedule::empty());
+        let t1 = ev.search_time();
+        ev.speedup(&p, &Schedule::empty());
+        let t2 = ev.search_time();
+        // The second call pays one compile+run, not two.
+        assert!(t2 - t1 < t1);
+    }
+}

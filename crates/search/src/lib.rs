@@ -1,0 +1,39 @@
+//! # dlcm-search
+//!
+//! Search-space exploration for the DLCM reproduction of *"A Deep
+//! Learning Based Cost Model for Automatic Code Optimization"* (MLSys
+//! 2021), §5: the transformation decision tree of Figure 3, beam search,
+//! and MCTS, each driven by either (simulated) execution or the learned
+//! cost model, with explicit search-time accounting for Table 2.
+//!
+//! # Examples
+//!
+//! Beam search with ground-truth execution (the paper's BSE reference):
+//!
+//! ```no_run
+//! # use dlcm_ir::*;
+//! use dlcm_machine::{Machine, Measurement};
+//! use dlcm_search::{BeamSearch, Evaluator, ExecutionEvaluator};
+//! # let mut b = ProgramBuilder::new("p");
+//! # let i = b.iter("i", 0, 512);
+//! # let inp = b.input("in", &[512]);
+//! # let out = b.buffer("out", &[512]);
+//! # let acc = b.access(inp, &[i.into()], &[i]);
+//! # b.assign("c", &[i], out, &[i.into()], Expr::Load(acc));
+//! # let program = b.build().unwrap();
+//! let mut evaluator = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
+//! let result = BeamSearch::default().search(&program, &mut evaluator);
+//! println!("best: {} ({}x)", result.schedule.describe(), result.score);
+//! ```
+
+#![warn(missing_docs)]
+
+mod beam;
+mod evaluator;
+mod mcts;
+mod space;
+
+pub use beam::{BeamSearch, SearchResult};
+pub use evaluator::{Evaluator, ExecutionEvaluator, ModelEvaluator};
+pub use mcts::Mcts;
+pub use space::{expand, finalize, Candidate, SearchSpace, Stage};

@@ -1,0 +1,368 @@
+//! The transformation decision tree (Figure 3 of the paper).
+//!
+//! Search proceeds through staged decisions per computation — fuse?,
+//! interchange?, tile? (which sizes?), unroll? (which factor?) — and every
+//! complete candidate is *finalized* by the Halide-style heuristics of §4:
+//! parallelize the outermost legal loop and vectorize the innermost loop
+//! when the conditions are met.
+
+use dlcm_ir::{apply_schedule, CompId, Program, Schedule, Transform};
+use serde::{Deserialize, Serialize};
+
+/// Pools and toggles defining the candidate space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Tile sizes explored per tiled level.
+    pub tile_sizes: Vec<i64>,
+    /// Unroll factors explored.
+    pub unroll_factors: Vec<i64>,
+    /// Explore loop fusion (for multi-computation programs).
+    pub explore_fusion: bool,
+    /// Explore loop interchange.
+    pub explore_interchange: bool,
+    /// SIMD width used by the vectorization heuristic.
+    pub vector_factor: i64,
+    /// Minimum innermost extent for the vectorization heuristic to fire.
+    pub min_vector_extent: i64,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        Self {
+            tile_sizes: vec![32, 64, 128],
+            unroll_factors: vec![2, 4, 8, 16],
+            explore_fusion: true,
+            explore_interchange: true,
+            vector_factor: 8,
+            min_vector_extent: 16,
+        }
+    }
+}
+
+/// Search progress through the staged decision tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Deciding fusion (once, program-wide).
+    Fusion,
+    /// Deciding interchange for computation `i`.
+    Interchange(usize),
+    /// Deciding tiling for computation `i`.
+    Tile(usize),
+    /// Deciding unrolling for computation `i`.
+    Unroll(usize),
+    /// All decisions made.
+    Done,
+}
+
+/// A (possibly partial) point in the search tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Transform prefix chosen so far (canonical order).
+    pub schedule: Schedule,
+    /// Next decision to make.
+    pub stage: Stage,
+}
+
+impl Candidate {
+    /// The search root: no transforms, first stage.
+    pub fn root(program: &Program) -> Self {
+        let stage = if program.num_comps() >= 2 {
+            Stage::Fusion
+        } else {
+            Stage::Interchange(0)
+        };
+        Self {
+            schedule: Schedule::empty(),
+            stage,
+        }
+    }
+
+    /// `true` when no further decisions remain.
+    pub fn is_complete(&self) -> bool {
+        self.stage == Stage::Done
+    }
+}
+
+fn next_stage(program: &Program, stage: Stage) -> Stage {
+    match stage {
+        Stage::Fusion => Stage::Interchange(0),
+        Stage::Interchange(c) => Stage::Tile(c),
+        Stage::Tile(c) => Stage::Unroll(c),
+        Stage::Unroll(c) => {
+            if c + 1 < program.num_comps() {
+                Stage::Interchange(c + 1)
+            } else {
+                Stage::Done
+            }
+        }
+        Stage::Done => Stage::Done,
+    }
+}
+
+/// Current nesting order of a computation's original levels under the
+/// interchanges chosen so far.
+fn current_order(program: &Program, schedule: &Schedule, comp: CompId) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..program.comp(comp).depth()).collect();
+    for t in &schedule.transforms {
+        if let Transform::Interchange { comp: c, level_a, level_b } = *t {
+            if c == comp {
+                let pa = order.iter().position(|&l| l == level_a).expect("valid level");
+                let pb = order.iter().position(|&l| l == level_b).expect("valid level");
+                order.swap(pa, pb);
+            }
+        }
+    }
+    order
+}
+
+/// Expands one decision stage of a candidate into its children (always
+/// includes the "skip this transformation" child). Children whose
+/// transform fails validation are dropped — the paper's step 2.
+pub fn expand(program: &Program, space: &SearchSpace, cand: &Candidate) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let advance = next_stage(program, cand.stage);
+    // The skip child.
+    out.push(Candidate {
+        schedule: cand.schedule.clone(),
+        stage: advance,
+    });
+    let mut push_if_legal = |t: Transform, stage: Stage| {
+        let s = cand.schedule.clone().with(t);
+        if apply_schedule(program, &s).is_ok() {
+            out.push(Candidate { schedule: s, stage });
+        }
+    };
+    match cand.stage {
+        Stage::Fusion if space.explore_fusion => {
+            let n = program.num_comps();
+            for b in 1..n {
+                for a in 0..b {
+                    let max_depth = program
+                        .comp(CompId(a))
+                        .depth()
+                        .min(program.comp(CompId(b)).depth());
+                    for depth in 1..=max_depth {
+                        push_if_legal(
+                            Transform::Fuse {
+                                comp: CompId(b),
+                                with: CompId(a),
+                                depth,
+                            },
+                            advance,
+                        );
+                    }
+                }
+            }
+        }
+        Stage::Fusion => {}
+        Stage::Interchange(c) if space.explore_interchange => {
+            let depth = program.comp(CompId(c)).depth();
+            for a in 0..depth {
+                for b in a + 1..depth {
+                    push_if_legal(
+                        Transform::Interchange {
+                            comp: CompId(c),
+                            level_a: a,
+                            level_b: b,
+                        },
+                        advance,
+                    );
+                }
+            }
+        }
+        Stage::Interchange(_) => {}
+        Stage::Tile(c) => {
+            let comp = CompId(c);
+            let order = current_order(program, &cand.schedule, comp);
+            for pos in 0..order.len().saturating_sub(1) {
+                let (la, lb) = (order[pos], order[pos + 1]);
+                for &sa in &space.tile_sizes {
+                    for &sb in &space.tile_sizes {
+                        push_if_legal(
+                            Transform::Tile {
+                                comp,
+                                level_a: la,
+                                level_b: lb,
+                                size_a: sa,
+                                size_b: sb,
+                            },
+                            advance,
+                        );
+                    }
+                }
+            }
+        }
+        Stage::Unroll(c) => {
+            for &f in &space.unroll_factors {
+                push_if_legal(Transform::Unroll { comp: CompId(c), factor: f }, advance);
+            }
+        }
+        Stage::Done => {}
+    }
+    out
+}
+
+/// Applies the §4 heuristics to a complete candidate: parallelize the
+/// outermost legal loop of each computation and vectorize the innermost
+/// loop when its extent is large enough. Returns the finalized schedule.
+pub fn finalize(program: &Program, space: &SearchSpace, schedule: &Schedule) -> Schedule {
+    let mut s = schedule.clone();
+    for comp in program.comp_ids() {
+        let order = current_order(program, &s, comp);
+        // Parallelize the outermost loop whose parallelization is legal,
+        // scanning outside-in (Halide-style heuristic).
+        for &level in &order {
+            let t = Transform::Parallelize { comp, level };
+            let trial = s.clone().with(t.clone());
+            if apply_schedule(program, &trial).is_ok() {
+                s = trial;
+                break;
+            }
+        }
+        // Vectorize the innermost loop when the conditions are met.
+        if let Some(&inner) = order.last() {
+            let extent = program.extent(program.comp(comp).iters[inner]);
+            if extent >= space.min_vector_extent {
+                let trial = s.clone().with(Transform::Vectorize {
+                    comp,
+                    factor: space.vector_factor,
+                });
+                if apply_schedule(program, &trial).is_ok() {
+                    s = trial;
+                }
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlcm_ir::{BinOp, Expr, ProgramBuilder};
+
+    fn mm(n: i64) -> Program {
+        let mut b = ProgramBuilder::new("mm");
+        let i = b.iter("i", 0, n);
+        let j = b.iter("j", 0, n);
+        let k = b.iter("k", 0, n);
+        let a_buf = b.input("a", &[n, n]);
+        let b_buf = b.input("b", &[n, n]);
+        let out = b.buffer("out", &[n, n]);
+        let iters = [i, j, k];
+        let a_acc = b.access(a_buf, &[i.into(), k.into()], &iters);
+        let b_acc = b.access(b_buf, &[k.into(), j.into()], &iters);
+        b.reduce(
+            "mm",
+            &iters,
+            BinOp::Add,
+            out,
+            &[i.into(), j.into()],
+            Expr::binary(BinOp::Mul, Expr::Load(a_acc), Expr::Load(b_acc)),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn root_skips_fusion_for_single_comp() {
+        let p = mm(64);
+        assert_eq!(Candidate::root(&p).stage, Stage::Interchange(0));
+    }
+
+    #[test]
+    fn expansion_includes_skip_and_legal_children() {
+        let p = mm(64);
+        let space = SearchSpace::default();
+        let root = Candidate::root(&p);
+        let children = expand(&p, &space, &root);
+        // Skip + 3 interchange pairs.
+        assert_eq!(children.len(), 4);
+        assert!(children.iter().any(|c| c.schedule.is_empty()));
+        // All children are legal.
+        for c in &children {
+            assert!(apply_schedule(&p, &c.schedule).is_ok());
+        }
+    }
+
+    #[test]
+    fn tile_stage_uses_current_order() {
+        let p = mm(64);
+        let space = SearchSpace {
+            tile_sizes: vec![16],
+            ..SearchSpace::default()
+        };
+        // After interchanging levels 0 and 2 the adjacent pairs are
+        // (2,1) and (1,0).
+        let cand = Candidate {
+            schedule: Schedule::new(vec![Transform::Interchange {
+                comp: CompId(0),
+                level_a: 0,
+                level_b: 2,
+            }]),
+            stage: Stage::Tile(0),
+        };
+        let children = expand(&p, &space, &cand);
+        let tiles: Vec<(usize, usize)> = children
+            .iter()
+            .filter_map(|c| match c.schedule.transforms.last() {
+                Some(Transform::Tile { level_a, level_b, .. }) => Some((*level_a, *level_b)),
+                _ => None,
+            })
+            .collect();
+        assert!(tiles.contains(&(2, 1)) || tiles.contains(&(1, 0)), "tiles: {tiles:?}");
+    }
+
+    #[test]
+    fn walking_skips_reaches_done() {
+        let p = mm(32);
+        let space = SearchSpace::default();
+        let mut cand = Candidate::root(&p);
+        let mut guard = 0;
+        while !cand.is_complete() {
+            cand = expand(&p, &space, &cand)
+                .into_iter()
+                .next()
+                .expect("skip child always present");
+            guard += 1;
+            assert!(guard < 20);
+        }
+        assert!(cand.schedule.is_empty());
+    }
+
+    #[test]
+    fn finalize_adds_heuristic_tags() {
+        let p = mm(64);
+        let space = SearchSpace::default();
+        let s = finalize(&p, &space, &Schedule::empty());
+        assert!(s
+            .transforms
+            .iter()
+            .any(|t| matches!(t, Transform::Parallelize { level: 0, .. })));
+        // Innermost loop of matmul is the reduction loop k; associative
+        // reductions are vectorizable.
+        assert!(s
+            .transforms
+            .iter()
+            .any(|t| matches!(t, Transform::Vectorize { .. })));
+        assert!(apply_schedule(&p, &s).is_ok());
+    }
+
+    #[test]
+    fn finalize_respects_legality() {
+        // A serial scan: nothing to parallelize or vectorize.
+        let mut b = ProgramBuilder::new("scan");
+        let i = b.iter("i", 1, 1024);
+        let out = b.buffer("out", &[1024]);
+        let acc = b.access(out, &[dlcm_ir::LinExpr::from(i) - 1], &[i]);
+        b.assign(
+            "c",
+            &[i],
+            out,
+            &[i.into()],
+            Expr::binary(BinOp::Add, Expr::Load(acc), Expr::Const(1.0)),
+        );
+        let p = b.build().unwrap();
+        let s = finalize(&p, &SearchSpace::default(), &Schedule::empty());
+        assert!(s.is_empty(), "no tag should apply: {}", s.describe());
+    }
+}

@@ -1,0 +1,64 @@
+//! Weight initialization schemes.
+//!
+//! The paper adopts Glorot (Xavier) initialization for every weight of the
+//! model (appendix A.1).
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let w = dlcm_tensor::init::glorot_uniform(64, 32, &mut rng);
+/// assert_eq!(w.shape(), (64, 32));
+/// ```
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::from_vec(
+        fan_in,
+        fan_out,
+        (0..fan_in * fan_out).map(|_| rng.gen_range(-a..a)).collect(),
+    )
+}
+
+/// Uniform initialization in `[-a, a]`, used for LSTM recurrent weights.
+pub fn uniform(rows: usize, cols: usize, a: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn glorot_bounds_hold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = glorot_uniform(100, 50, &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= a));
+        // Not degenerate.
+        assert!(w.norm() > 0.0);
+    }
+
+    #[test]
+    fn glorot_scales_with_fanin() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let small = glorot_uniform(10, 10, &mut rng);
+        let large = glorot_uniform(1000, 1000, &mut rng);
+        let small_rms = small.norm() / (small.len() as f32).sqrt();
+        let large_rms = large.norm() / (large.len() as f32).sqrt();
+        assert!(small_rms > large_rms, "larger layers should have smaller weights");
+    }
+}

@@ -1,0 +1,55 @@
+//! # dlcm-tensor
+//!
+//! A from-scratch tensor + reverse-mode autodiff + neural-network substrate
+//! for the DLCM reproduction of *"A Deep Learning Based Cost Model for
+//! Automatic Code Optimization"* (Baghdadi et al., MLSys 2021).
+//!
+//! The paper implements its model in PyTorch; this crate provides the
+//! minimal equivalent needed by the model architecture of §4.4:
+//!
+//! - [`Tensor`]: dense `f32` matrices with cheap clones,
+//! - [`Tape`]: define-by-run reverse-mode autodiff (dynamic graphs, which
+//!   the *recursive* loop-embedding layer requires),
+//! - [`nn`]: [`nn::Linear`], [`nn::Mlp`] (ELU + dropout), [`nn::LstmCell`],
+//! - [`optim`]: [`optim::AdamW`] and the [`optim::OneCycleLr`] policy,
+//! - [`loss`]: MAPE (the paper's objective) and MSE (the baseline's),
+//! - [`init`]: Glorot initialization (appendix A.1).
+//!
+//! # Examples
+//!
+//! Fit a tiny network end to end:
+//!
+//! ```
+//! use dlcm_tensor::{Tape, Tensor};
+//! use dlcm_tensor::nn::{Activation, GradAccumulator, Mlp, ParamStore};
+//! use dlcm_tensor::optim::{AdamW, AdamWConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let mlp = Mlp::new(&mut store, "net", &[1, 8, 1], Activation::Tanh, 0.0, false, &mut rng);
+//! let mut opt = AdamW::new(&store, AdamWConfig::default());
+//!
+//! for _ in 0..50 {
+//!     let mut acc = GradAccumulator::new(&store);
+//!     let mut tape = Tape::new();
+//!     let x = tape.leaf(Tensor::from_vec(4, 1, vec![-1.0, 0.0, 0.5, 1.0]));
+//!     let y = mlp.forward(&mut tape, &store, x, &mut rng);
+//!     let t = tape.leaf(Tensor::from_vec(4, 1, vec![1.0, 0.0, 0.25, 1.0]));
+//!     let loss = dlcm_tensor::loss::mse(&mut tape, y, t);
+//!     acc.add(tape.backward(loss).params());
+//!     opt.step(&mut store, &acc, 1e-2);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod loss;
+pub mod nn;
+pub mod optim;
+mod tape;
+mod tensor;
+
+pub use tape::{Gradients, ParamId, Tape, Var};
+pub use tensor::Tensor;

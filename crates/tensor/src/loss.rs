@@ -1,0 +1,72 @@
+//! Loss functions built on tape ops.
+//!
+//! The paper trains with MAPE — "a normalized metric based on L1 ...
+//! suitable for speedup prediction because the target value is positive by
+//! design" (appendix A.1). The Halide baseline uses MSE, so both are here.
+
+use crate::tape::{Tape, Var};
+
+/// Mean Absolute Percentage Error: `mean(|y - ŷ| / y)`.
+///
+/// `pred` and `target` must have the same shape; `target` entries must be
+/// strictly positive (speedups are by construction).
+pub fn mape(tape: &mut Tape, pred: Var, target: Var) -> Var {
+    let diff = tape.sub(target, pred);
+    let rel = tape.div(diff, target);
+    let abs = tape.abs(rel);
+    tape.mean(abs)
+}
+
+/// Mean Squared Error: `mean((y - ŷ)^2)`.
+pub fn mse(tape: &mut Tape, pred: Var, target: Var) -> Var {
+    let diff = tape.sub(target, pred);
+    let sq = tape.mul(diff, diff);
+    tape.mean(sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn mape_value() {
+        let mut tape = Tape::new();
+        let pred = tape.leaf(Tensor::row(vec![1.0, 2.0]));
+        let target = tape.leaf(Tensor::row(vec![2.0, 2.0]));
+        let l = mape(&mut tape, pred, target);
+        // (|2-1|/2 + 0)/2 = 0.25
+        assert!((tape.value(l).item() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_value() {
+        let mut tape = Tape::new();
+        let pred = tape.leaf(Tensor::row(vec![1.0, 3.0]));
+        let target = tape.leaf(Tensor::row(vec![2.0, 1.0]));
+        let l = mse(&mut tape, pred, target);
+        // (1 + 4)/2 = 2.5
+        assert!((tape.value(l).item() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mape_zero_when_exact() {
+        let mut tape = Tape::new();
+        let pred = tape.leaf(Tensor::row(vec![0.5, 7.0, 3.25]));
+        let target = tape.leaf(Tensor::row(vec![0.5, 7.0, 3.25]));
+        let l = mape(&mut tape, pred, target);
+        assert_eq!(tape.value(l).item(), 0.0);
+    }
+
+    #[test]
+    fn mape_gradient_direction() {
+        // If pred < target, increasing pred should decrease loss:
+        // d(loss)/d(pred) must be negative.
+        let mut tape = Tape::new();
+        let pred = tape.leaf(Tensor::row(vec![1.0]));
+        let target = tape.leaf(Tensor::row(vec![2.0]));
+        let l = mape(&mut tape, pred, target);
+        let g = tape.backward(l);
+        assert!(g.get(pred).unwrap().item() < 0.0);
+    }
+}

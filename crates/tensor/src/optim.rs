@@ -1,0 +1,257 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! The paper trains with AdamW (decoupled weight decay, coefficient 0.0075)
+//! under the One-Cycle learning-rate policy (max LR 1e-3); both are
+//! implemented here from their original formulations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::nn::{GradAccumulator, ParamStore};
+use crate::tape::ParamId;
+use crate::tensor::Tensor;
+
+/// Configuration for [`AdamW`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdamWConfig {
+    /// Base learning rate (may be overridden per-step by a schedule).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight-decay coefficient (paper: 0.0075).
+    pub weight_decay: f32,
+    /// Optional global-norm gradient clipping.
+    pub grad_clip: Option<f32>,
+}
+
+impl Default for AdamWConfig {
+    fn default() -> Self {
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0075,
+            grad_clip: Some(5.0),
+        }
+    }
+}
+
+/// AdamW optimizer (Loshchilov & Hutter, 2017): Adam moments plus weight
+/// decay applied directly to the weights rather than through the gradient.
+#[derive(Debug)]
+pub struct AdamW {
+    cfg: AdamWConfig,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u64,
+}
+
+impl AdamW {
+    /// Creates optimizer state shaped after `store`.
+    pub fn new(store: &ParamStore, cfg: AdamWConfig) -> Self {
+        let m = store.iter().map(|(_, t)| Tensor::zeros(t.rows(), t.cols())).collect();
+        let v = store.iter().map(|(_, t)| Tensor::zeros(t.rows(), t.cols())).collect();
+        Self { cfg, m, v, t: 0 }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> AdamWConfig {
+        self.cfg
+    }
+
+    /// Applies one update using the mean gradients in `acc`, at learning
+    /// rate `lr` (pass `self.config().lr` when no schedule is active).
+    pub fn step(&mut self, store: &mut ParamStore, acc: &GradAccumulator, lr: f32) {
+        self.t += 1;
+        let t = self.t as i32;
+        let c = self.cfg;
+        let clip_scale = match c.grad_clip {
+            Some(max) => {
+                let norm = acc.global_norm();
+                if norm > max && norm > 0.0 {
+                    max / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        let bias1 = 1.0 - c.beta1.powi(t);
+        let bias2 = 1.0 - c.beta2.powi(t);
+        for i in 0..store.len() {
+            let id = ParamId(i);
+            let Some(mut g) = acc.mean_grad(id) else { continue };
+            if clip_scale != 1.0 {
+                g = g.map(|x| x * clip_scale);
+            }
+            // m = b1*m + (1-b1)*g ; v = b2*v + (1-b2)*g^2
+            let m = &mut self.m[i];
+            *m = m.zip_map(&g, |mv, gv| c.beta1 * mv + (1.0 - c.beta1) * gv);
+            let v = &mut self.v[i];
+            *v = v.zip_map(&g, |vv, gv| c.beta2 * vv + (1.0 - c.beta2) * gv * gv);
+
+            let p = store.get_mut(id);
+            let (m, v) = (&self.m[i], &self.v[i]);
+            let data = p.as_mut_slice();
+            for ((pv, &mv), &vv) in data.iter_mut().zip(m.as_slice()).zip(v.as_slice()) {
+                let mhat = mv / bias1;
+                let vhat = vv / bias2;
+                // Decoupled weight decay.
+                *pv -= lr * (mhat / (vhat.sqrt() + c.eps) + c.weight_decay * *pv);
+            }
+        }
+    }
+}
+
+/// One-Cycle learning-rate policy (Smith & Topin, 2017): linear warm-up to
+/// `max_lr` over the first `pct_start` of training, then cosine annealing
+/// down to `max_lr / final_div`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OneCycleLr {
+    /// Peak learning rate (paper: 1e-3).
+    pub max_lr: f32,
+    /// Total number of optimizer steps in the schedule.
+    pub total_steps: usize,
+    /// Fraction of steps spent warming up.
+    pub pct_start: f32,
+    /// `initial lr = max_lr / div`.
+    pub div: f32,
+    /// `final lr = max_lr / final_div`.
+    pub final_div: f32,
+}
+
+impl OneCycleLr {
+    /// Standard schedule used by the paper's training run.
+    pub fn new(max_lr: f32, total_steps: usize) -> Self {
+        Self {
+            max_lr,
+            total_steps: total_steps.max(1),
+            pct_start: 0.3,
+            div: 25.0,
+            final_div: 1e4,
+        }
+    }
+
+    /// Learning rate at optimizer step `step` (0-based).
+    pub fn lr_at(&self, step: usize) -> f32 {
+        let step = step.min(self.total_steps - 1) as f32;
+        let total = self.total_steps as f32;
+        let warm = (total * self.pct_start).max(1.0);
+        let lr0 = self.max_lr / self.div;
+        let lr_end = self.max_lr / self.final_div;
+        if step < warm {
+            // Linear warm-up.
+            lr0 + (self.max_lr - lr0) * (step / warm)
+        } else {
+            // Cosine anneal.
+            let p = (step - warm) / (total - warm).max(1.0);
+            lr_end + 0.5 * (self.max_lr - lr_end) * (1.0 + (std::f32::consts::PI * p).cos())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::{GradAccumulator, Linear, ParamStore};
+    use crate::tape::Tape;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn adamw_fits_linear_regression() {
+        // Fit y = 3x - 2 with a 1->1 linear layer.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 1, 1, &mut rng);
+        let mut opt = AdamW::new(
+            &store,
+            AdamWConfig {
+                lr: 0.05,
+                weight_decay: 0.0,
+                ..AdamWConfig::default()
+            },
+        );
+        let xs: Vec<f32> = (0..16).map(|i| i as f32 / 8.0 - 1.0).collect();
+        for _ in 0..400 {
+            let mut acc = GradAccumulator::new(&store);
+            for &x in &xs {
+                let target = 3.0 * x - 2.0;
+                let mut tape = Tape::new();
+                let xv = tape.leaf(Tensor::scalar(x));
+                let y = lin.forward(&mut tape, &store, xv);
+                let t = tape.leaf(Tensor::scalar(target));
+                let d = tape.sub(y, t);
+                let sq = tape.mul(d, d);
+                let loss = tape.mean(sq);
+                let grads = tape.backward(loss);
+                acc.add(grads.params());
+            }
+            opt.step(&mut store, &acc, 0.05);
+        }
+        let w = store.get(lin.w).item();
+        let b = store.get(lin.b).item();
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+        assert!((b + 2.0).abs() < 0.05, "b = {b}");
+    }
+
+    #[test]
+    fn adamw_weight_decay_shrinks_weights() {
+        let mut store = ParamStore::new();
+        let id = store.register("p", Tensor::row(vec![10.0]));
+        let mut opt = AdamW::new(
+            &store,
+            AdamWConfig {
+                lr: 0.1,
+                weight_decay: 0.5,
+                grad_clip: None,
+                ..AdamWConfig::default()
+            },
+        );
+        // Zero gradient: only decay acts.
+        let mut acc = GradAccumulator::new(&store);
+        let mut tape = Tape::new();
+        let p = store.bind(&mut tape, id);
+        let z = tape.scale(p, 0.0);
+        let s = tape.sum(z);
+        let g = tape.backward(s);
+        acc.add(g.params());
+        let before = store.get(id).item();
+        opt.step(&mut store, &acc, 0.1);
+        let after = store.get(id).item();
+        assert!(after < before, "decay should shrink the weight: {before} -> {after}");
+    }
+
+    #[test]
+    fn one_cycle_shape() {
+        let sched = OneCycleLr::new(1e-3, 1000);
+        let start = sched.lr_at(0);
+        let peak = sched.lr_at(300);
+        let end = sched.lr_at(999);
+        assert!(start < peak, "warm-up should increase LR");
+        assert!((peak - 1e-3).abs() < 1e-4, "peak should reach max_lr, got {peak}");
+        assert!(end < start, "final LR should be tiny, got {end}");
+        // Monotone up then down.
+        for i in 1..300 {
+            assert!(sched.lr_at(i) + 1e-9 >= sched.lr_at(i - 1));
+        }
+        for i in 301..1000 {
+            assert!(sched.lr_at(i) <= sched.lr_at(i - 1) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_cycle_clamps_past_end() {
+        let sched = OneCycleLr::new(1e-3, 100);
+        assert_eq!(sched.lr_at(99), sched.lr_at(10_000));
+    }
+}

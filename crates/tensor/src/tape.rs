@@ -1,0 +1,846 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every operation applied to [`Var`] handles and can
+//! replay them backwards to compute gradients. The dynamic-graph design is
+//! what makes the paper's *recursive* loop-embedding layer possible: each
+//! training sample has its own program tree, so the computation graph is
+//! rebuilt per sample exactly like PyTorch's define-by-run graphs.
+//!
+//! # Examples
+//!
+//! ```
+//! use dlcm_tensor::{Tape, Tensor};
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::row(vec![2.0]));
+//! let y = tape.mul(x, x); // y = x^2
+//! let grads = tape.backward(y);
+//! assert_eq!(grads.get(x).unwrap().as_slice(), &[4.0]); // dy/dx = 2x
+//! ```
+
+use crate::tensor::Tensor;
+
+/// Handle to a node recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// Identifier tying a tape leaf back to a persistent model parameter slot.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct ParamId(pub usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Matmul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    AddRowBroadcast(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var, #[allow(dead_code)] f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    Elu(Var, f32),
+    Softplus(Var),
+    Exp(Var),
+    Ln(Var),
+    Abs(Var),
+    Neg(Var),
+    ConcatCols(Var, Var),
+    Mean(Var),
+    Sum(Var),
+    Dropout(Var, Tensor),
+    RowSelect(Var, usize),
+    MeanRows(Var),
+    GatherRows(Var, Vec<usize>),
+    StackRows(Vec<Var>),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    param: Option<ParamId>,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+    params: Vec<(ParamId, usize)>,
+}
+
+impl Gradients {
+    /// Gradient of the backward target with respect to `var`, if it was
+    /// reached during backpropagation.
+    pub fn get(&self, var: Var) -> Option<&Tensor> {
+        self.grads.get(var.0).and_then(|g| g.as_ref())
+    }
+
+    /// Iterates over `(ParamId, gradient)` pairs for every parameter leaf
+    /// that received a gradient.
+    pub fn params(&self) -> impl Iterator<Item = (ParamId, &Tensor)> + '_ {
+        self.params
+            .iter()
+            .filter_map(move |&(pid, idx)| self.grads[idx].as_ref().map(|g| (pid, g)))
+    }
+}
+
+/// A define-by-run autodiff tape.
+///
+/// Typical flow: bind leaves with [`Tape::leaf`] / [`Tape::param`], apply
+/// ops, then call [`Tape::backward`] on a scalar output.
+pub struct Tape {
+    nodes: Vec<Node>,
+    train: bool,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape in inference mode (dropout disabled).
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::with_capacity(256),
+            train: false,
+        }
+    }
+
+    /// Creates an empty tape in training mode (dropout active).
+    pub fn for_training() -> Self {
+        Self {
+            nodes: Vec::with_capacity(256),
+            train: true,
+        }
+    }
+
+    /// `true` while the tape is in training mode.
+    pub fn is_training(&self) -> bool {
+        self.train
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a recorded node.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        debug_assert!(!value.has_non_finite() || matches!(op, Op::Leaf), "non-finite value from {op:?}");
+        self.nodes.push(Node {
+            value,
+            op,
+            param: None,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a data leaf (no parameter identity).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Records a parameter leaf. Gradients for it are retrievable through
+    /// [`Gradients::params`] keyed by `id`.
+    pub fn param(&mut self, id: ParamId, value: Tensor) -> Var {
+        let v = self.push(value, Op::Leaf);
+        self.nodes[v.0].param = Some(id);
+        v
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::Matmul(a, b))
+    }
+
+    /// Elementwise addition of same-shaped tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Elementwise division.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip_map(self.value(b), |x, y| x / y);
+        self.push(value, Op::Div(a, b))
+    }
+
+    /// Adds a `1 x n` bias row to every row of an `m x n` matrix.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let (m, n) = self.value(a).shape();
+        assert_eq!(self.value(bias).shape(), (1, n), "bias must be 1 x {n}");
+        let mut out = self.value(a).clone();
+        let b = self.value(bias).clone();
+        {
+            let dst = out.as_mut_slice();
+            for r in 0..m {
+                for (d, &bv) in dst[r * n..(r + 1) * n].iter_mut().zip(b.as_slice()) {
+                    *d += bv;
+                }
+            }
+        }
+        self.push(out, Op::AddRowBroadcast(a, bias))
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).map(|x| x * s);
+        self.push(value, Op::Scale(a, s))
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).map(|x| x + s);
+        self.push(value, Op::AddScalar(a, s))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Exponential linear unit with slope `alpha` (the paper's activation).
+    pub fn elu(&mut self, a: Var, alpha: f32) -> Var {
+        let value = self
+            .value(a)
+            .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        self.push(value, Op::Elu(a, alpha))
+    }
+
+    /// Numerically-stable softplus `ln(1 + e^x)`.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| {
+            if x > 20.0 {
+                x
+            } else if x < -20.0 {
+                x.exp()
+            } else {
+                x.exp().ln_1p()
+            }
+        });
+        self.push(value, Op::Softplus(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::exp);
+        self.push(value, Op::Exp(a))
+    }
+
+    /// Elementwise natural logarithm.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if any input element is non-positive.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::ln);
+        self.push(value, Op::Ln(a))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::abs);
+        self.push(value, Op::Abs(a))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| -x);
+        self.push(value, Op::Neg(a))
+    }
+
+    /// Concatenates two matrices with equal row counts along columns.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (ra, ca) = self.value(a).shape();
+        let (rb, cb) = self.value(b).shape();
+        assert_eq!(ra, rb, "concat_cols row mismatch: {ra} vs {rb}");
+        let mut data = Vec::with_capacity(ra * (ca + cb));
+        for r in 0..ra {
+            data.extend_from_slice(self.value(a).row_slice(r));
+            data.extend_from_slice(self.value(b).row_slice(r));
+        }
+        let value = Tensor::from_vec(ra, ca + cb, data);
+        self.push(value, Op::ConcatCols(a, b))
+    }
+
+    /// Mean over all elements, producing a `1 x 1` scalar.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).mean());
+        self.push(value, Op::Mean(a))
+    }
+
+    /// Sum over all elements, producing a `1 x 1` scalar.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        self.push(value, Op::Sum(a))
+    }
+
+    /// Mean over rows, producing a `1 x cols` row vector.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let (m, _n) = self.value(a).shape();
+        let mut value = self.value(a).col_sum();
+        let inv = 1.0 / m as f32;
+        for v in value.as_mut_slice() {
+            *v *= inv;
+        }
+        self.push(value, Op::MeanRows(a))
+    }
+
+    /// Selects row `r` of a matrix as a `1 x cols` vector.
+    pub fn row_select(&mut self, a: Var, r: usize) -> Var {
+        let value = Tensor::row(self.value(a).row_slice(r).to_vec());
+        self.push(value, Op::RowSelect(a, r))
+    }
+
+    /// Gathers rows `indices` of a matrix into a `k x cols` matrix
+    /// (rows may repeat; gradients scatter-add back).
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let (m, n) = self.value(a).shape();
+        let mut data = Vec::with_capacity(indices.len() * n);
+        for &r in indices {
+            assert!(r < m, "gather row {r} out of bounds ({m} rows)");
+            data.extend_from_slice(self.value(a).row_slice(r));
+        }
+        let value = Tensor::from_vec(indices.len(), n, data);
+        self.push(value, Op::GatherRows(a, indices.to_vec()))
+    }
+
+    /// Stacks same-width vars vertically into one matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or widths differ.
+    pub fn stack_rows(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "stack_rows requires at least one var");
+        let n = self.value(vars[0]).cols();
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for &v in vars {
+            let t = self.value(v);
+            assert_eq!(t.cols(), n, "stack_rows width mismatch");
+            rows += t.rows();
+            data.extend_from_slice(t.as_slice());
+        }
+        let value = Tensor::from_vec(rows, n, data);
+        self.push(value, Op::StackRows(vars.to_vec()))
+    }
+
+    /// Inverted dropout with keep-probability `1 - p`.
+    ///
+    /// In inference mode this is the identity. In training mode each element
+    /// is dropped with probability `p` and survivors are scaled by
+    /// `1 / (1 - p)`, so expectations match between modes.
+    pub fn dropout(&mut self, a: Var, p: f32, rng: &mut impl rand::Rng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        if !self.train || p == 0.0 {
+            let value = self.value(a).clone();
+            let mask = Tensor::ones(value.rows(), value.cols());
+            return self.push(value, Op::Dropout(a, mask));
+        }
+        let (m, n) = self.value(a).shape();
+        let keep = 1.0 - p;
+        let mask = Tensor::from_vec(
+            m,
+            n,
+            (0..m * n)
+                .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                .collect(),
+        );
+        let value = self.value(a).zip_map(&mask, |x, k| x * k);
+        self.push(value, Op::Dropout(a, mask))
+    }
+
+    /// Backpropagates from `target` (must be `1 x 1`) and returns gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a scalar node.
+    pub fn backward(&self, target: Var) -> Gradients {
+        assert_eq!(
+            self.value(target).len(),
+            1,
+            "backward target must be scalar, got {:?}",
+            self.value(target).shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[target.0] = Some(Tensor::ones(1, 1));
+
+        for idx in (0..=target.0).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            self.accumulate(idx, &g, &mut grads);
+            grads[idx] = Some(g);
+        }
+
+        let params = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.param.map(|p| (p, i)))
+            .collect();
+        Gradients { grads, params }
+    }
+
+    fn accumulate(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        let add = |grads: &mut [Option<Tensor>], v: Var, contrib: Tensor| {
+            match &mut grads[v.0] {
+                Some(existing) => existing.add_scaled(&contrib, 1.0),
+                slot => *slot = Some(contrib),
+            }
+        };
+        match &self.nodes[idx].op {
+            Op::Leaf => {}
+            Op::Matmul(a, b) => {
+                let da = g.matmul_t(self.value(*b));
+                let db = self.value(*a).t_matmul(g);
+                add(grads, *a, da);
+                add(grads, *b, db);
+            }
+            Op::Add(a, b) => {
+                add(grads, *a, g.clone());
+                add(grads, *b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                add(grads, *a, g.clone());
+                add(grads, *b, g.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                add(grads, *a, g.zip_map(self.value(*b), |gv, bv| gv * bv));
+                add(grads, *b, g.zip_map(self.value(*a), |gv, av| gv * av));
+            }
+            Op::Div(a, b) => {
+                let bv = self.value(*b);
+                add(grads, *a, g.zip_map(bv, |gv, b| gv / b));
+                let av = self.value(*a);
+                let mut db = g.zip_map(av, |gv, a| gv * a);
+                db = db.zip_map(bv, |x, b| -x / (b * b));
+                add(grads, *b, db);
+            }
+            Op::AddRowBroadcast(a, bias) => {
+                add(grads, *a, g.clone());
+                add(grads, *bias, g.col_sum());
+            }
+            Op::Scale(a, s) => add(grads, *a, g.map(|x| x * s)),
+            Op::AddScalar(a, _) => add(grads, *a, g.clone()),
+            Op::Sigmoid(a) => {
+                let out = &self.nodes[idx].value;
+                add(grads, *a, g.zip_map(out, |gv, s| gv * s * (1.0 - s)));
+            }
+            Op::Tanh(a) => {
+                let out = &self.nodes[idx].value;
+                add(grads, *a, g.zip_map(out, |gv, t| gv * (1.0 - t * t)));
+            }
+            Op::Relu(a) => {
+                let x = self.value(*a);
+                add(grads, *a, g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }));
+            }
+            Op::Elu(a, alpha) => {
+                let out = &self.nodes[idx].value;
+                let alpha = *alpha;
+                add(
+                    grads,
+                    *a,
+                    g.zip_map(out, |gv, o| if o > 0.0 { gv } else { gv * (o + alpha) }),
+                );
+            }
+            Op::Softplus(a) => {
+                let x = self.value(*a);
+                add(
+                    grads,
+                    *a,
+                    g.zip_map(x, |gv, xv| gv / (1.0 + (-xv).exp())),
+                );
+            }
+            Op::Exp(a) => {
+                let out = &self.nodes[idx].value;
+                add(grads, *a, g.zip_map(out, |gv, o| gv * o));
+            }
+            Op::Ln(a) => {
+                let x = self.value(*a);
+                add(grads, *a, g.zip_map(x, |gv, xv| gv / xv));
+            }
+            Op::Abs(a) => {
+                let x = self.value(*a);
+                add(
+                    grads,
+                    *a,
+                    g.zip_map(x, |gv, xv| if xv >= 0.0 { gv } else { -gv }),
+                );
+            }
+            Op::Neg(a) => add(grads, *a, g.map(|x| -x)),
+            Op::ConcatCols(a, b) => {
+                let (ra, ca) = self.value(*a).shape();
+                let (_, cb) = self.value(*b).shape();
+                let mut da = Vec::with_capacity(ra * ca);
+                let mut db = Vec::with_capacity(ra * cb);
+                for r in 0..ra {
+                    let row = g.row_slice(r);
+                    da.extend_from_slice(&row[..ca]);
+                    db.extend_from_slice(&row[ca..]);
+                }
+                add(grads, *a, Tensor::from_vec(ra, ca, da));
+                add(grads, *b, Tensor::from_vec(ra, cb, db));
+            }
+            Op::Mean(a) => {
+                let (m, n) = self.value(*a).shape();
+                let gv = g.item() / (m * n) as f32;
+                add(grads, *a, Tensor::full(m, n, gv));
+            }
+            Op::Sum(a) => {
+                let (m, n) = self.value(*a).shape();
+                add(grads, *a, Tensor::full(m, n, g.item()));
+            }
+            Op::MeanRows(a) => {
+                let (m, n) = self.value(*a).shape();
+                let inv = 1.0 / m as f32;
+                let mut data = Vec::with_capacity(m * n);
+                for _ in 0..m {
+                    data.extend(g.as_slice().iter().map(|&x| x * inv));
+                }
+                add(grads, *a, Tensor::from_vec(m, n, data));
+            }
+            Op::RowSelect(a, r) => {
+                let (m, n) = self.value(*a).shape();
+                let mut da = Tensor::zeros(m, n);
+                {
+                    let dst = da.as_mut_slice();
+                    dst[r * n..(r + 1) * n].copy_from_slice(g.as_slice());
+                }
+                add(grads, *a, da);
+            }
+            Op::Dropout(a, mask) => {
+                add(grads, *a, g.zip_map(mask, |gv, k| gv * k));
+            }
+            Op::GatherRows(a, indices) => {
+                let (m, n) = self.value(*a).shape();
+                let mut da = Tensor::zeros(m, n);
+                {
+                    let dst = da.as_mut_slice();
+                    for (gi, &r) in indices.iter().enumerate() {
+                        for (d, &s) in dst[r * n..(r + 1) * n]
+                            .iter_mut()
+                            .zip(g.row_slice(gi))
+                        {
+                            *d += s;
+                        }
+                    }
+                }
+                add(grads, *a, da);
+            }
+            Op::StackRows(vars) => {
+                let mut offset = 0;
+                for &v in vars {
+                    let (m, n) = self.value(v).shape();
+                    let mut dv = Vec::with_capacity(m * n);
+                    for r in 0..m {
+                        dv.extend_from_slice(g.row_slice(offset + r));
+                    }
+                    offset += m;
+                    add(grads, v, Tensor::from_vec(m, n, dv));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Central finite-difference gradient of `f` at `x`.
+    fn numeric_grad(f: impl Fn(&Tensor) -> f32, x: &Tensor) -> Tensor {
+        let eps = 1e-3f32;
+        let mut g = Tensor::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                g.set(r, c, (f(&xp) - f(&xm)) / (2.0 * eps));
+            }
+        }
+        g
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "gradients differ: {x} vs {y} (tol {tol})\n{a:?}\n{b:?}"
+            );
+        }
+    }
+
+    fn check_unary(op: impl Fn(&mut Tape, Var) -> Var, x: Tensor, tol: f32) {
+        let mut tape = Tape::new();
+        let v = tape.leaf(x.clone());
+        let y = op(&mut tape, v);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        let analytic = grads.get(v).unwrap();
+        let numeric = numeric_grad(
+            |t| {
+                let mut tape = Tape::new();
+                let v = tape.leaf(t.clone());
+                let y = op(&mut tape, v);
+                { let s = tape.sum(y); tape.value(s).item() }
+            },
+            &x,
+        );
+        assert_close(analytic, &numeric, tol);
+    }
+
+    #[test]
+    fn grad_sigmoid_tanh_relu_elu_softplus_exp_abs_neg() {
+        let x = Tensor::from_rows(&[&[0.3, -0.7, 1.2], &[-2.0, 0.01, 0.9]]);
+        check_unary(|t, v| t.sigmoid(v), x.clone(), 2e-2);
+        check_unary(|t, v| t.tanh(v), x.clone(), 2e-2);
+        check_unary(|t, v| t.relu(v), x.clone(), 2e-2);
+        check_unary(|t, v| t.elu(v, 1.0), x.clone(), 2e-2);
+        check_unary(|t, v| t.softplus(v), x.clone(), 2e-2);
+        check_unary(|t, v| t.exp(v), x.clone(), 2e-2);
+        check_unary(|t, v| t.abs(v), x.clone(), 2e-2);
+        check_unary(|t, v| t.neg(v), x, 2e-2);
+    }
+
+    #[test]
+    fn grad_ln_positive_domain() {
+        let x = Tensor::from_rows(&[&[0.5, 1.5, 3.0]]);
+        check_unary(|t, v| t.ln(v), x, 2e-2);
+    }
+
+    #[test]
+    fn grad_scale_add_scalar() {
+        let x = Tensor::from_rows(&[&[1.0, -2.0]]);
+        check_unary(|t, v| t.scale(v, 2.5), x.clone(), 1e-2);
+        check_unary(|t, v| t.add_scalar(v, 3.0), x, 1e-2);
+    }
+
+    #[test]
+    fn grad_matmul_both_sides() {
+        let a0 = Tensor::from_rows(&[&[0.5, -1.0], &[2.0, 0.25]]);
+        let b0 = Tensor::from_rows(&[&[1.0, 0.5, -0.5], &[0.25, -1.0, 2.0]]);
+
+        let mut tape = Tape::new();
+        let a = tape.leaf(a0.clone());
+        let b = tape.leaf(b0.clone());
+        let c = tape.matmul(a, b);
+        let s = tape.sum(c);
+        let grads = tape.backward(s);
+
+        let na = numeric_grad(
+            |t| {
+                let mut tape = Tape::new();
+                let a = tape.leaf(t.clone());
+                let b = tape.leaf(b0.clone());
+                let c = tape.matmul(a, b);
+                { let s = tape.sum(c); tape.value(s).item() }
+            },
+            &a0,
+        );
+        let nb = numeric_grad(
+            |t| {
+                let mut tape = Tape::new();
+                let a = tape.leaf(a0.clone());
+                let b = tape.leaf(t.clone());
+                let c = tape.matmul(a, b);
+                { let s = tape.sum(c); tape.value(s).item() }
+            },
+            &b0,
+        );
+        assert_close(grads.get(a).unwrap(), &na, 2e-2);
+        assert_close(grads.get(b).unwrap(), &nb, 2e-2);
+    }
+
+    #[test]
+    fn grad_binary_elementwise() {
+        let a0 = Tensor::from_rows(&[&[1.0, -2.0, 0.5]]);
+        let b0 = Tensor::from_rows(&[&[0.5, 1.5, -0.25]]);
+        for op in ["add", "sub", "mul", "div"] {
+            let run = |a_t: &Tensor, b_t: &Tensor| -> (f32, Option<(Tensor, Tensor)>) {
+                let mut tape = Tape::new();
+                let a = tape.leaf(a_t.clone());
+                let b = tape.leaf(b_t.clone());
+                let c = match op {
+                    "add" => tape.add(a, b),
+                    "sub" => tape.sub(a, b),
+                    "mul" => tape.mul(a, b),
+                    _ => tape.div(a, b),
+                };
+                let s = tape.sum(c);
+                let v = tape.value(s).item();
+                let g = tape.backward(s);
+                (
+                    v,
+                    Some((g.get(a).unwrap().clone(), g.get(b).unwrap().clone())),
+                )
+            };
+            let (_, Some((ga, gb))) = run(&a0, &b0) else { unreachable!() };
+            let na = numeric_grad(|t| run(t, &b0).0, &a0);
+            let nb = numeric_grad(|t| run(&a0, t).0, &b0);
+            assert_close(&ga, &na, 2e-2);
+            assert_close(&gb, &nb, 2e-2);
+        }
+    }
+
+    #[test]
+    fn grad_add_row_broadcast() {
+        let a0 = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b0 = Tensor::row(vec![0.5, -0.5]);
+        let mut tape = Tape::new();
+        let a = tape.leaf(a0.clone());
+        let b = tape.leaf(b0.clone());
+        let c = tape.add_row_broadcast(a, b);
+        let s = tape.sum(c);
+        let grads = tape.backward(s);
+        assert_eq!(grads.get(a).unwrap(), &Tensor::ones(3, 2));
+        assert_eq!(grads.get(b).unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn grad_concat_cols_splits() {
+        let a0 = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b0 = Tensor::from_rows(&[&[3.0]]);
+        let mut tape = Tape::new();
+        let a = tape.leaf(a0);
+        let b = tape.leaf(b0);
+        let c = tape.concat_cols(a, b);
+        let w = tape.leaf(Tensor::row(vec![1.0, 10.0, 100.0]));
+        let prod = tape.mul(c, w);
+        let s = tape.sum(prod);
+        let grads = tape.backward(s);
+        assert_eq!(grads.get(a).unwrap().as_slice(), &[1.0, 10.0]);
+        assert_eq!(grads.get(b).unwrap().as_slice(), &[100.0]);
+    }
+
+    #[test]
+    fn grad_mean_and_row_select() {
+        let a0 = Tensor::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]);
+        let mut tape = Tape::new();
+        let a = tape.leaf(a0);
+        let m = tape.mean(a);
+        let grads = tape.backward(m);
+        assert_eq!(grads.get(a).unwrap(), &Tensor::full(2, 2, 0.25));
+
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let r = tape.row_select(a, 1);
+        let s = tape.sum(r);
+        let grads = tape.backward(s);
+        assert_eq!(
+            grads.get(a).unwrap().as_slice(),
+            &[0.0, 0.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn grad_mean_rows() {
+        let a0 = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut tape = Tape::new();
+        let a = tape.leaf(a0);
+        let m = tape.mean_rows(a);
+        assert_eq!(tape.value(m).as_slice(), &[2.0, 3.0]);
+        let s = tape.sum(m);
+        let grads = tape.backward(s);
+        assert_eq!(grads.get(a).unwrap(), &Tensor::full(2, 2, 0.5));
+    }
+
+    #[test]
+    fn dropout_identity_in_inference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let d = tape.dropout(x, 0.5, &mut rng);
+        assert_eq!(tape.value(d).as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_in_training() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut tape = Tape::for_training();
+        let x = tape.leaf(Tensor::full(1, n, 1.0));
+        let d = tape.dropout(x, 0.3, &mut rng);
+        let mean = tape.value(d).mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean drifted: {mean}");
+    }
+
+    #[test]
+    fn param_gradients_are_keyed() {
+        let mut tape = Tape::new();
+        let w = tape.param(ParamId(3), Tensor::row(vec![2.0]));
+        let x = tape.leaf(Tensor::row(vec![5.0]));
+        let y = tape.mul(w, x);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        let collected: Vec<_> = grads.params().collect();
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].0, ParamId(3));
+        assert_eq!(collected[0].1.as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn fan_out_accumulates_gradient() {
+        // y = x*x + x  =>  dy/dx = 2x + 1
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::row(vec![3.0]));
+        let sq = tape.mul(x, x);
+        let y = tape.add(sq, x);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[7.0]);
+    }
+}

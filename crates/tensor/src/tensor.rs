@@ -1,0 +1,552 @@
+//! Dense 2-D tensor with cheap (reference-counted) clones.
+//!
+//! All values flowing through the autodiff [`crate::tape::Tape`] are
+//! `f32` matrices in row-major order. Vectors are represented as `1 x n`
+//! matrices, scalars as `1 x 1`. The backing storage is an [`Arc`] so that
+//! binding model parameters into a per-sample tape does not copy weights.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::de::{SeqAccess, Visitor};
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A dense row-major `rows x cols` matrix of `f32`.
+///
+/// Cloning is O(1): the backing buffer is shared until mutated
+/// (copy-on-write through [`Arc::make_mut`]).
+///
+/// # Examples
+///
+/// ```
+/// use dlcm_tensor::Tensor;
+/// let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(t.shape(), (2, 2));
+/// assert_eq!(t.get(1, 0), 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Arc<Vec<f32>>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: Arc::new(vec![0.0; rows * cols]),
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Creates a tensor where every element is `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: Arc::new(vec![value; rows * cols]),
+        }
+    }
+
+    /// Creates a tensor from a row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Self {
+            rows,
+            cols,
+            data: Arc::new(data),
+        }
+    }
+
+    /// Creates a `1 x n` row vector.
+    pub fn row(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Self::from_vec(1, cols, data)
+    }
+
+    /// Creates a `1 x 1` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    /// Creates a tensor from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "at least one row is required");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Self::from_vec(rows.len(), cols, data)
+    }
+
+    /// Returns `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Returns `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        let cols = self.cols;
+        Arc::make_mut(&mut self.data)[r * cols + c] = v;
+    }
+
+    /// Returns the single element of a `1 x 1` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `1 x 1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() requires a 1x1 tensor, got {:?}", self.shape());
+        self.data[0]
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (copy-on-write).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut Arc::make_mut(&mut self.data)[..]
+    }
+
+    /// Read-only view of row `r`.
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self x other`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop is a contiguous
+    /// multiply-accumulate that the compiler auto-vectorizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        let a = &self.data;
+        let b = &other.data;
+        let row_kernel = |i: usize, orow: &mut [f32]| {
+            let arow = &a[i * k..(i + 1) * k];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        };
+        if m * k * n >= 1 << 20 {
+            // Large products: split output rows across threads.
+            use rayon::prelude::*;
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, orow)| row_kernel(i, orow));
+        } else {
+            for (i, orow) in out.chunks_mut(n).enumerate() {
+                row_kernel(i, orow);
+            }
+        }
+        Tensor::from_vec(m, n, out)
+    }
+
+    /// Matrix product `selfᵀ x other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        let mut out = vec![0.0f32; m * n];
+        for kk in 0..k {
+            let arow = &self.data[kk * m..(kk + 1) * m];
+            let brow = &other.data[kk * n..(kk + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(m, n, out)
+    }
+
+    /// Matrix product `self x otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(m, n, out)
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        Tensor::from_vec(self.cols, self.rows, out)
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.rows, self.cols, self.data.iter().map(|&x| f(x)).collect())
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        Tensor::from_vec(
+            self.rows,
+            self.cols,
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        )
+    }
+
+    /// In-place `self += scale * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        let dst = self.as_mut_slice();
+        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
+            *d += scale * s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Column sums as a `1 x cols` row vector.
+    pub fn col_sum(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row_slice(r)) {
+                *o += v;
+            }
+        }
+        Tensor::row(out)
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Returns `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Stacks `1 x n` row vectors into an `m x n` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or widths differ.
+    pub fn stack_rows(rows: &[Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "stack_rows requires at least one row");
+        let cols = rows[0].cols;
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.rows, 1, "stack_rows expects 1 x n tensors");
+            assert_eq!(r.cols, cols, "stack_rows width mismatch");
+            data.extend_from_slice(r.as_slice());
+        }
+        Tensor::from_vec(rows.len(), cols, data)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{}", self.rows, self.cols)?;
+        if self.len() <= 8 {
+            write!(f, ", {:?}", self.as_slice())?;
+        } else {
+            write!(
+                f,
+                ", [{:.4}, {:.4}, ... ; norm={:.4}]",
+                self.data[0],
+                self.data[1],
+                self.norm()
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Serialize for Tensor {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Tensor", 3)?;
+        s.serialize_field("rows", &self.rows)?;
+        s.serialize_field("cols", &self.cols)?;
+        s.serialize_field("data", self.data.as_ref())?;
+        s.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Tensor {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        #[serde(field_identifier, rename_all = "lowercase")]
+        enum Field {
+            Rows,
+            Cols,
+            Data,
+        }
+        struct TensorVisitor;
+        impl<'de> Visitor<'de> for TensorVisitor {
+            type Value = Tensor;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("struct Tensor")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Tensor, A::Error> {
+                let rows: usize = seq
+                    .next_element()?
+                    .ok_or_else(|| serde::de::Error::invalid_length(0, &self))?;
+                let cols: usize = seq
+                    .next_element()?
+                    .ok_or_else(|| serde::de::Error::invalid_length(1, &self))?;
+                let data: Vec<f32> = seq
+                    .next_element()?
+                    .ok_or_else(|| serde::de::Error::invalid_length(2, &self))?;
+                if data.len() != rows * cols {
+                    return Err(serde::de::Error::custom("tensor buffer/shape mismatch"));
+                }
+                Ok(Tensor::from_vec(rows, cols, data))
+            }
+            fn visit_map<A: serde::de::MapAccess<'de>>(self, mut map: A) -> Result<Tensor, A::Error> {
+                let (mut rows, mut cols, mut data): (Option<usize>, Option<usize>, Option<Vec<f32>>) =
+                    (None, None, None);
+                while let Some(key) = map.next_key()? {
+                    match key {
+                        Field::Rows => rows = Some(map.next_value()?),
+                        Field::Cols => cols = Some(map.next_value()?),
+                        Field::Data => data = Some(map.next_value()?),
+                    }
+                }
+                let rows = rows.ok_or_else(|| serde::de::Error::missing_field("rows"))?;
+                let cols = cols.ok_or_else(|| serde::de::Error::missing_field("cols"))?;
+                let data = data.ok_or_else(|| serde::de::Error::missing_field("data"))?;
+                if data.len() != rows * cols {
+                    return Err(serde::de::Error::custom("tensor buffer/shape mismatch"));
+                }
+                Ok(Tensor::from_vec(rows, cols, data))
+            }
+        }
+        deserializer.deserialize_struct("Tensor", &["rows", "cols", "data"], TensorVisitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros(2, 3).sum(), 0.0);
+        assert_eq!(Tensor::ones(2, 3).sum(), 6.0);
+        assert_eq!(Tensor::full(2, 2, 2.5).sum(), 10.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let id = Tensor::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[1.0, -1.0], &[0.5, 2.0], &[3.0, 0.0]]);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let b = Tensor::from_rows(&[&[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]);
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn col_sum_sums_columns() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.col_sum().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let a = Tensor::zeros(2, 2);
+        let mut b = a.clone();
+        b.set(0, 0, 5.0);
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(b.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn stack_rows_concatenates() {
+        let r1 = Tensor::row(vec![1.0, 2.0]);
+        let r2 = Tensor::row(vec![3.0, 4.0]);
+        let s = Tensor::stack_rows(&[r1, r2]);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Tensor::from_rows(&[&[1.5, -2.0], &[0.0, 4.25]]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn item_and_scalar() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::ones(1, 3);
+        let b = Tensor::from_rows(&[&[1.0, 2.0, 3.0]]);
+        a.add_scaled(&b, 2.0);
+        assert_eq!(a.as_slice(), &[3.0, 5.0, 7.0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dlcm — A Deep Learning Based Cost Model for Automatic Code Optimization
+//!
+//! A from-scratch Rust reproduction of Baghdadi et al., MLSys 2021: the
+//! Tiramisu deep-learning cost model, its program representation, data
+//! generation pipeline, search methods, and Halide-style baseline.
+//!
+//! This facade re-exports every subsystem crate:
+//!
+//! - [`ir`] — Tiramisu-like IR: programs, affine accesses, transformations,
+//!   dependence analysis, legality, and a reference interpreter;
+//! - [`machine`] — the simulated CPU (analytical performance model) and
+//!   the median-of-30 measurement harness;
+//! - [`datagen`] — random programs, random schedules, labeled datasets;
+//! - [`model`] — featurization + the recursive LSTM cost model + training;
+//! - [`search`] — beam search and MCTS with execution/model evaluators;
+//! - [`baseline`] — the Halide-2019-style 54-feature comparator;
+//! - [`benchsuite`] — the ten evaluation benchmarks at Table 3 sizes;
+//! - [`tensor`] — the tape-based autodiff / NN substrate.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and DESIGN.md for
+//! the experiment index.
+
+pub use dlcm_baseline as baseline;
+pub use dlcm_benchsuite as benchsuite;
+pub use dlcm_datagen as datagen;
+pub use dlcm_ir as ir;
+pub use dlcm_machine as machine;
+pub use dlcm_model as model;
+pub use dlcm_search as search;
+pub use dlcm_tensor as tensor;

@@ -1,0 +1,154 @@
+//! End-to-end integration: dataset generation → featurization → training
+//! → model-guided search, spanning every crate in the workspace.
+
+use dlcm::datagen::{Dataset, DatasetConfig};
+use dlcm::machine::{Machine, Measurement};
+use dlcm::model::{
+    evaluate, metrics, prepare, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig,
+    TrainConfig,
+};
+use dlcm::search::{BeamSearch, Evaluator, ExecutionEvaluator, ModelEvaluator, SearchSpace};
+
+fn small_dataset(seed: u64) -> Dataset {
+    Dataset::generate(
+        &DatasetConfig {
+            num_programs: 16,
+            schedules_per_program: 24,
+            seed,
+            ..DatasetConfig::tiny(seed)
+        },
+        &Measurement::exact(Machine::default()),
+    )
+}
+
+fn tiny_model_cfg() -> CostModelConfig {
+    CostModelConfig {
+        input_dim: FeaturizerConfig::default().vector_width(),
+        embed_widths: vec![96, 48],
+        merge_hidden: 48,
+        regress_widths: vec![48],
+        dropout: 0.0,
+    }
+}
+
+#[test]
+fn trained_model_ranks_held_out_schedules_of_seen_programs() {
+    // The capability the search actually relies on (§6, Figure 7): ranking
+    // candidate schedules of a program. Train on 150 random schedules of
+    // one realistic program, evaluate rank correlation on 50 held-out
+    // schedules. (Cross-program transfer to *unseen* programs requires the
+    // paper's data scale — see EXPERIMENTS.md.)
+    use dlcm::datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
+    use dlcm::model::LabeledFeatures;
+    use rand::SeedableRng;
+    let progen = ProgramGenerator::new(ProgramGenConfig::default());
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+    let program = progen.generate(&mut rng, "p");
+    let schedules = schedgen.generate_distinct(&program, 200, &mut rng);
+    let harness = Measurement::exact(Machine::default());
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let samples: Vec<LabeledFeatures> = schedules
+        .iter()
+        .map(|s| LabeledFeatures {
+            feats: featurizer.featurize(&program, s),
+            target: harness.speedup(&program, s, 0).expect("legal schedule"),
+            group: 0,
+        })
+        .collect();
+    let (train_set, test_set) = samples.split_at(150);
+
+    let mut model = CostModel::new(
+        CostModelConfig::fast(featurizer.config().vector_width()),
+        0,
+    );
+    let (before, _) = evaluate(&model, test_set);
+    train(
+        &mut model,
+        train_set,
+        &[],
+        &TrainConfig {
+            epochs: 120,
+            batch_size: 32,
+            max_lr: 2e-3,
+            seed: 0,
+            eval_every: usize::MAX,
+            ..TrainConfig::default()
+        },
+    );
+    let (after, preds) = evaluate(&model, test_set);
+    assert!(
+        after < before,
+        "training must improve held-out MAPE: {before:.3} -> {after:.3}"
+    );
+    let targets: Vec<f64> = test_set.iter().map(|s| s.target).collect();
+    let rho = metrics::spearman(&targets, &preds);
+    assert!(
+        rho > 0.5,
+        "trained model should rank held-out schedules of a seen program: rho = {rho:.3}"
+    );
+}
+
+#[test]
+fn model_guided_beam_search_runs_on_unseen_program() {
+    // Train briefly, then drive beam search on a benchmark the model has
+    // never seen; the result must be legal and the model path must do far
+    // fewer simulated-seconds of work than the execution path.
+    let dataset = small_dataset(6);
+    let split = dataset.split(0);
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let train_set = prepare(&featurizer, &dataset, &split.train);
+    let mut model = CostModel::new(tiny_model_cfg(), 1);
+    train(
+        &mut model,
+        &train_set,
+        &[],
+        &TrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            ..TrainConfig::default()
+        },
+    );
+
+    let program = dlcm::benchsuite::heat2d(0.1);
+    let space = SearchSpace {
+        tile_sizes: vec![16, 32],
+        unroll_factors: vec![4],
+        ..SearchSpace::default()
+    };
+
+    let mut model_ev = ModelEvaluator::new(&model, featurizer.clone());
+    let bsm = BeamSearch::new(3, space.clone()).search(&program, &mut model_ev);
+    assert!(dlcm::ir::apply_schedule(&program, &bsm.schedule).is_ok());
+
+    let mut exec_ev = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
+    let bse = BeamSearch::new(3, space).search(&program, &mut exec_ev);
+    assert!(
+        bse.search_time > bsm.search_time,
+        "execution search ({:.1}s simulated) should cost more than model search ({:.4}s)",
+        bse.search_time,
+        bsm.search_time
+    );
+    // The ground-truth search finds a schedule at least as good as the
+    // model-guided one when both are measured.
+    let harness = Measurement::exact(Machine::default());
+    let t = |s: &dlcm::ir::Schedule| harness.measure_schedule(&program, s, 0).unwrap();
+    assert!(t(&bse.schedule) <= t(&bsm.schedule) * 1.001);
+}
+
+#[test]
+fn dataset_roundtrip_preserves_training_behaviour() {
+    let dataset = small_dataset(7);
+    let path = std::env::temp_dir().join("dlcm_e2e_ds.json");
+    dataset.save_json(&path).unwrap();
+    let reloaded = Dataset::load_json(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let idx: Vec<usize> = (0..dataset.len().min(16)).collect();
+    let a = prepare(&featurizer, &dataset, &idx);
+    let b = prepare(&featurizer, &reloaded, &idx);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.feats, y.feats, "features must survive serialization");
+    }
+}

@@ -1,0 +1,155 @@
+//! Cross-crate semantics oracle: any schedule accepted by the legality
+//! checker must leave program outputs unchanged (up to floating-point
+//! reassociation for reductions). This is the invariant the paper's step
+//! 2 ("the compiler checks the validity of each candidate") guarantees,
+//! tested differentially through the reference interpreter over randomly
+//! generated programs and schedules.
+
+use dlcm::datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
+use dlcm::ir::{
+    apply_schedule, interpret, interpret_baseline, max_relative_error, synthetic_inputs,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn small_generator() -> ProgramGenerator {
+    ProgramGenerator::new(ProgramGenConfig {
+        size_pool: vec![8, 12, 16],
+        max_points: 1 << 12,
+        ..ProgramGenConfig::default()
+    })
+}
+
+/// The central property: legal schedules preserve semantics.
+#[test]
+fn random_legal_schedules_preserve_semantics() {
+    let progen = small_generator();
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let mut checked = 0;
+    for seed in 0..24u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let program = progen.generate(&mut rng, &format!("prop{seed}"));
+        let inputs = synthetic_inputs(&program, seed);
+        let baseline = interpret_baseline(&program, &inputs).expect("baseline interpretable");
+        for s in 0..6 {
+            let schedule = schedgen.generate(&program, &mut rng);
+            let sp = apply_schedule(&program, &schedule)
+                .unwrap_or_else(|e| panic!("generated schedule illegal: {e}"));
+            let out = interpret(&sp, &inputs).expect("scheduled program interpretable");
+            let err = max_relative_error(&baseline, &out);
+            assert!(
+                err < 1e-3,
+                "semantics broken (err {err:.2e}) on seed {seed}/{s}\nprogram: {program}\nschedule: {}",
+                schedule.describe()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 100, "exercised {checked} schedules");
+}
+
+/// Tiling with non-dividing sizes (partial edge tiles) is exact.
+#[test]
+fn partial_tiles_preserve_semantics() {
+    use dlcm::ir::{CompId, Expr, ProgramBuilder, Schedule, Transform};
+    let mut b = ProgramBuilder::new("edge");
+    let i = b.iter("i", 0, 37); // deliberately prime-ish
+    let j = b.iter("j", 0, 23);
+    let inp = b.input("in", &[37, 23]);
+    let out = b.buffer("out", &[37, 23]);
+    let acc = b.access(inp, &[i.into(), j.into()], &[i, j]);
+    b.assign("c", &[i, j], out, &[i.into(), j.into()], Expr::Load(acc));
+    let p = b.build().unwrap();
+    let schedule = Schedule::new(vec![Transform::Tile {
+        comp: CompId(0),
+        level_a: 0,
+        level_b: 1,
+        size_a: 8,
+        size_b: 5,
+    }]);
+    let sp = apply_schedule(&p, &schedule).unwrap();
+    let inputs = synthetic_inputs(&p, 1);
+    let base = interpret_baseline(&p, &inputs).unwrap();
+    let opt = interpret(&sp, &inputs).unwrap();
+    assert_eq!(max_relative_error(&base, &opt), 0.0, "pointwise code must be bit-exact");
+}
+
+/// Illegal transformations must be rejected, not silently miscompiled:
+/// interchanging a forward-dependent stencil's loops reverses a
+/// dependence.
+#[test]
+fn illegal_interchange_is_rejected() {
+    use dlcm::ir::{BinOp, CompId, Expr, LinExpr, ProgramBuilder, Schedule, Transform};
+    let mut b = ProgramBuilder::new("skew");
+    let i = b.iter("i", 1, 16);
+    let j = b.iter("j", 0, 15);
+    let out = b.buffer("out", &[16, 16]);
+    // out[i,j] = out[i-1, j+1] — distance (1, -1): interchange illegal.
+    let acc = b.access(
+        out,
+        &[LinExpr::from(i) - 1, LinExpr::from(j) + 1],
+        &[i, j],
+    );
+    b.assign(
+        "c",
+        &[i, j],
+        out,
+        &[i.into(), j.into()],
+        Expr::binary(BinOp::Add, Expr::Load(acc), Expr::Const(1.0)),
+    );
+    let p = b.build().unwrap();
+    let bad = Schedule::new(vec![Transform::Interchange {
+        comp: CompId(0),
+        level_a: 0,
+        level_b: 1,
+    }]);
+    assert!(apply_schedule(&p, &bad).is_err());
+}
+
+/// Fused pipelines compute the same result as unfused ones.
+#[test]
+fn fusion_preserves_pipeline_semantics() {
+    use dlcm::ir::{BinOp, CompId, Expr, ProgramBuilder, Schedule, Transform};
+    let n = 24;
+    let mut b = ProgramBuilder::new("pipe");
+    let i = b.iter("i", 0, n);
+    let j = b.iter("j", 0, n);
+    let inp = b.input("in", &[n, n]);
+    let tmp = b.buffer("tmp", &[n, n]);
+    let out = b.buffer("out", &[n, n]);
+    let l1 = b.access(inp, &[i.into(), j.into()], &[i, j]);
+    b.assign(
+        "square",
+        &[i, j],
+        tmp,
+        &[i.into(), j.into()],
+        Expr::binary(BinOp::Mul, Expr::Load(l1.clone()), Expr::Load(l1)),
+    );
+    let i2 = b.iter("i2", 0, n);
+    let j2 = b.iter("j2", 0, n);
+    let l2 = b.access(tmp, &[i2.into(), j2.into()], &[i2, j2]);
+    b.assign(
+        "shift",
+        &[i2, j2],
+        out,
+        &[i2.into(), j2.into()],
+        Expr::binary(BinOp::Sub, Expr::Load(l2), Expr::Const(0.5)),
+    );
+    let p = b.build().unwrap();
+    let inputs = synthetic_inputs(&p, 9);
+    let base = interpret_baseline(&p, &inputs).unwrap();
+    for depth in 1..=2 {
+        let schedule = Schedule::new(vec![Transform::Fuse {
+            comp: CompId(1),
+            with: CompId(0),
+            depth,
+        }]);
+        let sp = apply_schedule(&p, &schedule).unwrap();
+        let fused = interpret(&sp, &inputs).unwrap();
+        assert_eq!(
+            max_relative_error(&base, &fused),
+            0.0,
+            "fusion at depth {depth} must be exact"
+        );
+    }
+}
