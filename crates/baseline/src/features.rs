@@ -92,25 +92,14 @@ pub fn halide_features(sp: &ScheduledProgram, cfg: &MachineConfig) -> Vec<f64> {
     let l2 = cfg.caches.get(1).map_or(256 * 1024, |c| c.size_bytes);
     let l3 = cfg.caches.get(2).map_or(30 * 1024 * 1024, |c| c.size_bytes);
 
-    let par_trips = |c: &CompProfile| {
-        c.parallel_depth()
-            .map_or(0.0, |d| c.loops[d].trips as f64)
-    };
+    let par_trips = |c: &CompProfile| c.parallel_depth().map_or(0.0, |d| c.loops[d].trips as f64);
     let par_chunk = |c: &CompProfile| {
         c.parallel_depth().map_or(0.0, |d| {
             c.total_points.max(1) as f64 / c.loops[d].trips.max(1) as f64
         })
     };
-    let vector = |c: &CompProfile| {
-        c.innermost()
-            .and_then(|l| l.vector_factor)
-            .unwrap_or(0) as f64
-    };
-    let unroll = |c: &CompProfile| {
-        c.innermost()
-            .and_then(|l| l.unroll_factor)
-            .unwrap_or(0) as f64
-    };
+    let vector = |c: &CompProfile| c.innermost().and_then(|l| l.vector_factor).unwrap_or(0) as f64;
+    let unroll = |c: &CompProfile| c.innermost().and_then(|l| l.unroll_factor).unwrap_or(0) as f64;
     let tiles = |c: &CompProfile| {
         c.loops
             .iter()
@@ -122,66 +111,64 @@ pub fn halide_features(sp: &ScheduledProgram, cfg: &MachineConfig) -> Vec<f64> {
     let inner_extent = |c: &CompProfile| c.innermost().map_or(0.0, |l| l.trips as f64);
     let outer_extent = |c: &CompProfile| c.loops.first().map_or(0.0, |l| l.trips as f64);
     let store_fp = |c: &CompProfile| c.accesses[0].footprints[0] as f64;
-    let red_levels = |c: &CompProfile| {
-        sp.program.comp(c.comp).reduction_levels.len() as f64
-    };
+    let red_levels = |c: &CompProfile| sp.program.comp(c.comp).reduction_levels.len() as f64;
 
     let v = vec![
         // --- global shape (1-8) ------------------------------------------
-        log1p(total_points),                                         // 1
-        p.len() as f64,                                              // 2
-        log1p(flops),                                                // 3
-        flops / total_points.max(1.0),                               // 4 ops per point
-        mean(p, |c| c.num_loads as f64),                             // 5
-        mean(p, |c| c.depth() as f64),                               // 6
-        maxf(p, |c| c.depth() as f64),                               // 7
-        sp.roots.len() as f64,                                       // 8
+        log1p(total_points),             // 1
+        p.len() as f64,                  // 2
+        log1p(flops),                    // 3
+        flops / total_points.max(1.0),   // 4 ops per point
+        mean(p, |c| c.num_loads as f64), // 5
+        mean(p, |c| c.depth() as f64),   // 6
+        maxf(p, |c| c.depth() as f64),   // 7
+        sp.roots.len() as f64,           // 8
         // --- op mix (9-12) -------------------------------------------------
-        mean(p, |c| c.op_counts[0] as f64),                          // 9 adds
-        mean(p, |c| c.op_counts[1] as f64),                          // 10 muls
-        mean(p, |c| c.op_counts[2] as f64),                          // 11 subs
-        mean(p, |c| c.op_counts[3] as f64),                          // 12 divs
+        mean(p, |c| c.op_counts[0] as f64), // 9 adds
+        mean(p, |c| c.op_counts[1] as f64), // 10 muls
+        mean(p, |c| c.op_counts[2] as f64), // 11 subs
+        mean(p, |c| c.op_counts[3] as f64), // 12 divs
         // --- strides (13-16) -----------------------------------------------
-        unit / n_acc,                                                // 13
-        zero / n_acc,                                                // 14
-        strided / n_acc,                                             // 15
-        n_acc,                                                       // 16
+        unit / n_acc,    // 13
+        zero / n_acc,    // 14
+        strided / n_acc, // 15
+        n_acc,           // 16
         // --- footprints & reuse (17-24) --------------------------------------
-        log1p(root_fp),                                              // 17
-        log1p(mean(p, store_fp)),                                    // 18
-        lca_sum / n_acc,                                             // 19 producer reuse depth
+        log1p(root_fp),           // 17
+        log1p(mean(p, store_fp)), // 18
+        lca_sum / n_acc,          // 19 producer reuse depth
         mean(p, |c| {
             c.accesses
                 .iter()
                 .map(|a| fit_depth(&a.footprints, l1) as f64)
                 .sum::<f64>()
                 / c.accesses.len().max(1) as f64
-        }),                                                          // 20 L1 fit depth
+        }), // 20 L1 fit depth
         mean(p, |c| {
             c.accesses
                 .iter()
                 .map(|a| fit_depth(&a.footprints, l2) as f64)
                 .sum::<f64>()
                 / c.accesses.len().max(1) as f64
-        }),                                                          // 21 L2 fit depth
+        }), // 21 L2 fit depth
         mean(p, |c| {
             c.accesses
                 .iter()
                 .map(|a| fit_depth(&a.footprints, l3) as f64)
                 .sum::<f64>()
                 / c.accesses.len().max(1) as f64
-        }),                                                          // 22 L3 fit depth
-        log1p(mean(p, |c| misses_per_point(c, l1))),                 // 23
-        log1p(mean(p, |c| misses_per_point(c, l3))),                 // 24
+        }), // 22 L3 fit depth
+        log1p(mean(p, |c| misses_per_point(c, l1))), // 23
+        log1p(mean(p, |c| misses_per_point(c, l3))), // 24
         // --- parallelism (25-29) ----------------------------------------------
-        mean(p, |c| f64::from(c.parallel_depth().is_some())),        // 25
-        log1p(mean(p, par_trips)),                                   // 26
-        log1p(mean(p, par_chunk)),                                   // 27
-        mean(p, |c| c.parallel_depth().map_or(0.0, |d| d as f64)),   // 28
-        log1p(maxf(p, par_chunk)),                                   // 29
+        mean(p, |c| f64::from(c.parallel_depth().is_some())), // 25
+        log1p(mean(p, par_trips)),                            // 26
+        log1p(mean(p, par_chunk)),                            // 27
+        mean(p, |c| c.parallel_depth().map_or(0.0, |d| d as f64)), // 28
+        log1p(maxf(p, par_chunk)),                            // 29
         // --- vectorization (30-33) --------------------------------------------
-        mean(p, |c| f64::from(vector(c) > 0.0)),                     // 30
-        mean(p, vector),                                             // 31
+        mean(p, |c| f64::from(vector(c) > 0.0)), // 30
+        mean(p, vector),                         // 31
         mean(p, |c| {
             f64::from(vector(c) > 0.0)
                 * c.accesses
@@ -189,30 +176,29 @@ pub fn halide_features(sp: &ScheduledProgram, cfg: &MachineConfig) -> Vec<f64> {
                     .map(|a| f64::from(a.innermost_stride.abs() <= 1))
                     .sum::<f64>()
                 / c.accesses.len().max(1) as f64
-        }),                                                          // 32
-        log1p(mean(p, inner_extent)),                                // 33
+        }), // 32
+        log1p(mean(p, inner_extent)),            // 33
         // --- unrolling (34-35) --------------------------------------------------
-        mean(p, |c| f64::from(unroll(c) > 0.0)),                     // 34
-        mean(p, unroll),                                             // 35
+        mean(p, |c| f64::from(unroll(c) > 0.0)), // 34
+        mean(p, unroll),                         // 35
         // --- tiling (36-40) -------------------------------------------------------
-        mean(p, |c| f64::from(n_tiled(c) > 0.0)),                    // 36
-        mean(p, n_tiled),                                            // 37
-        log1p(mean(p, tiles)),                                       // 38
+        mean(p, |c| f64::from(n_tiled(c) > 0.0)), // 36
+        mean(p, n_tiled),                         // 37
+        log1p(mean(p, tiles)),                    // 38
         mean(p, |c| {
             // Innermost working set vs L1.
             let d = c.depth().saturating_sub(2);
             c.accesses
                 .iter()
-                .map(|a| (a.footprints[d.min(a.footprints.len() - 1)] as f64 * 4.0)
-                    / l1 as f64)
+                .map(|a| (a.footprints[d.min(a.footprints.len() - 1)] as f64 * 4.0) / l1 as f64)
                 .sum::<f64>()
                 / c.accesses.len().max(1) as f64
         })
-        .min(1e6),                                                   // 39
-        log1p(mean(p, outer_extent)),                                // 40
+        .min(1e6), // 39
+        log1p(mean(p, outer_extent)),             // 40
         // --- reductions (41-43) -----------------------------------------------------
-        mean(p, |c| f64::from(red_levels(c) > 0.0)),                 // 41
-        mean(p, red_levels),                                         // 42
+        mean(p, |c| f64::from(red_levels(c) > 0.0)), // 41
+        mean(p, red_levels),                         // 42
         log1p(mean(p, |c| {
             sp.program
                 .comp(c.comp)
@@ -220,26 +206,26 @@ pub fn halide_features(sp: &ScheduledProgram, cfg: &MachineConfig) -> Vec<f64> {
                 .iter()
                 .map(|&l| sp.program.extent(sp.program.comp(c.comp).iters[l]) as f64)
                 .product::<f64>()
-        })),                                                         // 43
+        })), // 43
         // --- per-comp extremes (44-49) -----------------------------------------------
-        log1p(maxf(p, |c| c.total_points as f64)),                   // 44
-        log1p(mean(p, |c| c.total_points as f64)),                   // 45
-        log1p(maxf(p, store_fp)),                                    // 46
-        maxf(p, |c| c.num_loads as f64),                             // 47
-        log1p(maxf(p, inner_extent)),                                // 48
-        log1p(maxf(p, outer_extent)),                                // 49
+        log1p(maxf(p, |c| c.total_points as f64)), // 44
+        log1p(mean(p, |c| c.total_points as f64)), // 45
+        log1p(maxf(p, store_fp)),                  // 46
+        maxf(p, |c| c.num_loads as f64),           // 47
+        log1p(maxf(p, inner_extent)),              // 48
+        log1p(maxf(p, outer_extent)),              // 49
         // --- schedule size & intensity (50-54) ------------------------------------------
-        sp.schedule.len() as f64,                                    // 50
-        flops / (root_fp * 4.0).max(1.0),                            // 51 arithmetic intensity
-        log1p(mean(p, |c| misses_per_point(c, l2))),                 // 52
+        sp.schedule.len() as f64,                    // 50
+        flops / (root_fp * 4.0).max(1.0),            // 51 arithmetic intensity
+        log1p(mean(p, |c| misses_per_point(c, l2))), // 52
         mean(p, |c| {
             c.accesses
                 .iter()
                 .map(|a| log1p(a.innermost_stride.unsigned_abs() as f64))
                 .sum::<f64>()
                 / c.accesses.len().max(1) as f64
-        }),                                                          // 53
-        log1p(total_points / sp.roots.len().max(1) as f64),          // 54
+        }), // 53
+        log1p(total_points / sp.roots.len().max(1) as f64), // 54
     ];
     debug_assert_eq!(v.len(), NUM_FEATURES);
     v
@@ -288,9 +274,21 @@ mod tests {
         let p = program();
         let base = featurize_pair(&p, &Schedule::empty(), &cfg).unwrap();
         let sched = Schedule::new(vec![
-            Transform::Tile { comp: CompId(0), level_a: 0, level_b: 1, size_a: 32, size_b: 32 },
-            Transform::Parallelize { comp: CompId(0), level: 0 },
-            Transform::Vectorize { comp: CompId(0), factor: 8 },
+            Transform::Tile {
+                comp: CompId(0),
+                level_a: 0,
+                level_b: 1,
+                size_a: 32,
+                size_b: 32,
+            },
+            Transform::Parallelize {
+                comp: CompId(0),
+                level: 0,
+            },
+            Transform::Vectorize {
+                comp: CompId(0),
+                factor: 8,
+            },
         ]);
         let opt = featurize_pair(&p, &sched, &cfg).unwrap();
         assert_ne!(base, opt);

@@ -3,9 +3,11 @@
 //! The Halide-2019-style comparator of the DLCM reproduction of *"A Deep
 //! Learning Based Cost Model for Automatic Code Optimization"* (MLSys
 //! 2021), §6: an MLP over 54 hand-engineered features (Adams et al.'s
-//! style), trained with MSE and evaluated with R², plus an
-//! [`HalideEvaluator`] adapter so the baseline can drive the same beam
-//! search as the paper's "Halide autoscheduler" column in Figure 6.
+//! style), trained with MSE and evaluated with R². [`HalideModel`]
+//! implements [`dlcm_eval::Evaluator`] directly, so it can drive the same
+//! beam search as the paper's "Halide autoscheduler" column in Figure 6
+//! through the unified evaluation API — this crate depends on the `eval`
+//! contract, not on any particular search strategy.
 //!
 //! Per the paper's observation that Halide mispredicts "in particular in
 //! benchmarks that are from the area of scientific computing which Halide
@@ -19,79 +21,47 @@
 mod features;
 mod model;
 
-use std::time::Instant;
-
-use dlcm_ir::{Program, Schedule};
-use dlcm_search::Evaluator;
-
 pub use features::{featurize_pair, halide_features, NUM_FEATURES};
 pub use model::{HalideModel, HalideTrainConfig};
-
-/// Adapts [`HalideModel`] to the search [`Evaluator`] interface.
-pub struct HalideEvaluator<'m> {
-    model: &'m HalideModel,
-    evals: usize,
-    time: f64,
-}
-
-impl<'m> HalideEvaluator<'m> {
-    /// Creates an evaluator over a trained baseline model.
-    pub fn new(model: &'m HalideModel) -> Self {
-        Self {
-            model,
-            evals: 0,
-            time: 0.0,
-        }
-    }
-}
-
-impl Evaluator for HalideEvaluator<'_> {
-    fn speedup(&mut self, program: &Program, schedule: &Schedule) -> f64 {
-        self.evals += 1;
-        let start = Instant::now();
-        let pred = self.model.predict(program, schedule);
-        self.time += start.elapsed().as_secs_f64();
-        pred
-    }
-
-    fn num_evals(&self) -> usize {
-        self.evals
-    }
-
-    fn search_time(&self) -> f64 {
-        self.time
-    }
-}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dlcm_eval::Evaluator;
+    use dlcm_ir::Schedule;
     use dlcm_machine::MachineConfig;
-    use dlcm_search::{BeamSearch, SearchSpace};
 
     #[test]
-    fn halide_evaluator_drives_beam_search() {
+    fn halide_model_is_a_unified_evaluator() {
         let mut b = dlcm_ir::ProgramBuilder::new("p");
         let i = b.iter("i", 0, 256);
         let j = b.iter("j", 0, 256);
         let inp = b.input("in", &[256, 256]);
         let out = b.buffer("out", &[256, 256]);
         let acc = b.access(inp, &[i.into(), j.into()], &[i, j]);
-        b.assign("c", &[i, j], out, &[i.into(), j.into()], dlcm_ir::Expr::Load(acc));
+        b.assign(
+            "c",
+            &[i, j],
+            out,
+            &[i.into(), j.into()],
+            dlcm_ir::Expr::Load(acc),
+        );
         let p = b.build().unwrap();
 
-        let model = HalideModel::new(MachineConfig::default(), 0);
-        let mut ev = HalideEvaluator::new(&model);
-        let result = BeamSearch::new(
-            2,
-            SearchSpace {
-                tile_sizes: vec![32],
-                unroll_factors: vec![4],
-                ..SearchSpace::default()
-            },
-        )
-        .search(&p, &mut ev);
-        assert!(dlcm_ir::apply_schedule(&p, &result.schedule).is_ok());
-        assert!(result.evals > 0);
+        let mut model: Box<dyn Evaluator> = Box::new(HalideModel::new(MachineConfig::default(), 0));
+        let candidates = vec![
+            Schedule::empty(),
+            Schedule::new(vec![dlcm_ir::Transform::Parallelize {
+                comp: dlcm_ir::CompId(0),
+                level: 0,
+            }]),
+        ];
+        let batch = model.speedup_batch(&p, &candidates);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|&s| s > 0.0));
+        let single = model.speedup(&p, &candidates[0]);
+        assert_eq!(single, batch[0], "batch must match sequential scoring");
+        assert_eq!(model.stats().num_evals, 3);
+        assert!(model.stats().infer_time > 0.0);
     }
 }

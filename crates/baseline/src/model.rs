@@ -1,8 +1,13 @@
 //! The Halide-2019-style baseline model: a feedforward network over the
 //! 54 engineered features, trained with MSE (Halide's loss) and reported
-//! with R² (Halide's metric), per §6 of the paper.
+//! with R² (Halide's metric), per §6 of the paper. The model implements
+//! [`dlcm_eval::Evaluator`] so it drives search through the same batched
+//! API as the execution and cost-model evaluators.
+
+use std::time::Instant;
 
 use dlcm_datagen::Dataset;
+use dlcm_eval::{EvalStats, Evaluator};
 use dlcm_ir::{Program, Schedule};
 use dlcm_machine::MachineConfig;
 use dlcm_tensor::loss::mse;
@@ -51,6 +56,9 @@ pub struct HalideModel {
     feat_mean: Vec<f64>,
     /// Per-feature standard deviation.
     feat_std: Vec<f64>,
+    /// Evaluation accounting (not part of the model artifact).
+    #[serde(skip)]
+    stats: EvalStats,
 }
 
 impl HalideModel {
@@ -73,6 +81,7 @@ impl HalideModel {
             machine_cfg,
             feat_mean: vec![0.0; NUM_FEATURES],
             feat_std: vec![1.0; NUM_FEATURES],
+            stats: EvalStats::default(),
         }
     }
 
@@ -187,6 +196,22 @@ impl HalideModel {
     }
 }
 
+impl Evaluator for HalideModel {
+    fn speedup_batch(&mut self, program: &Program, schedules: &[Schedule]) -> Vec<f64> {
+        let start = Instant::now();
+        let out = schedules.iter().map(|s| self.predict(program, s)).collect();
+        self.stats.num_evals += schedules.len();
+        let dt = start.elapsed().as_secs_f64();
+        self.stats.infer_time += dt;
+        self.stats.search_time += dt;
+        out
+    }
+
+    fn stats(&self) -> EvalStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,8 +238,14 @@ mod tests {
         );
         let (_, p1) = model.evaluate(&ds, &idx);
         let after = dlcm_model::metrics::r2(&y, &p1);
-        assert!(after > before, "R² should improve: {before:.3} -> {after:.3}");
-        assert!(after > 0.0, "trained baseline should beat the mean predictor: {after:.3}");
+        assert!(
+            after > before,
+            "R² should improve: {before:.3} -> {after:.3}"
+        );
+        assert!(
+            after > 0.0,
+            "trained baseline should beat the mean predictor: {after:.3}"
+        );
     }
 
     #[test]

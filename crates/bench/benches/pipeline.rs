@@ -4,10 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
+use dlcm_eval::{Evaluator, ExecutionEvaluator, ModelEvaluator};
 use dlcm_ir::{apply_schedule, interpret, synthetic_inputs, Schedule};
 use dlcm_machine::{analyze_program, Machine, Measurement};
 use dlcm_model::{CostModel, CostModelConfig, Featurizer, FeaturizerConfig, SpeedupPredictor};
-use dlcm_search::{BeamSearch, ExecutionEvaluator, SearchSpace};
+use dlcm_search::{BeamSearch, SearchSpace};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -53,10 +54,7 @@ fn model_inference(c: &mut Criterion) {
         .zip(&schedules)
         .map(|(p, s)| featurizer.featurize(p, s))
         .collect();
-    let model = CostModel::new(
-        CostModelConfig::fast(featurizer.config().vector_width()),
-        0,
-    );
+    let model = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 0);
     c.bench_function("model_predict", |b| {
         let mut i = 0;
         b.iter(|| {
@@ -64,6 +62,17 @@ fn model_inference(c: &mut Criterion) {
             i += 1;
             model.predict(&feats[k])
         });
+    });
+
+    // Batched candidate scoring through the unified evaluation API: one
+    // speedup_batch call over 8 schedules of the same program (the beam
+    // search wave shape).
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let wave = schedgen.generate_distinct(&programs[0], 8, &mut rng);
+    c.bench_function("model_speedup_batch_8", |b| {
+        let mut ev = ModelEvaluator::new(&model, featurizer.clone());
+        b.iter(|| ev.speedup_batch(&programs[0], &wave));
     });
 }
 

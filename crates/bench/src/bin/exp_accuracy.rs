@@ -55,10 +55,7 @@ fn main() {
     let val_set = prepare(&featurizer, &dataset, &split.val);
     let test_set = prepare(&featurizer, &dataset, &split.test);
 
-    let mut model = CostModel::new(
-        CostModelConfig::fast(featurizer.config().vector_width()),
-        0,
-    );
+    let mut model = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 0);
     eprintln!(
         "training {} params for {epochs} epochs on {} samples ...",
         model.num_params(),
@@ -93,10 +90,20 @@ fn main() {
         paper_spearman: 0.95,
     };
 
-    println!("--- test set ({} points, {} unseen programs) ---",
+    println!(
+        "--- test set ({} points, {} unseen programs) ---",
         report.test_points,
-        split.test.iter().map(|&i| dataset.points[i].program).collect::<std::collections::HashSet<_>>().len());
-    println!("MAPE         : {:.1}%   (paper: 16%)", 100.0 * report.test_mape);
+        split
+            .test
+            .iter()
+            .map(|&i| dataset.points[i].program)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    );
+    println!(
+        "MAPE         : {:.1}%   (paper: 16%)",
+        100.0 * report.test_mape
+    );
     println!("Pearson r    : {:.3}   (paper: 0.90)", report.pearson);
     println!("Spearman rho : {:.3}   (paper: 0.95)", report.spearman);
     println!("R^2          : {:.3}", report.r2);

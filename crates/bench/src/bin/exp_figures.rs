@@ -23,7 +23,11 @@ fn main() {
     let split = dataset.split(0);
     let featurizer = Featurizer::new(FeaturizerConfig::default());
     let test_set: Vec<LabeledFeatures> = prepare(&featurizer, &dataset, &split.test);
-    let programs: Vec<usize> = split.test.iter().map(|&i| dataset.points[i].program).collect();
+    let programs: Vec<usize> = split
+        .test
+        .iter()
+        .map(|&i| dataset.points[i].program)
+        .collect();
 
     eprintln!("predicting {} test points ...", test_set.len());
     let preds: Vec<f64> = {
@@ -65,7 +69,7 @@ fn main() {
 
     // ---- Figure 5 (top): APE histogram with the paper's 0.06-wide bins.
     let ape = metrics::ape(&targets, &preds);
-    let mut bins = vec![0usize; 17];
+    let mut bins = [0usize; 17];
     for &e in &ape {
         let b = ((e / 0.06) as usize).min(16);
         bins[b] += 1;

@@ -30,7 +30,10 @@ fn main() {
     // The Halide-style model trains on the same random-program training
     // split here (its *domain gap* is exercised separately in exp_search).
     let mut halide = HalideModel::new(MachineConfig::default(), 0);
-    eprintln!("training Halide-style model (MSE) on {} points ...", split.train.len());
+    eprintln!(
+        "training Halide-style model (MSE) on {} points ...",
+        split.train.len()
+    );
     halide.train(&dataset, &split.train, &HalideTrainConfig::default());
     let (y, halide_preds) = halide.evaluate(&dataset, &split.test);
 

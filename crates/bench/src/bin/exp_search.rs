@@ -12,13 +12,14 @@
 //!
 //! `cargo run --release -p dlcm-bench --bin exp_search [--quick]`
 
-use dlcm_baseline::{HalideEvaluator, HalideModel, HalideTrainConfig};
+use dlcm_baseline::{HalideModel, HalideTrainConfig};
 use dlcm_bench::{harness, load_model, quick_mode, write_csv};
 use dlcm_datagen::{Dataset, DatasetConfig, ProgramGenConfig};
+use dlcm_eval::{ExecutionEvaluator, ModelEvaluator};
 use dlcm_ir::Schedule;
 use dlcm_machine::{parallel_baseline, MachineConfig};
 use dlcm_model::{Featurizer, FeaturizerConfig};
-use dlcm_search::{BeamSearch, ExecutionEvaluator, Mcts, ModelEvaluator, SearchSpace};
+use dlcm_search::{BeamSearch, Mcts, SearchSpace};
 
 fn main() {
     let quick = quick_mode();
@@ -64,7 +65,10 @@ fn main() {
             .measure_schedule(&program, &baseline, 1)
             .expect("baseline legal");
         let measured = |s: &Schedule| {
-            t_base / harness.measure_schedule(&program, s, 1).expect("legal schedule")
+            t_base
+                / harness
+                    .measure_schedule(&program, s, 1)
+                    .expect("legal schedule")
         };
 
         // BSE.
@@ -88,14 +92,14 @@ fn main() {
         .search(&program, &mut ev_m, &mut ev_x);
         let mcts_speedup = measured(&mcts.schedule);
 
-        // Halide autoscheduler.
-        let mut ev_h = HalideEvaluator::new(&halide);
-        let hal = BeamSearch::new(beam_width, space.clone()).search(&program, &mut ev_h);
+        // Halide autoscheduler: the trained baseline model *is* an
+        // Evaluator, no adapter needed.
+        let hal = BeamSearch::new(beam_width, space.clone()).search(&program, &mut halide);
         let hal_speedup = measured(&hal.schedule);
 
         // Table 2 quantities.
-        let bsm_accel = bse.search_time / bsm.search_time.max(1e-9);
-        let mcts_accel = bse.search_time / mcts.search_time.max(1e-9);
+        let bsm_accel = bse.stats.search_time / bsm.stats.search_time.max(1e-9);
+        let mcts_accel = bse.stats.search_time / mcts.stats.search_time.max(1e-9);
         let degr = |s: f64| 100.0 * (1.0 - s / bse_speedup.max(1e-12)).max(0.0);
         let bsm_degr = degr(bsm_speedup);
         let mcts_degr = degr(mcts_speedup);

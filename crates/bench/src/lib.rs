@@ -83,7 +83,9 @@ pub fn load_or_generate_dataset(quick: bool) -> Dataset {
 pub fn load_model() -> CostModel {
     let path = results_dir().join("model.json");
     let file = std::fs::File::open(&path).unwrap_or_else(|_| {
-        panic!("{path:?} not found — run `cargo run --release -p dlcm-bench --bin exp_accuracy` first")
+        panic!(
+            "{path:?} not found — run `cargo run --release -p dlcm-bench --bin exp_accuracy` first"
+        )
     });
     serde_json::from_reader(std::io::BufReader::new(file)).expect("valid model artifact")
 }

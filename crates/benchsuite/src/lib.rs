@@ -51,16 +51,56 @@ pub struct Benchmark {
 /// The full suite in the paper's Figure 6 order.
 pub fn suite() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "box blur", category: Category::ImageProcessing, build: box_blur },
-        Benchmark { name: "conv + relu", category: Category::DeepLearning, build: conv_relu },
-        Benchmark { name: "convolution", category: Category::DeepLearning, build: convolution },
-        Benchmark { name: "cvtcolor", category: Category::ImageProcessing, build: cvtcolor },
-        Benchmark { name: "doitgen", category: Category::LinearAlgebra, build: doitgen },
-        Benchmark { name: "heat2d", category: Category::Stencil, build: heat2d },
-        Benchmark { name: "heat3d", category: Category::Stencil, build: heat3d },
-        Benchmark { name: "jacobi2d", category: Category::Stencil, build: jacobi2d },
-        Benchmark { name: "mvt", category: Category::LinearAlgebra, build: mvt },
-        Benchmark { name: "seidel2d", category: Category::Stencil, build: seidel2d },
+        Benchmark {
+            name: "box blur",
+            category: Category::ImageProcessing,
+            build: box_blur,
+        },
+        Benchmark {
+            name: "conv + relu",
+            category: Category::DeepLearning,
+            build: conv_relu,
+        },
+        Benchmark {
+            name: "convolution",
+            category: Category::DeepLearning,
+            build: convolution,
+        },
+        Benchmark {
+            name: "cvtcolor",
+            category: Category::ImageProcessing,
+            build: cvtcolor,
+        },
+        Benchmark {
+            name: "doitgen",
+            category: Category::LinearAlgebra,
+            build: doitgen,
+        },
+        Benchmark {
+            name: "heat2d",
+            category: Category::Stencil,
+            build: heat2d,
+        },
+        Benchmark {
+            name: "heat3d",
+            category: Category::Stencil,
+            build: heat3d,
+        },
+        Benchmark {
+            name: "jacobi2d",
+            category: Category::Stencil,
+            build: jacobi2d,
+        },
+        Benchmark {
+            name: "mvt",
+            category: Category::LinearAlgebra,
+            build: mvt,
+        },
+        Benchmark {
+            name: "seidel2d",
+            category: Category::Stencil,
+            build: seidel2d,
+        },
     ]
 }
 
@@ -101,7 +141,11 @@ fn conv_common(scale: f64, with_relu: bool) -> Program {
     // Table 3: batch 8, input 1024x1024x3, kernel 3x3, output features 2.
     let (n, cin, cout) = (8, 3, 2);
     let (h, w) = (dim(1024, scale), dim(1024, scale));
-    let name = if with_relu { "conv_relu" } else { "convolution" };
+    let name = if with_relu {
+        "conv_relu"
+    } else {
+        "convolution"
+    };
     let mut b = ProgramBuilder::new(name);
     let bn = b.iter("n", 0, n);
     let fo = b.iter("fout", 0, cout);
@@ -114,7 +158,11 @@ fn conv_common(scale: f64, with_relu: bool) -> Program {
     let weights = b.input("weights", &[cout, cin, 3, 3]);
     let conv = b.buffer("conv", &[n, cout, h - 2, w - 2]);
     let iters = [bn, fo, y, x, fi, k0, k1];
-    let w_acc = b.access(weights, &[fo.into(), fi.into(), k0.into(), k1.into()], &iters);
+    let w_acc = b.access(
+        weights,
+        &[fo.into(), fi.into(), k0.into(), k1.into()],
+        &iters,
+    );
     let i_acc = b.access(
         input,
         &[
@@ -228,11 +276,7 @@ pub fn heat2d(scale: f64) -> Program {
     let out = b.buffer("B", &[n, n]);
     let iters = [y, x];
     let tap = |b: &mut ProgramBuilder, dy: i64, dx: i64| {
-        Expr::Load(b.access(
-            a,
-            &[LinExpr::from(y) + dy, LinExpr::from(x) + dx],
-            &iters,
-        ))
+        Expr::Load(b.access(a, &[LinExpr::from(y) + dy, LinExpr::from(x) + dx], &iters))
     };
     let center = Expr::binary(BinOp::Mul, Expr::Const(0.5), tap(&mut b, 0, 0));
     let cross = [
@@ -305,11 +349,7 @@ pub fn jacobi2d(scale: f64) -> Program {
     let out = b.buffer("B", &[h, w]);
     let iters = [i, j];
     let tap = |b: &mut ProgramBuilder, di: i64, dj: i64| {
-        Expr::Load(b.access(
-            a,
-            &[LinExpr::from(i) + di, LinExpr::from(j) + dj],
-            &iters,
-        ))
+        Expr::Load(b.access(a, &[LinExpr::from(i) + di, LinExpr::from(j) + dj], &iters))
     };
     let sum = [
         tap(&mut b, 0, 0),
@@ -394,11 +434,8 @@ pub fn seidel2d(scale: f64) -> Program {
     let mut sum: Option<Expr> = None;
     for di in -1..=1 {
         for dj in -1..=1 {
-            let load = Expr::Load(b.access(
-                a,
-                &[LinExpr::from(i) + di, LinExpr::from(j) + dj],
-                &iters,
-            ));
+            let load =
+                Expr::Load(b.access(a, &[LinExpr::from(i) + di, LinExpr::from(j) + dj], &iters));
             sum = Some(match sum {
                 None => load,
                 Some(e) => Expr::binary(BinOp::Add, e, load),
@@ -458,7 +495,10 @@ mod tests {
             with: dlcm_ir::CompId(0),
             depth: 4,
         }]);
-        assert!(apply_schedule(&p, &fuse).is_ok(), "conv+relu fusion should be legal");
+        assert!(
+            apply_schedule(&p, &fuse).is_ok(),
+            "conv+relu fusion should be legal"
+        );
     }
 
     #[test]
@@ -469,7 +509,10 @@ mod tests {
             comp: dlcm_ir::CompId(1),
             level: 0,
         }]);
-        assert!(apply_schedule(&p, &par).is_err(), "seidel2d must not parallelize");
+        assert!(
+            apply_schedule(&p, &par).is_err(),
+            "seidel2d must not parallelize"
+        );
     }
 
     #[test]
@@ -485,7 +528,10 @@ mod tests {
                 size_a: 8,
                 size_b: 8,
             },
-            dlcm_ir::Transform::Unroll { comp: dlcm_ir::CompId(0), factor: 2 },
+            dlcm_ir::Transform::Unroll {
+                comp: dlcm_ir::CompId(0),
+                factor: 2,
+            },
         ]);
         let sp = apply_schedule(&p, &sched).unwrap();
         let inputs = synthetic_inputs(&p, 3);
@@ -497,11 +543,16 @@ mod tests {
     #[test]
     fn categories_cover_the_paper_domains() {
         let suite = suite();
-        assert!(suite.iter().any(|b| b.category == Category::ImageProcessing));
+        assert!(suite
+            .iter()
+            .any(|b| b.category == Category::ImageProcessing));
         assert!(suite.iter().any(|b| b.category == Category::DeepLearning));
         assert!(suite.iter().any(|b| b.category == Category::LinearAlgebra));
         assert_eq!(
-            suite.iter().filter(|b| b.category == Category::Stencil).count(),
+            suite
+                .iter()
+                .filter(|b| b.category == Category::Stencil)
+                .count(),
             4
         );
     }

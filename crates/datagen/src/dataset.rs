@@ -204,8 +204,7 @@ impl Dataset {
     /// Propagates serialization/IO failures.
     pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Loads a dataset from JSON.
@@ -225,7 +224,10 @@ mod tests {
     use dlcm_machine::Machine;
 
     fn tiny_dataset(seed: u64) -> Dataset {
-        Dataset::generate(&DatasetConfig::tiny(seed), &Measurement::exact(Machine::default()))
+        Dataset::generate(
+            &DatasetConfig::tiny(seed),
+            &Measurement::exact(Machine::default()),
+        )
     }
 
     #[test]

@@ -222,7 +222,13 @@ impl ProgramGenerator {
         }
         let idx: Vec<LinExpr> = iters.iter().map(|&it| LinExpr::from(it)).collect();
         let out = b.buffer(format!("buf{ci}"), &dims);
-        b.assign(format!("c{ci}"), &iters, out, &idx, expr.expect("at least one point"));
+        b.assign(
+            format!("c{ci}"),
+            &iters,
+            out,
+            &idx,
+            expr.expect("at least one point"),
+        );
         produced.push(Produced { buffer: out, dims });
     }
 
@@ -278,7 +284,10 @@ impl ProgramGenerator {
         let out = b.buffer(format!("buf{ci}"), &out_dims);
         let out_idx: Vec<LinExpr> = out_iters.iter().map(|&it| LinExpr::from(it)).collect();
         b.reduce(format!("c{ci}"), &iters, BinOp::Add, out, &out_idx, expr);
-        produced.push(Produced { buffer: out, dims: out_dims });
+        produced.push(Produced {
+            buffer: out,
+            dims: out_dims,
+        });
     }
 }
 
@@ -367,7 +376,7 @@ mod tests {
         for it in &p.iters {
             // Stencil bounds may be shrunk by at most 2 on each side.
             let n = it.upper - it.lower;
-            assert!(n >= 1 && n <= 16 + 4);
+            assert!((1..=16 + 4).contains(&n));
         }
     }
 }

@@ -83,6 +83,9 @@ impl ScheduleGenerator {
     }
 
     /// Generates one random legal schedule.
+    // `c` is a computation id (used to build CompId and index per-comp
+    // state), not a bare slice index.
+    #[allow(clippy::needless_range_loop)]
     pub fn generate(&self, program: &Program, rng: &mut impl Rng) -> Schedule {
         let mut schedule = Schedule::empty();
         let n = program.num_comps();
@@ -96,7 +99,15 @@ impl ScheduleGenerator {
                 let depth = rng.gen_range(1..=max_depth);
                 // Prefer the deepest legal fusion, falling back outward.
                 for d in (1..=depth).rev() {
-                    if Self::try_push(program, &mut schedule, Transform::Fuse { comp: b, with: a, depth: d }) {
+                    if Self::try_push(
+                        program,
+                        &mut schedule,
+                        Transform::Fuse {
+                            comp: b,
+                            with: a,
+                            depth: d,
+                        },
+                    ) {
                         break;
                     }
                 }
@@ -121,10 +132,20 @@ impl ScheduleGenerator {
                 if Self::try_push(
                     program,
                     &mut schedule,
-                    Transform::Interchange { comp: CompId(c), level_a: a, level_b: b },
+                    Transform::Interchange {
+                        comp: CompId(c),
+                        level_a: a,
+                        level_b: b,
+                    },
                 ) {
-                    let pa = orders[c].iter().position(|&l| l == a).expect("level present");
-                    let pb = orders[c].iter().position(|&l| l == b).expect("level present");
+                    let pa = orders[c]
+                        .iter()
+                        .position(|&l| l == a)
+                        .expect("level present");
+                    let pb = orders[c]
+                        .iter()
+                        .position(|&l| l == b)
+                        .expect("level present");
                     orders[c].swap(pa, pb);
                 }
             }
@@ -175,16 +196,28 @@ impl ScheduleGenerator {
                 } else {
                     orders[c][rng.gen_range(0..depth)]
                 };
-                Self::try_push(program, &mut schedule, Transform::Parallelize { comp, level });
+                Self::try_push(
+                    program,
+                    &mut schedule,
+                    Transform::Parallelize { comp, level },
+                );
             }
             if rng.gen_bool(self.cfg.p_vectorize) {
                 if let Some(&f) = self.cfg.vector_factors.choose(rng) {
-                    Self::try_push(program, &mut schedule, Transform::Vectorize { comp, factor: f });
+                    Self::try_push(
+                        program,
+                        &mut schedule,
+                        Transform::Vectorize { comp, factor: f },
+                    );
                 }
             }
             if rng.gen_bool(self.cfg.p_unroll) {
                 if let Some(&f) = self.cfg.unroll_factors.choose(rng) {
-                    Self::try_push(program, &mut schedule, Transform::Unroll { comp, factor: f });
+                    Self::try_push(
+                        program,
+                        &mut schedule,
+                        Transform::Unroll { comp, factor: f },
+                    );
                 }
             }
         }

@@ -1,0 +1,155 @@
+//! Evaluation by a learned cost model: the fast path of Table 2.
+//!
+//! Works with any [`SpeedupPredictor`] (the recursive model or the §4.4
+//! ablation architectures). Batched evaluation groups structure-identical
+//! candidates and runs one [`SpeedupPredictor::forward_batch`] per group —
+//! the appendix A.1 observation that "it is faster to operate on data
+//! points having the same tree structure", applied at inference time.
+//! Grouped inference is bit-identical to one forward pass per candidate
+//! (each batch row is computed independently), so batching changes
+//! throughput, never scores.
+
+use std::time::Instant;
+
+use dlcm_ir::{Program, Schedule};
+use dlcm_model::{Featurizer, ProgramFeatures, SpeedupPredictor};
+use dlcm_tensor::Tape;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{EvalStats, Evaluator};
+
+/// Evaluation by a trained cost model behind [`SpeedupPredictor`].
+pub struct ModelEvaluator<'m> {
+    model: &'m dyn SpeedupPredictor,
+    featurizer: Featurizer,
+    stats: EvalStats,
+}
+
+impl<'m> ModelEvaluator<'m> {
+    /// Creates a model evaluator over any speedup predictor.
+    pub fn new(model: &'m dyn SpeedupPredictor, featurizer: Featurizer) -> Self {
+        Self {
+            model,
+            featurizer,
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The featurizer used to encode candidates.
+    pub fn featurizer(&self) -> &Featurizer {
+        &self.featurizer
+    }
+}
+
+impl Evaluator for ModelEvaluator<'_> {
+    fn speedup_batch(&mut self, program: &Program, schedules: &[Schedule]) -> Vec<f64> {
+        let start = Instant::now();
+        let feats: Vec<ProgramFeatures> = schedules
+            .iter()
+            .map(|s| self.featurizer.featurize(program, s))
+            .collect();
+
+        // Group structure-identical candidates so each group is one
+        // batched forward pass. Transformations like fusion change the
+        // tree shape, so a wave of candidates can span several groups.
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (i, f) in feats.iter().enumerate() {
+            let key = f.structure_key();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+
+        let mut out = vec![0.0; schedules.len()];
+        for (_, idxs) in &groups {
+            let batch: Vec<&ProgramFeatures> = idxs.iter().map(|&i| &feats[i]).collect();
+            // Inference tape: dropout is inactive, the RNG is inert; seed 0
+            // matches `SpeedupPredictor::predict` exactly.
+            let mut tape = Tape::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            let pred = self.model.forward_batch(&mut tape, &batch, &mut rng);
+            let values = tape.value(pred);
+            for (row, &i) in idxs.iter().enumerate() {
+                out[i] = f64::from(values.get(row, 0)).max(f64::MIN_POSITIVE);
+            }
+        }
+
+        self.stats.num_evals += schedules.len();
+        let dt = start.elapsed().as_secs_f64();
+        self.stats.infer_time += dt;
+        self.stats.search_time += dt;
+        out
+    }
+
+    fn stats(&self) -> EvalStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlcm_ir::{CompId, Expr, ProgramBuilder, Transform};
+    use dlcm_model::{CostModel, CostModelConfig, FeaturizerConfig};
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new("p");
+        let i = b.iter("i", 0, 64);
+        let j = b.iter("j", 0, 64);
+        let inp = b.input("in", &[64, 64]);
+        let out = b.buffer("out", &[64, 64]);
+        let acc = b.access(inp, &[i.into(), j.into()], &[i, j]);
+        b.assign("c", &[i, j], out, &[i.into(), j.into()], Expr::Load(acc));
+        b.build().unwrap()
+    }
+
+    fn tiny_model() -> CostModel {
+        CostModel::new(
+            CostModelConfig {
+                input_dim: FeaturizerConfig::default().vector_width(),
+                embed_widths: vec![32, 16],
+                merge_hidden: 16,
+                regress_widths: vec![16],
+                dropout: 0.0,
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn batch_matches_predict_exactly() {
+        let p = program();
+        let model = tiny_model();
+        let featurizer = Featurizer::new(FeaturizerConfig::default());
+        let schedules = vec![
+            Schedule::empty(),
+            Schedule::new(vec![Transform::Parallelize {
+                comp: CompId(0),
+                level: 0,
+            }]),
+            Schedule::new(vec![Transform::Tile {
+                comp: CompId(0),
+                level_a: 0,
+                level_b: 1,
+                size_a: 16,
+                size_b: 16,
+            }]),
+        ];
+        let mut ev = ModelEvaluator::new(&model, featurizer.clone());
+        let batch = ev.speedup_batch(&p, &schedules);
+        for (s, &b) in schedules.iter().zip(&batch) {
+            let single = model
+                .predict(&featurizer.featurize(&p, s))
+                .max(f64::MIN_POSITIVE);
+            assert_eq!(
+                b, single,
+                "batched score must equal SpeedupPredictor::predict"
+            );
+        }
+        assert_eq!(ev.stats().num_evals, 3);
+        assert!(ev.stats().infer_time > 0.0);
+        assert_eq!(ev.stats().compile_time, 0.0);
+    }
+}

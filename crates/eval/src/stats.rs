@@ -1,0 +1,100 @@
+//! Uniform evaluation accounting.
+//!
+//! §5/§6 of the paper trade search time against schedule quality
+//! (Table 2): beam search with execution pays simulated compile+run
+//! seconds per candidate, model-guided search pays wall-clock inference
+//! milliseconds. [`EvalStats`] carries both on the same struct so every
+//! consumer — beam, MCTS, the experiment binaries — reads one shape of
+//! number regardless of the evaluator behind the trait object.
+
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Accounting snapshot of an [`crate::Evaluator`].
+///
+/// `search_time` is the total accounted cost in seconds;
+/// `compile_time` (simulated candidate compilation) and `infer_time`
+/// (wall-clock model inference) are its components, each zero for
+/// evaluators that do not pay that cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Number of candidate evaluations performed.
+    pub num_evals: usize,
+    /// Total accounted search time in seconds. For execution this is the
+    /// *simulated* compile+run time (standing in for the paper's real
+    /// hardware); for model evaluators it is measured wall-clock
+    /// inference time.
+    pub search_time: f64,
+    /// Seconds spent (simulated) compiling candidates.
+    pub compile_time: f64,
+    /// Seconds of wall-clock model inference (featurize + forward).
+    pub infer_time: f64,
+}
+
+impl EvalStats {
+    /// The delta accumulated since an earlier snapshot (e.g. taken before
+    /// a search run).
+    #[must_use]
+    pub fn since(&self, earlier: &EvalStats) -> EvalStats {
+        *self - *earlier
+    }
+}
+
+impl Add for EvalStats {
+    type Output = EvalStats;
+
+    fn add(self, rhs: EvalStats) -> EvalStats {
+        EvalStats {
+            num_evals: self.num_evals + rhs.num_evals,
+            search_time: self.search_time + rhs.search_time,
+            compile_time: self.compile_time + rhs.compile_time,
+            infer_time: self.infer_time + rhs.infer_time,
+        }
+    }
+}
+
+impl AddAssign for EvalStats {
+    fn add_assign(&mut self, rhs: EvalStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for EvalStats {
+    type Output = EvalStats;
+
+    fn sub(self, rhs: EvalStats) -> EvalStats {
+        EvalStats {
+            num_evals: self.num_evals.saturating_sub(rhs.num_evals),
+            search_time: self.search_time - rhs.search_time,
+            compile_time: self.compile_time - rhs.compile_time,
+            infer_time: self.infer_time - rhs.infer_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_sum_are_componentwise() {
+        let a = EvalStats {
+            num_evals: 3,
+            search_time: 2.0,
+            compile_time: 1.5,
+            infer_time: 0.0,
+        };
+        let b = EvalStats {
+            num_evals: 8,
+            search_time: 5.0,
+            compile_time: 3.0,
+            infer_time: 0.5,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.num_evals, 5);
+        assert!((d.search_time - 3.0).abs() < 1e-12);
+        let s = a + d;
+        assert_eq!(s, b);
+    }
+}

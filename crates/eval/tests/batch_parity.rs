@@ -1,0 +1,192 @@
+//! Batch/sequential parity: for a fixed seed, `speedup_batch` over N
+//! candidates returns exactly the same values as N sequential `speedup`
+//! calls. This is the contract that lets search switch to batched
+//! evaluation (and later PRs to parallel/sharded evaluation) without
+//! changing any search result.
+
+use dlcm_eval::{Evaluator, ExecutionEvaluator, ModelEvaluator};
+use dlcm_ir::{BinOp, CompId, Expr, Program, ProgramBuilder, Schedule, Transform};
+use dlcm_machine::{Machine, Measurement};
+use dlcm_model::{CostModel, CostModelConfig, Featurizer, FeaturizerConfig};
+
+/// A two-computation pipeline so candidate schedules can change the
+/// program-tree structure (fusion) and exercise multi-group batching in
+/// the model evaluator.
+fn pipeline(n: i64) -> Program {
+    let mut b = ProgramBuilder::new("pipe");
+    let i = b.iter("i", 0, n);
+    let j = b.iter("j", 0, n);
+    let inp = b.input("in", &[n, n]);
+    let tmp = b.buffer("tmp", &[n, n]);
+    let out = b.buffer("out", &[n, n]);
+    let acc_in = b.access(inp, &[i.into(), j.into()], &[i, j]);
+    b.assign(
+        "scale",
+        &[i, j],
+        tmp,
+        &[i.into(), j.into()],
+        Expr::binary(BinOp::Mul, Expr::Load(acc_in), Expr::Const(2.0)),
+    );
+    let i2 = b.iter("i2", 0, n);
+    let j2 = b.iter("j2", 0, n);
+    let acc_tmp = b.access(tmp, &[i2.into(), j2.into()], &[i2, j2]);
+    b.assign(
+        "shift",
+        &[i2, j2],
+        out,
+        &[i2.into(), j2.into()],
+        Expr::binary(BinOp::Add, Expr::Load(acc_tmp), Expr::Const(1.0)),
+    );
+    b.build().unwrap()
+}
+
+/// Candidate schedules spanning several tree structures.
+fn candidates() -> Vec<Schedule> {
+    vec![
+        Schedule::empty(),
+        Schedule::new(vec![Transform::Parallelize {
+            comp: CompId(0),
+            level: 0,
+        }]),
+        Schedule::new(vec![Transform::Tile {
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
+            size_a: 32,
+            size_b: 32,
+        }]),
+        Schedule::new(vec![Transform::Fuse {
+            comp: CompId(1),
+            with: CompId(0),
+            depth: 2,
+        }]),
+        Schedule::new(vec![
+            Transform::Parallelize {
+                comp: CompId(0),
+                level: 0,
+            },
+            Transform::Vectorize {
+                comp: CompId(0),
+                factor: 8,
+            },
+        ]),
+        Schedule::new(vec![Transform::Unroll {
+            comp: CompId(1),
+            factor: 4,
+        }]),
+    ]
+}
+
+#[test]
+fn execution_evaluator_batch_equals_sequential() {
+    let program = pipeline(128);
+    let schedules = candidates();
+    let seed = 42;
+
+    let mut sequential = ExecutionEvaluator::new(Measurement::new(Machine::default()), seed);
+    let one_by_one: Vec<f64> = schedules
+        .iter()
+        .map(|s| sequential.speedup(&program, s))
+        .collect();
+
+    let mut batched = ExecutionEvaluator::new(Measurement::new(Machine::default()), seed);
+    let batch = batched.speedup_batch(&program, &schedules);
+
+    assert_eq!(
+        batch, one_by_one,
+        "execution batch must match sequential exactly"
+    );
+    assert_eq!(batched.stats().num_evals, sequential.stats().num_evals);
+    assert_eq!(batched.stats().search_time, sequential.stats().search_time);
+}
+
+#[test]
+fn model_evaluator_batch_equals_sequential() {
+    let program = pipeline(64);
+    let schedules = candidates();
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let model = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 7);
+
+    let mut sequential = ModelEvaluator::new(&model, featurizer.clone());
+    let one_by_one: Vec<f64> = schedules
+        .iter()
+        .map(|s| sequential.speedup(&program, s))
+        .collect();
+
+    let mut batched = ModelEvaluator::new(&model, featurizer.clone());
+    let batch = batched.speedup_batch(&program, &schedules);
+
+    assert_eq!(
+        batch, one_by_one,
+        "model batch must match sequential bit-for-bit"
+    );
+    assert_eq!(batched.stats().num_evals, schedules.len());
+    // The fused candidate has a different tree shape than the rest, so the
+    // batch really exercised multi-group inference.
+    let fused = featurizer.featurize(&program, &schedules[3]);
+    let base = featurizer.featurize(&program, &schedules[0]);
+    assert_ne!(fused.structure_key(), base.structure_key());
+}
+
+/// Opposite fusion choices on a 3-computation program produce
+/// isomorphic tree *shapes* with different computations in each
+/// position. They must land in different batch groups (the batched
+/// forward pass reuses `batch[0]`'s tree for every row), and batched
+/// scores must still match sequential ones exactly.
+#[test]
+fn isomorphic_fusions_do_not_share_a_batch_group() {
+    let n = 32;
+    let mut b = ProgramBuilder::new("tri");
+    let inp = b.input("in", &[n, n]);
+    let mut bufs = Vec::new();
+    for name in ["a", "b", "c"] {
+        bufs.push(b.buffer(name, &[n, n]));
+    }
+    for (k, &out) in bufs.iter().enumerate() {
+        let i = b.iter(format!("i{k}"), 0, n);
+        let j = b.iter(format!("j{k}"), 0, n);
+        let acc = b.access(inp, &[i.into(), j.into()], &[i, j]);
+        b.assign(
+            format!("c{k}"),
+            &[i, j],
+            out,
+            &[i.into(), j.into()],
+            Expr::binary(BinOp::Mul, Expr::Load(acc), Expr::Const(1.0 + k as f32)),
+        );
+    }
+    let program = b.build().unwrap();
+
+    let fuse_10 = Schedule::new(vec![Transform::Fuse {
+        comp: CompId(1),
+        with: CompId(0),
+        depth: 2,
+    }]);
+    let fuse_21 = Schedule::new(vec![Transform::Fuse {
+        comp: CompId(2),
+        with: CompId(1),
+        depth: 2,
+    }]);
+
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let fa = featurizer.featurize(&program, &fuse_10);
+    let fb = featurizer.featurize(&program, &fuse_21);
+    assert_ne!(
+        fa.structure_key(),
+        fb.structure_key(),
+        "same shape, different comp placement: must not share a batch group"
+    );
+
+    let model = CostModel::new(
+        CostModelConfig::fast(featurizer.config().vector_width()),
+        11,
+    );
+    let schedules = vec![fuse_10, fuse_21, Schedule::empty()];
+    let mut sequential = ModelEvaluator::new(&model, featurizer.clone());
+    let one_by_one: Vec<f64> = schedules
+        .iter()
+        .map(|s| sequential.speedup(&program, s))
+        .collect();
+    let mut batched = ModelEvaluator::new(&model, featurizer);
+    let batch = batched.speedup_batch(&program, &schedules);
+    assert_eq!(batch, one_by_one, "fusion variants must score identically");
+}

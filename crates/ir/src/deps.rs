@@ -159,12 +159,7 @@ enum Solve {
 
 /// Solves `src_access(i) == dst_access(j)` for `d = j - i` over the first
 /// `common` loop levels, treating deeper levels conservatively.
-fn solve_distance(
-    src: &AccessMatrix,
-    dst: &AccessMatrix,
-    common: usize,
-    extents: &[i64],
-) -> Solve {
+fn solve_distance(src: &AccessMatrix, dst: &AccessMatrix, common: usize, extents: &[i64]) -> Solve {
     if src.dims() != dst.dims() {
         return Solve::Unknown;
     }
@@ -470,14 +465,17 @@ mod tests {
         let j = b.iter("j", 0, 32);
         let out = b.buffer("out", &[32, 32]);
         let load = b.access(out, &[LinExpr::from(i) - 1, LinExpr::from(j)], &[i, j]);
-        b.assign("c", &[i, j], out, &[LinExpr::from(i), LinExpr::from(j)], Expr::Load(load));
+        b.assign(
+            "c",
+            &[i, j],
+            out,
+            &[LinExpr::from(i), LinExpr::from(j)],
+            Expr::Load(load),
+        );
         let p = b.build().unwrap();
         let deps = analyze(&p);
         assert_eq!(deps.len(), 1);
-        assert_eq!(
-            deps[0].distance,
-            Some(vec![Dist::Exact(1), Dist::Exact(0)])
-        );
+        assert_eq!(deps[0].distance, Some(vec![Dist::Exact(1), Dist::Exact(0)]));
         assert!(deps[0].carried_at_or_unknown(0));
         assert!(!deps[0].carried_at_or_unknown(1));
     }
@@ -491,7 +489,14 @@ mod tests {
         let inp = b.input("in", &[8, 32]);
         let out = b.buffer("out", &[8]);
         let load = b.access(inp, &[LinExpr::from(i), LinExpr::from(k)], &[i, k]);
-        b.reduce("r", &[i, k], BinOp::Add, out, &[LinExpr::from(i)], Expr::Load(load));
+        b.reduce(
+            "r",
+            &[i, k],
+            BinOp::Add,
+            out,
+            &[LinExpr::from(i)],
+            Expr::Load(load),
+        );
         let p = b.build().unwrap();
         let deps = analyze(&p);
         assert_eq!(deps.len(), 1);

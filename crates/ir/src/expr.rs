@@ -298,10 +298,7 @@ mod tests {
     #[test]
     fn paper_example_matrix() {
         // A[i0, i0 + i1, i1 - 2] from §4.1 of the paper.
-        let m = AccessMatrix::from_rows(
-            2,
-            &[vec![1, 0, 0], vec![1, 1, 0], vec![0, 1, -2]],
-        );
+        let m = AccessMatrix::from_rows(2, &[vec![1, 0, 0], vec![1, 1, 0], vec![0, 1, -2]]);
         assert_eq!(m.dims(), 3);
         assert_eq!(m.depth(), 2);
         assert_eq!(m.eval(&[4, 7]), vec![4, 11, 5]);

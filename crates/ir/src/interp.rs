@@ -34,7 +34,11 @@ impl std::fmt::Display for InterpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             InterpError::MissingInput(name) => write!(f, "missing input buffer {name}"),
-            InterpError::SizeMismatch { buffer, expected, got } => {
+            InterpError::SizeMismatch {
+                buffer,
+                expected,
+                got,
+            } => {
                 write!(f, "buffer {buffer} expected {expected} elements, got {got}")
             }
         }
@@ -153,10 +157,7 @@ pub fn synthetic_inputs(program: &Program, seed: u64) -> HashMap<BufferId, Vec<f
 
 /// Maximum relative difference between two buffer maps, for comparing a
 /// transformed program against the baseline with floating-point tolerance.
-pub fn max_relative_error(
-    a: &HashMap<BufferId, Vec<f32>>,
-    b: &HashMap<BufferId, Vec<f32>>,
-) -> f32 {
+pub fn max_relative_error(a: &HashMap<BufferId, Vec<f32>>, b: &HashMap<BufferId, Vec<f32>>) -> f32 {
     let mut worst = 0.0f32;
     for (id, va) in a {
         let Some(vb) = b.get(id) else {

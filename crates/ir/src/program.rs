@@ -56,7 +56,12 @@ impl Buffer {
     ///
     /// Panics if `idx.len() != dims.len()` or any index is out of range.
     pub fn offset(&self, idx: &[i64]) -> usize {
-        assert_eq!(idx.len(), self.dims.len(), "index rank mismatch for {}", self.name);
+        assert_eq!(
+            idx.len(),
+            self.dims.len(),
+            "index rank mismatch for {}",
+            self.name
+        );
         let mut off: i64 = 0;
         for (d, (&i, &n)) in idx.iter().zip(&self.dims).enumerate() {
             assert!(
@@ -668,7 +673,9 @@ mod tests {
         let p = b.build().unwrap();
         // One root loop (i) containing two inner loops (j, k).
         assert_eq!(p.roots.len(), 1);
-        let TreeNode::Loop(root) = &p.roots[0] else { panic!() };
+        let TreeNode::Loop(root) = &p.roots[0] else {
+            panic!()
+        };
         assert_eq!(root.children.len(), 2);
     }
 

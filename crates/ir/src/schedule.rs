@@ -151,14 +151,21 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::NonCanonical => {
-                write!(f, "schedule is not in canonical fuse/interchange/tile/tag order")
+                write!(
+                    f,
+                    "schedule is not in canonical fuse/interchange/tile/tag order"
+                )
             }
             ScheduleError::UnknownComp(c) => write!(f, "unknown computation c{}", c.0),
             ScheduleError::LevelOutOfRange { comp, level } => {
                 write!(f, "level L{level} out of range for computation c{}", comp.0)
             }
             ScheduleError::NotBranchFree { comp, detail } => {
-                write!(f, "loops of c{} are not a branch-free chain: {detail}", comp.0)
+                write!(
+                    f,
+                    "loops of c{} are not a branch-free chain: {detail}",
+                    comp.0
+                )
             }
             ScheduleError::NotAdjacent { comp } => {
                 write!(f, "tiled levels of c{} are not adjacent", comp.0)
@@ -274,7 +281,9 @@ fn comp_path(roots: &[SNode], comp: CompId) -> Option<Vec<usize>> {
 fn loop_at_mut<'a>(roots: &'a mut [SNode], prefix: &[usize]) -> &'a mut SLoop {
     let mut node = &mut roots[prefix[0]];
     for &idx in &prefix[1..] {
-        let SNode::Loop(l) = node else { panic!("path through non-loop") };
+        let SNode::Loop(l) = node else {
+            panic!("path through non-loop")
+        };
         node = &mut l.children[idx];
     }
     match node {
@@ -286,7 +295,9 @@ fn loop_at_mut<'a>(roots: &'a mut [SNode], prefix: &[usize]) -> &'a mut SLoop {
 fn loop_at<'a>(roots: &'a [SNode], prefix: &[usize]) -> &'a SLoop {
     let mut node = &roots[prefix[0]];
     for &idx in &prefix[1..] {
-        let SNode::Loop(l) = node else { panic!("path through non-loop") };
+        let SNode::Loop(l) = node else {
+            panic!("path through non-loop")
+        };
         node = &l.children[idx];
     }
     match node {
@@ -416,12 +427,18 @@ impl<'p> Applier<'p> {
 
     fn apply(&mut self, t: &Transform) -> Result<(), ScheduleError> {
         match *t {
-            Transform::Interchange { comp, level_a, level_b } => {
-                self.interchange(comp, level_a, level_b)
-            }
-            Transform::Tile { comp, level_a, level_b, size_a, size_b } => {
-                self.tile(comp, level_a, level_b, size_a, size_b)
-            }
+            Transform::Interchange {
+                comp,
+                level_a,
+                level_b,
+            } => self.interchange(comp, level_a, level_b),
+            Transform::Tile {
+                comp,
+                level_a,
+                level_b,
+                size_a,
+                size_b,
+            } => self.tile(comp, level_a, level_b, size_a, size_b),
             Transform::Unroll { comp, factor } => self.unroll(comp, factor),
             Transform::Parallelize { comp, level } => self.parallelize(comp, level),
             Transform::Vectorize { comp, factor } => self.vectorize(comp, factor),
@@ -450,7 +467,11 @@ impl<'p> Applier<'p> {
             if l.children.len() != 1 {
                 return Err(ScheduleError::NotBranchFree {
                     comp,
-                    detail: format!("loop at depth {} has {} children", plen - 1, l.children.len()),
+                    detail: format!(
+                        "loop at depth {} has {} children",
+                        plen - 1,
+                        l.children.len()
+                    ),
                 });
             }
         }
@@ -495,19 +516,43 @@ impl<'p> Applier<'p> {
         // Structurally swap the two loop headers.
         let header_a = {
             let l = loop_at(&self.roots, &path_a[..pa]);
-            (l.source, l.extent, l.parallel, l.vector_factor, l.unroll_factor)
+            (
+                l.source,
+                l.extent,
+                l.parallel,
+                l.vector_factor,
+                l.unroll_factor,
+            )
         };
         let header_b = {
             let l = loop_at(&self.roots, &path_a[..pb]);
-            (l.source, l.extent, l.parallel, l.vector_factor, l.unroll_factor)
+            (
+                l.source,
+                l.extent,
+                l.parallel,
+                l.vector_factor,
+                l.unroll_factor,
+            )
         };
         {
             let l = loop_at_mut(&mut self.roots, &path_a[..pa]);
-            (l.source, l.extent, l.parallel, l.vector_factor, l.unroll_factor) = header_b;
+            (
+                l.source,
+                l.extent,
+                l.parallel,
+                l.vector_factor,
+                l.unroll_factor,
+            ) = header_b;
         }
         {
             let l = loop_at_mut(&mut self.roots, &path_a[..pb]);
-            (l.source, l.extent, l.parallel, l.vector_factor, l.unroll_factor) = header_a;
+            (
+                l.source,
+                l.extent,
+                l.parallel,
+                l.vector_factor,
+                l.unroll_factor,
+            ) = header_a;
         }
         // Update nesting orders.
         for (c, order) in new_orders {
@@ -579,12 +624,15 @@ impl<'p> Applier<'p> {
                 .take_while(|&l| {
                     // Levels nested outside the band: positions before pa.
                     let pos = order.iter().position(|&x| x == l).unwrap();
-                    pos < order.iter().position(|&x| x == level_a).unwrap_or(usize::MAX)
+                    pos < order
+                        .iter()
+                        .position(|&x| x == level_a)
+                        .unwrap_or(usize::MAX)
                 })
                 .collect();
-            let carried_outside = outer_levels.iter().any(|&l| {
-                l < d.len() && matches!(d[l], Dist::Exact(v) if v > 0)
-            });
+            let carried_outside = outer_levels
+                .iter()
+                .any(|&l| l < d.len() && matches!(d[l], Dist::Exact(v) if v > 0));
             if carried_outside {
                 continue;
             }
@@ -606,18 +654,34 @@ impl<'p> Applier<'p> {
         let (ia, na) = (outer.source.iter(), outer.extent);
         let (ib, nb) = (inner.source.iter(), inner.extent);
         let body = inner.children;
-        let b1 = SLoop::plain(LoopSource::TileInner { iter: ib, tile: size_b }, size_b, body);
+        let b1 = SLoop::plain(
+            LoopSource::TileInner {
+                iter: ib,
+                tile: size_b,
+            },
+            size_b,
+            body,
+        );
         let a1 = SLoop::plain(
-            LoopSource::TileInner { iter: ia, tile: size_a },
+            LoopSource::TileInner {
+                iter: ia,
+                tile: size_a,
+            },
             size_a,
             vec![SNode::Loop(Box::new(b1))],
         );
         let b0 = SLoop::plain(
-            LoopSource::TileOuter { iter: ib, tile: size_b },
+            LoopSource::TileOuter {
+                iter: ib,
+                tile: size_b,
+            },
             nb.div_euclid(size_b) + i64::from(nb % size_b != 0),
             vec![SNode::Loop(Box::new(a1))],
         );
-        outer.source = LoopSource::TileOuter { iter: ia, tile: size_a };
+        outer.source = LoopSource::TileOuter {
+            iter: ia,
+            tile: size_a,
+        };
         outer.extent = na.div_euclid(size_a) + i64::from(na % size_a != 0);
         outer.children = vec![SNode::Loop(Box::new(b0))];
         Ok(())
@@ -693,7 +757,10 @@ impl<'p> Applier<'p> {
                 .iters
                 .iter()
                 .position(|&it| self.resolve(it) == target)
-                .ok_or(ScheduleError::LevelOutOfRange { comp, level: usize::MAX })?;
+                .ok_or(ScheduleError::LevelOutOfRange {
+                    comp,
+                    level: usize::MAX,
+                })?;
             (lvl, l.extent, l.vector_factor.is_some())
         };
         if already {
@@ -818,11 +885,21 @@ impl<'p> Applier<'p> {
                 let cy = self.program.comp(y);
                 let x_acc: Vec<(&AccessMatrix, crate::program::BufferId, bool)> =
                     std::iter::once((&cx.store.matrix, cx.store.buffer, true))
-                        .chain(cx.expr.loads().into_iter().map(|a| (&a.matrix, a.buffer, false)))
+                        .chain(
+                            cx.expr
+                                .loads()
+                                .into_iter()
+                                .map(|a| (&a.matrix, a.buffer, false)),
+                        )
                         .collect();
                 let y_acc: Vec<(&AccessMatrix, crate::program::BufferId, bool)> =
                     std::iter::once((&cy.store.matrix, cy.store.buffer, true))
-                        .chain(cy.expr.loads().into_iter().map(|a| (&a.matrix, a.buffer, false)))
+                        .chain(
+                            cy.expr
+                                .loads()
+                                .into_iter()
+                                .map(|a| (&a.matrix, a.buffer, false)),
+                        )
                         .collect();
                 for (mx, bx, wx) in &x_acc {
                     for (my, by, wy) in &y_acc {

@@ -105,11 +105,24 @@ impl Transform {
             Transform::Fuse { comp, with, depth } => {
                 format!("fuse(c{}, into c{}, depth {})", comp.0, with.0, depth)
             }
-            Transform::Interchange { comp, level_a, level_b } => {
+            Transform::Interchange {
+                comp,
+                level_a,
+                level_b,
+            } => {
                 format!("interchange(c{}, L{level_a}, L{level_b})", comp.0)
             }
-            Transform::Tile { comp, level_a, level_b, size_a, size_b } => {
-                format!("tile(c{}, L{level_a}, L{level_b}, {size_a}, {size_b})", comp.0)
+            Transform::Tile {
+                comp,
+                level_a,
+                level_b,
+                size_a,
+                size_b,
+            } => {
+                format!(
+                    "tile(c{}, L{level_a}, L{level_b}, {size_a}, {size_b})",
+                    comp.0
+                )
             }
             Transform::Unroll { comp, factor } => format!("unroll(c{}, {factor})", comp.0),
             Transform::Parallelize { comp, level } => {
@@ -201,10 +214,27 @@ mod tests {
 
     #[test]
     fn phases_are_ordered() {
-        let f = Transform::Fuse { comp: CompId(1), with: CompId(0), depth: 1 };
-        let i = Transform::Interchange { comp: CompId(0), level_a: 0, level_b: 1 };
-        let t = Transform::Tile { comp: CompId(0), level_a: 0, level_b: 1, size_a: 4, size_b: 4 };
-        let u = Transform::Unroll { comp: CompId(0), factor: 2 };
+        let f = Transform::Fuse {
+            comp: CompId(1),
+            with: CompId(0),
+            depth: 1,
+        };
+        let i = Transform::Interchange {
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
+        };
+        let t = Transform::Tile {
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
+            size_a: 4,
+            size_b: 4,
+        };
+        let u = Transform::Unroll {
+            comp: CompId(0),
+            factor: 2,
+        };
         assert!(f.phase() < i.phase());
         assert!(i.phase() < t.phase());
         assert!(t.phase() < u.phase());
@@ -213,13 +243,27 @@ mod tests {
     #[test]
     fn canonical_detection() {
         let good = Schedule::new(vec![
-            Transform::Interchange { comp: CompId(0), level_a: 0, level_b: 1 },
-            Transform::Unroll { comp: CompId(0), factor: 2 },
+            Transform::Interchange {
+                comp: CompId(0),
+                level_a: 0,
+                level_b: 1,
+            },
+            Transform::Unroll {
+                comp: CompId(0),
+                factor: 2,
+            },
         ]);
         assert!(good.is_canonical());
         let bad = Schedule::new(vec![
-            Transform::Unroll { comp: CompId(0), factor: 2 },
-            Transform::Interchange { comp: CompId(0), level_a: 0, level_b: 1 },
+            Transform::Unroll {
+                comp: CompId(0),
+                factor: 2,
+            },
+            Transform::Interchange {
+                comp: CompId(0),
+                level_a: 0,
+                level_b: 1,
+            },
         ]);
         assert!(!bad.is_canonical());
     }
@@ -240,8 +284,14 @@ mod tests {
     #[test]
     fn for_comp_filters() {
         let s = Schedule::new(vec![
-            Transform::Unroll { comp: CompId(0), factor: 2 },
-            Transform::Unroll { comp: CompId(1), factor: 4 },
+            Transform::Unroll {
+                comp: CompId(0),
+                factor: 2,
+            },
+            Transform::Unroll {
+                comp: CompId(1),
+                factor: 4,
+            },
         ]);
         assert_eq!(s.for_comp(CompId(1)).count(), 1);
     }

@@ -2,102 +2,152 @@
 //! programs within a constrained family and arbitrary transform
 //! parameters, legality decisions and structural rewrites must be
 //! consistent with the reference interpreter.
+//!
+//! Written as seeded randomized property loops (64 cases per property,
+//! like the original proptest configuration) over the vendored RNG.
 
 use dlcm_ir::*;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const CASES: u64 = 64;
 
 /// A small constrained program family: 2-D pointwise map with an optional
-/// stencil offset, sizes in 8..=24.
-fn arb_program() -> impl Strategy<Value = Program> {
-    // Sizes >= 8 with offsets <= 2 keep every access in bounds.
-    (8i64..24, 8i64..24, -2i64..=2, -2i64..=2).prop_map(|(n, m, di, dj)| {
-        let mut b = ProgramBuilder::new("prop");
-        let (lo_i, hi_i) = (di.unsigned_abs() as i64, n - di.unsigned_abs() as i64);
-        let (lo_j, hi_j) = (dj.unsigned_abs() as i64, m - dj.unsigned_abs() as i64);
-        let i = b.iter("i", lo_i, hi_i);
-        let j = b.iter("j", lo_j, hi_j);
-        let inp = b.input("in", &[n, m]);
-        let out = b.buffer("out", &[n, m]);
-        let acc = b.access(
-            inp,
-            &[LinExpr::from(i) + di, LinExpr::from(j) + dj],
-            &[i, j],
-        );
-        b.assign(
-            "c",
-            &[i, j],
-            out,
-            &[i.into(), j.into()],
-            Expr::binary(BinOp::Add, Expr::Load(acc), Expr::Const(1.0)),
-        );
-        b.build().expect("family is valid by construction")
-    })
+/// stencil offset, sizes in 8..=24. Sizes >= 8 with offsets <= 2 keep
+/// every access in bounds.
+fn arb_program(rng: &mut ChaCha8Rng) -> Program {
+    let n = rng.gen_range(8i64..24);
+    let m = rng.gen_range(8i64..24);
+    let di = rng.gen_range(-2i64..=2);
+    let dj = rng.gen_range(-2i64..=2);
+    let mut b = ProgramBuilder::new("prop");
+    let (lo_i, hi_i) = (di.unsigned_abs() as i64, n - di.unsigned_abs() as i64);
+    let (lo_j, hi_j) = (dj.unsigned_abs() as i64, m - dj.unsigned_abs() as i64);
+    let i = b.iter("i", lo_i, hi_i);
+    let j = b.iter("j", lo_j, hi_j);
+    let inp = b.input("in", &[n, m]);
+    let out = b.buffer("out", &[n, m]);
+    let acc = b.access(
+        inp,
+        &[LinExpr::from(i) + di, LinExpr::from(j) + dj],
+        &[i, j],
+    );
+    b.assign(
+        "c",
+        &[i, j],
+        out,
+        &[i.into(), j.into()],
+        Expr::binary(BinOp::Add, Expr::Load(acc), Expr::Const(1.0)),
+    );
+    b.build().expect("family is valid by construction")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Tiling with any in-range sizes preserves pointwise semantics
-    /// bit-exactly.
-    #[test]
-    fn tiling_is_exact(p in arb_program(), sa in 2i64..16, sb in 2i64..16) {
+/// Tiling with any in-range sizes preserves pointwise semantics
+/// bit-exactly.
+#[test]
+fn tiling_is_exact() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xA0 ^ case);
+        let p = arb_program(&mut rng);
+        let sa = rng.gen_range(2i64..16);
+        let sb = rng.gen_range(2i64..16);
         let schedule = Schedule::new(vec![Transform::Tile {
-            comp: CompId(0), level_a: 0, level_b: 1, size_a: sa, size_b: sb,
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
+            size_a: sa,
+            size_b: sb,
         }]);
         let inputs = synthetic_inputs(&p, 0);
         match apply_schedule(&p, &schedule) {
             Err(ScheduleError::BadFactor { .. }) => {} // size > extent: fine
-            Err(e) => prop_assert!(false, "unexpected rejection: {e}"),
+            Err(e) => panic!("case {case}: unexpected rejection: {e}"),
             Ok(sp) => {
                 let base = interpret_baseline(&p, &inputs).unwrap();
                 let opt = interpret(&sp, &inputs).unwrap();
-                prop_assert_eq!(max_relative_error(&base, &opt), 0.0);
+                assert_eq!(max_relative_error(&base, &opt), 0.0, "case {case}");
             }
         }
     }
+}
 
-    /// Interchange of a pointwise loop nest is always legal and exact.
-    #[test]
-    fn interchange_is_exact(p in arb_program()) {
+/// Interchange of a pointwise loop nest is always legal and exact.
+#[test]
+fn interchange_is_exact() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xB0 ^ case);
+        let p = arb_program(&mut rng);
         let schedule = Schedule::new(vec![Transform::Interchange {
-            comp: CompId(0), level_a: 0, level_b: 1,
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
         }]);
         let sp = apply_schedule(&p, &schedule).expect("pointwise interchange is legal");
         let inputs = synthetic_inputs(&p, 1);
         let base = interpret_baseline(&p, &inputs).unwrap();
         let opt = interpret(&sp, &inputs).unwrap();
-        prop_assert_eq!(max_relative_error(&base, &opt), 0.0);
+        assert_eq!(max_relative_error(&base, &opt), 0.0, "case {case}");
     }
+}
 
-    /// Tags (parallel/vector/unroll) never change interpreter semantics.
-    #[test]
-    fn tags_are_semantically_transparent(p in arb_program(), f in 2i64..8) {
-        let mut transforms = vec![Transform::Parallelize { comp: CompId(0), level: 0 }];
-        transforms.push(Transform::Vectorize { comp: CompId(0), factor: f });
-        transforms.push(Transform::Unroll { comp: CompId(0), factor: f });
-        let schedule = Schedule::new(transforms);
+/// Tags (parallel/vector/unroll) never change interpreter semantics.
+#[test]
+fn tags_are_semantically_transparent() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0 ^ case);
+        let p = arb_program(&mut rng);
+        let f = rng.gen_range(2i64..8);
+        let schedule = Schedule::new(vec![
+            Transform::Parallelize {
+                comp: CompId(0),
+                level: 0,
+            },
+            Transform::Vectorize {
+                comp: CompId(0),
+                factor: f,
+            },
+            Transform::Unroll {
+                comp: CompId(0),
+                factor: f,
+            },
+        ]);
         let inputs = synthetic_inputs(&p, 2);
         match apply_schedule(&p, &schedule) {
             Err(ScheduleError::BadFactor { .. }) => {}
-            Err(e) => prop_assert!(false, "unexpected rejection: {e}"),
+            Err(e) => panic!("case {case}: unexpected rejection: {e}"),
             Ok(sp) => {
                 let base = interpret_baseline(&p, &inputs).unwrap();
                 let opt = interpret(&sp, &inputs).unwrap();
-                prop_assert_eq!(max_relative_error(&base, &opt), 0.0);
+                assert_eq!(max_relative_error(&base, &opt), 0.0, "case {case}");
             }
         }
     }
+}
 
-    /// Schedule application is deterministic.
-    #[test]
-    fn apply_is_deterministic(p in arb_program(), sa in 2i64..8) {
+/// Schedule application is deterministic.
+#[test]
+fn apply_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xD0 ^ case);
+        let p = arb_program(&mut rng);
+        let sa = rng.gen_range(2i64..8);
         let schedule = Schedule::new(vec![
-            Transform::Interchange { comp: CompId(0), level_a: 0, level_b: 1 },
-            Transform::Tile { comp: CompId(0), level_a: 0, level_b: 1, size_a: sa, size_b: sa },
+            Transform::Interchange {
+                comp: CompId(0),
+                level_a: 0,
+                level_b: 1,
+            },
+            Transform::Tile {
+                comp: CompId(0),
+                level_a: 0,
+                level_b: 1,
+                size_a: sa,
+                size_b: sa,
+            },
         ]);
         let a = apply_schedule(&p, &schedule);
         let b = apply_schedule(&p, &schedule);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }
 

@@ -80,7 +80,11 @@ impl CompProfile {
     /// Product of trip counts of loops `0..d` (iterations of the outer
     /// region that re-executes the sub-nest at depth `d`).
     pub fn outer_iters(&self, d: usize) -> i64 {
-        self.loops[..d].iter().map(|l| l.trips).product::<i64>().max(1)
+        self.loops[..d]
+            .iter()
+            .map(|l| l.trips)
+            .product::<i64>()
+            .max(1)
     }
 
     /// The innermost loop, if any.
@@ -147,11 +151,7 @@ pub fn analyze_program(sp: &ScheduledProgram) -> Vec<CompProfile> {
             // Original level of each scheduled loop for this computation.
             let orig_levels: Vec<Option<usize>> = loops
                 .iter()
-                .map(|l| {
-                    comp.iters
-                        .iter()
-                        .position(|&it| sp.resolve(it) == l.iter)
-                })
+                .map(|l| comp.iters.iter().position(|&it| sp.resolve(it) == l.iter))
                 .collect();
 
             let accesses = comp
@@ -339,7 +339,11 @@ mod tests {
         let prof = &analyze_program(&sp)[0];
         for acc in &prof.accesses {
             for w in acc.footprints.windows(2) {
-                assert!(w[0] >= w[1], "footprints must shrink inward: {:?}", acc.footprints);
+                assert!(
+                    w[0] >= w[1],
+                    "footprints must shrink inward: {:?}",
+                    acc.footprints
+                );
             }
             assert_eq!(*acc.footprints.last().unwrap(), 1);
         }
@@ -365,7 +369,7 @@ mod tests {
         .unwrap();
         let prof = &analyze_program(&tiled)[0];
         assert_eq!(prof.loops.len(), 5); // i, j0, k0, j1, k1
-        // Footprint of b[k,j] inside a (j1,k1) tile: 8x8 = 64 elements.
+                                         // Footprint of b[k,j] inside a (j1,k1) tile: 8x8 = 64 elements.
         let b_access = &prof.accesses[2];
         assert_eq!(b_access.footprints[3], 64);
     }
@@ -376,8 +380,14 @@ mod tests {
         let sp = apply_schedule(
             &p,
             &Schedule::new(vec![
-                Transform::Parallelize { comp: CompId(0), level: 0 },
-                Transform::Unroll { comp: CompId(0), factor: 4 },
+                Transform::Parallelize {
+                    comp: CompId(0),
+                    level: 0,
+                },
+                Transform::Unroll {
+                    comp: CompId(0),
+                    factor: 4,
+                },
             ]),
         )
         .unwrap();

@@ -109,10 +109,7 @@ impl Machine {
         // --- SIMD effectiveness -------------------------------------------
         let innermost = prof.innermost().expect("non-empty loop nest");
         let vec_factor = innermost.vector_factor.unwrap_or(1).max(1);
-        let unit_stride = prof
-            .accesses
-            .iter()
-            .all(|a| a.innermost_stride.abs() <= 1);
+        let unit_stride = prof.accesses.iter().all(|a| a.innermost_stride.abs() <= 1);
         let simd_speedup = if vec_factor > 1 {
             if unit_stride {
                 (vec_factor.min(cfg.vector_lanes as i64) as f64) * cfg.simd_efficiency
@@ -161,8 +158,8 @@ impl Machine {
             let resident_level = match acc.producer_lca_depth {
                 None => n_levels + 1, // inputs: resident nowhere (DRAM+1)
                 Some(lca) => {
-                    let window_bytes = acc.footprints[lca.min(acc.footprints.len() - 1)] as f64
-                        * elem_bytes;
+                    let window_bytes =
+                        acc.footprints[lca.min(acc.footprints.len() - 1)] as f64 * elem_bytes;
                     cfg.caches
                         .iter()
                         .position(|c| window_bytes <= c.size_bytes as f64)
@@ -285,7 +282,10 @@ mod tests {
     fn more_work_takes_longer() {
         let small = time_of(&matmul(64), &Schedule::empty());
         let large = time_of(&matmul(128), &Schedule::empty());
-        assert!(large > 4.0 * small, "8x flops should be >4x slower: {small} vs {large}");
+        assert!(
+            large > 4.0 * small,
+            "8x flops should be >4x slower: {small} vs {large}"
+        );
     }
 
     #[test]
@@ -294,7 +294,10 @@ mod tests {
         let base = time_of(&p, &Schedule::empty());
         let par = time_of(
             &p,
-            &Schedule::new(vec![Transform::Parallelize { comp: CompId(0), level: 0 }]),
+            &Schedule::new(vec![Transform::Parallelize {
+                comp: CompId(0),
+                level: 0,
+            }]),
         );
         assert!(par < base, "parallel {par} should beat serial {base}");
     }
@@ -307,7 +310,10 @@ mod tests {
         let base = time_of(&p, &Schedule::empty());
         let par_inner = time_of(
             &p,
-            &Schedule::new(vec![Transform::Parallelize { comp: CompId(0), level: 1 }]),
+            &Schedule::new(vec![Transform::Parallelize {
+                comp: CompId(0),
+                level: 1,
+            }]),
         );
         assert!(
             par_inner > base,
@@ -321,7 +327,10 @@ mod tests {
         let base = time_of(&p, &Schedule::empty());
         let vec = time_of(
             &p,
-            &Schedule::new(vec![Transform::Vectorize { comp: CompId(0), factor: 8 }]),
+            &Schedule::new(vec![Transform::Vectorize {
+                comp: CompId(0),
+                factor: 8,
+            }]),
         );
         assert!(vec < base, "vectorized {vec} should beat scalar {base}");
     }
@@ -342,7 +351,10 @@ mod tests {
 
         let good = time_of(&elementwise(n), &Schedule::empty());
         let bad = time_of(&strided, &Schedule::empty());
-        assert!(bad > 2.0 * good, "strided {bad} should be much slower than {good}");
+        assert!(
+            bad > 2.0 * good,
+            "strided {bad} should be much slower than {good}"
+        );
     }
 
     #[test]
@@ -359,9 +371,16 @@ mod tests {
         let bad = time_of(&p, &Schedule::empty());
         let fixed = time_of(
             &p,
-            &Schedule::new(vec![Transform::Interchange { comp: CompId(0), level_a: 0, level_b: 1 }]),
+            &Schedule::new(vec![Transform::Interchange {
+                comp: CompId(0),
+                level_a: 0,
+                level_b: 1,
+            }]),
         );
-        assert!(fixed < bad, "interchange should fix the stride: {fixed} vs {bad}");
+        assert!(
+            fixed < bad,
+            "interchange should fix the stride: {fixed} vs {bad}"
+        );
     }
 
     #[test]
@@ -387,10 +406,16 @@ mod tests {
         let base = time_of(&p, &Schedule::empty());
         let unrolled = time_of(
             &p,
-            &Schedule::new(vec![Transform::Unroll { comp: CompId(0), factor: 8 }]),
+            &Schedule::new(vec![Transform::Unroll {
+                comp: CompId(0),
+                factor: 8,
+            }]),
         );
         assert!(unrolled < base);
-        assert!(unrolled > base * 0.3, "unrolling is a small win, not a magic one");
+        assert!(
+            unrolled > base * 0.3,
+            "unrolling is a small win, not a magic one"
+        );
     }
 
     #[test]
@@ -423,7 +448,11 @@ mod tests {
         let unfused = time_of(&p, &Schedule::empty());
         let fused = time_of(
             &p,
-            &Schedule::new(vec![Transform::Fuse { comp: CompId(1), with: CompId(0), depth: 2 }]),
+            &Schedule::new(vec![Transform::Fuse {
+                comp: CompId(1),
+                with: CompId(0),
+                depth: 2,
+            }]),
         );
         assert!(fused < unfused, "fusion should help: {fused} vs {unfused}");
     }
@@ -444,7 +473,13 @@ mod tests {
         let mut b = ProgramBuilder::new("empty");
         let i = b.iter("i", 0, 0);
         let out = b.buffer("out", &[1]);
-        b.assign("c", &[i], out, &[LinExpr::constant_expr(0)], Expr::Const(1.0));
+        b.assign(
+            "c",
+            &[i],
+            out,
+            &[LinExpr::constant_expr(0)],
+            Expr::Const(1.0),
+        );
         let p = b.build().unwrap();
         assert_eq!(time_of(&p, &Schedule::empty()), 0.0);
     }

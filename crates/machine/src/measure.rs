@@ -214,7 +214,10 @@ mod tests {
         assert_eq!(sched.len(), 1);
         assert!(matches!(
             sched.transforms[0],
-            Transform::Parallelize { comp: CompId(0), level: 0 }
+            Transform::Parallelize {
+                comp: CompId(0),
+                level: 0
+            }
         ));
     }
 
@@ -238,8 +241,7 @@ mod tests {
 
     #[test]
     fn lognormal_centered_near_one() {
-        let mean: f64 =
-            (0..2000).map(|i| lognormal(i, 0.05)).sum::<f64>() / 2000.0;
+        let mean: f64 = (0..2000).map(|i| lognormal(i, 0.05)).sum::<f64>() / 2000.0;
         assert!((mean - 1.0).abs() < 0.02, "lognormal mean drifted: {mean}");
     }
 }

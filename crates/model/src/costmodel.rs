@@ -223,8 +223,7 @@ impl CostModel {
     ) -> Var {
         match node {
             FeatNode::Comp(i) => {
-                let indices: Vec<usize> =
-                    (0..rows).map(|b| b * comps_per_sample + i).collect();
+                let indices: Vec<usize> = (0..rows).map(|b| b * comps_per_sample + i).collect();
                 tape.gather_rows(comp_rows, &indices)
             }
             FeatNode::Loop(children) => {
@@ -255,7 +254,9 @@ impl SpeedupPredictor for CostModel {
         let shared = batch[0];
         let comps = shared.comp_vectors.len();
         debug_assert!(
-            batch.iter().all(|f| f.structure_key() == shared.structure_key()),
+            batch
+                .iter()
+                .all(|f| f.structure_key() == shared.structure_key()),
             "batch must be structure-identical"
         );
 
@@ -287,7 +288,9 @@ impl SpeedupPredictor for CostModel {
         let program_embedding = self.loop_unit(tape, &comp_embeds, &loop_embeds, rows, rng);
 
         // Layer 3: regression, positive output.
-        let raw = self.regress.forward(tape, &self.store, program_embedding, rng);
+        let raw = self
+            .regress
+            .forward(tape, &self.store, program_embedding, rng);
         exp_head(tape, raw)
     }
 

@@ -92,11 +92,18 @@ pub struct ProgramFeatures {
 
 impl ProgramFeatures {
     /// A stable hash of the tree shape, used to batch structure-identical
-    /// samples together (paper appendix A.1).
+    /// samples together (paper appendix A.1). The computation *indices*
+    /// are part of the key: batched inference reuses `batch[0]`'s tree
+    /// for every row, so two trees are only batch-compatible when the
+    /// same computations sit in the same positions (isomorphic shapes
+    /// with different comp placements — e.g. opposite fusion choices —
+    /// must not collide).
     pub fn structure_key(&self) -> u64 {
         fn visit(node: &FeatNode, h: &mut u64) {
             match node {
-                FeatNode::Comp(_) => *h = h.wrapping_mul(31).wrapping_add(1),
+                FeatNode::Comp(i) => {
+                    *h = h.wrapping_mul(31).wrapping_add(4).wrapping_add(*i as u64)
+                }
                 FeatNode::Loop(ch) => {
                     *h = h.wrapping_mul(31).wrapping_add(2);
                     for c in ch {
@@ -171,7 +178,7 @@ impl Featurizer {
         );
         let structural: ScheduledProgram =
             apply_schedule(program, &fuse_only).expect("fusion subset of a legal schedule");
-        let tree = structural.roots.iter().map(|r| convert(r)).collect();
+        let tree = structural.roots.iter().map(convert).collect();
 
         ProgramFeatures { comp_vectors, tree }
     }
@@ -191,11 +198,21 @@ impl Featurizer {
                         }
                     }
                 }
-                Transform::Interchange { comp, level_a, level_b } => {
+                Transform::Interchange {
+                    comp,
+                    level_a,
+                    level_b,
+                } => {
                     tags[comp.0][level_a].interchanged = true;
                     tags[comp.0][level_b].interchanged = true;
                 }
-                Transform::Tile { comp, level_a, level_b, size_a, size_b } => {
+                Transform::Tile {
+                    comp,
+                    level_a,
+                    level_b,
+                    size_a,
+                    size_b,
+                } => {
                     tags[comp.0][level_a].tiled = true;
                     tags[comp.0][level_a].tile_factor = size_a;
                     tags[comp.0][level_b].tiled = true;
@@ -221,6 +238,9 @@ impl Featurizer {
         tags
     }
 
+    // `l` is a loop level compared against comp.depth(), not a bare
+    // slice index over `tags`.
+    #[allow(clippy::needless_range_loop)]
     fn comp_vector(&self, program: &Program, c: CompId, tags: &[LevelTags]) -> Vec<f32> {
         let cfg = self.cfg;
         let comp = program.comp(c);
@@ -254,7 +274,7 @@ impl Featurizer {
                     log(t.vector_factor),
                 ]);
             } else {
-                v.extend(std::iter::repeat(0.0).take(LOOP_FEATS));
+                v.extend(std::iter::repeat_n(0.0, LOOP_FEATS));
             }
         }
 
@@ -306,7 +326,7 @@ impl Featurizer {
                     }
                 }
             } else {
-                v.extend(std::iter::repeat(0.0).take(cfg.access_width()));
+                v.extend(std::iter::repeat_n(0.0, cfg.access_width()));
             }
         }
 
@@ -384,7 +404,10 @@ mod tests {
                 size_a: 16,
                 size_b: 8,
             },
-            dlcm_ir::Transform::Unroll { comp: CompId(0), factor: 4 },
+            dlcm_ir::Transform::Unroll {
+                comp: CompId(0),
+                factor: 4,
+            },
         ]);
         let base = f.featurize(&p, &Schedule::empty());
         let tagged = f.featurize(&p, &sched);
@@ -440,7 +463,14 @@ mod tests {
         let inp = b.input("in", &[8, 16]);
         let out = b.buffer("out", &[8]);
         let acc = b.access(inp, &[i.into(), k.into()], &[i, k]);
-        b.reduce("r", &[i, k], BinOp::Add, out, &[LinExpr::from(i)], Expr::Load(acc));
+        b.reduce(
+            "r",
+            &[i, k],
+            BinOp::Add,
+            out,
+            &[LinExpr::from(i)],
+            Expr::Load(acc),
+        );
         let p = b.build().unwrap();
         let f = Featurizer::new(FeaturizerConfig::default());
         let feats = f.featurize(&p, &Schedule::empty());

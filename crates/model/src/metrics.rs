@@ -86,7 +86,11 @@ pub fn r2(y: &[f64], y_hat: &[f64]) -> f64 {
     }
     let my = y.iter().sum::<f64>() / n;
     let ss_tot: f64 = y.iter().map(|&yi| (yi - my) * (yi - my)).sum();
-    let ss_res: f64 = y.iter().zip(y_hat).map(|(&yi, &pi)| (yi - pi) * (yi - pi)).sum();
+    let ss_res: f64 = y
+        .iter()
+        .zip(y_hat)
+        .map(|(&yi, &pi)| (yi - pi) * (yi - pi))
+        .sum();
     if ss_tot <= 0.0 {
         return 0.0;
     }

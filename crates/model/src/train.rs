@@ -161,10 +161,8 @@ pub fn train<M: SpeedupPredictor>(
             step += 1;
             // One batched forward/backward over structure-identical
             // samples (paper A.1).
-            let refs: Vec<&ProgramFeatures> =
-                batch.iter().map(|&i| &train_set[i].feats).collect();
-            let targets: Vec<f32> =
-                batch.iter().map(|&i| train_set[i].target as f32).collect();
+            let refs: Vec<&ProgramFeatures> = batch.iter().map(|&i| &train_set[i].feats).collect();
+            let targets: Vec<f32> = batch.iter().map(|&i| train_set[i].target as f32).collect();
             let mut tape = Tape::for_training();
             let mut srng = train_rng(cfg.seed ^ ((step as u64) << 20), step);
             let pred = model.forward_batch(&mut tape, &refs, &mut srng);
@@ -209,7 +207,10 @@ pub fn train<M: SpeedupPredictor>(
 pub fn evaluate<M: SpeedupPredictor>(model: &M, set: &[LabeledFeatures]) -> (f64, Vec<f64>) {
     let mut by_structure: std::collections::HashMap<u64, Vec<usize>> = Default::default();
     for (i, s) in set.iter().enumerate() {
-        by_structure.entry(s.feats.structure_key()).or_default().push(i);
+        by_structure
+            .entry(s.feats.structure_key())
+            .or_default()
+            .push(i);
     }
     let groups: Vec<Vec<usize>> = by_structure.into_values().collect();
     let chunks: Vec<Vec<usize>> = groups
@@ -254,10 +255,7 @@ mod tests {
         );
         let split = ds.split(0);
         let f = Featurizer::new(FeaturizerConfig::default());
-        (
-            prepare(&f, &ds, &split.train),
-            prepare(&f, &ds, &split.val),
-        )
+        (prepare(&f, &ds, &split.train), prepare(&f, &ds, &split.val))
     }
 
     #[test]

@@ -4,12 +4,13 @@
 //! model to assess whether the chosen transformations provide a good
 //! speedup." The beam keeps the `width` best candidates per stage, scored
 //! on their *finalized* schedules (decision prefix + the §4 heuristic
-//! parallelization/vectorization tags).
+//! parallelization/vectorization tags). All new candidates of a stage are
+//! scored through one [`Evaluator::speedup_batch`] call.
 
+use dlcm_eval::{EvalStats, Evaluator};
 use dlcm_ir::{Program, Schedule};
 use serde::{Deserialize, Serialize};
 
-use crate::evaluator::Evaluator;
 use crate::space::{expand, finalize, Candidate, SearchSpace};
 
 /// Outcome of one search run.
@@ -19,11 +20,9 @@ pub struct SearchResult {
     pub schedule: Schedule,
     /// The evaluator's score for it (speedup over unoptimized).
     pub score: f64,
-    /// Number of evaluator calls performed.
-    pub evals: usize,
-    /// Accumulated search time in seconds (see
-    /// [`crate::evaluator::Evaluator::search_time`]).
-    pub search_time: f64,
+    /// Evaluation accounting accumulated by this run (candidate count and
+    /// accounted search time — see [`dlcm_eval::EvalStats`]).
+    pub stats: EvalStats,
 }
 
 /// Beam search.
@@ -52,8 +51,7 @@ impl BeamSearch {
 
     /// Runs the search, scoring candidates through `evaluator`.
     pub fn search(&self, program: &Program, evaluator: &mut dyn Evaluator) -> SearchResult {
-        let evals_before = evaluator.num_evals();
-        let time_before = evaluator.search_time();
+        let stats_before = evaluator.stats();
 
         let mut frontier: Vec<(Candidate, f64, Schedule)> = Vec::new();
         {
@@ -63,29 +61,42 @@ impl BeamSearch {
             frontier.push((root, score, finalized));
         }
 
-        // Expand until every beam entry is complete.
+        // Expand until every beam entry is complete. Each wave's fresh
+        // candidates are scored in a single batched evaluator call.
         while frontier.iter().any(|(c, _, _)| !c.is_complete()) {
-            let mut next: Vec<(Candidate, f64, Schedule)> = Vec::new();
+            let mut next: Vec<(Candidate, Option<f64>, Schedule)> = Vec::new();
+            let mut pending: Vec<usize> = Vec::new();
             for (cand, score, finalized) in frontier {
                 if cand.is_complete() {
-                    next.push((cand, score, finalized));
+                    next.push((cand, Some(score), finalized));
                     continue;
                 }
                 for child in expand(program, &self.space, &cand) {
                     // The skip child has the same transforms: reuse the
                     // parent's score rather than re-evaluating.
                     if child.schedule == cand.schedule {
-                        next.push((child, score, finalized.clone()));
+                        next.push((child, Some(score), finalized.clone()));
                         continue;
                     }
                     let child_final = finalize(program, &self.space, &child.schedule);
-                    let child_score = evaluator.speedup(program, &child_final);
-                    next.push((child, child_score, child_final));
+                    pending.push(next.len());
+                    next.push((child, None, child_final));
                 }
             }
-            next.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
-            next.truncate(self.width.max(1));
-            frontier = next;
+
+            let wave: Vec<Schedule> = pending.iter().map(|&slot| next[slot].2.clone()).collect();
+            let scores = evaluator.speedup_batch(program, &wave);
+            for (slot, score) in pending.into_iter().zip(scores) {
+                next[slot].1 = Some(score);
+            }
+
+            let mut scored: Vec<(Candidate, f64, Schedule)> = next
+                .into_iter()
+                .map(|(c, s, f)| (c, s.expect("every candidate scored"), f))
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+            scored.truncate(self.width.max(1));
+            frontier = scored;
         }
 
         let (_, score, schedule) = frontier
@@ -95,8 +106,7 @@ impl BeamSearch {
         SearchResult {
             schedule,
             score,
-            evals: evaluator.num_evals() - evals_before,
-            search_time: evaluator.search_time() - time_before,
+            stats: evaluator.stats().since(&stats_before),
         }
     }
 }
@@ -104,7 +114,7 @@ impl BeamSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::ExecutionEvaluator;
+    use dlcm_eval::ExecutionEvaluator;
     use dlcm_ir::{BinOp, Expr, ProgramBuilder};
     use dlcm_machine::{Machine, Measurement};
 
@@ -134,11 +144,14 @@ mod tests {
     fn beam_with_execution_beats_heuristic_baseline() {
         let p = mm(256);
         let mut ev = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
-        let beam = BeamSearch::new(3, SearchSpace {
-            tile_sizes: vec![32, 64],
-            unroll_factors: vec![4],
-            ..SearchSpace::default()
-        });
+        let beam = BeamSearch::new(
+            3,
+            SearchSpace {
+                tile_sizes: vec![32, 64],
+                unroll_factors: vec![4],
+                ..SearchSpace::default()
+            },
+        );
         let result = beam.search(&p, &mut ev);
         // Empty-schedule finalized (parallel+vector only) is the first
         // candidate; the search must do at least as well.
@@ -151,8 +164,8 @@ mod tests {
             result.score,
             result.schedule.describe()
         );
-        assert!(result.evals > 5);
-        assert!(result.search_time > 0.0);
+        assert!(result.stats.num_evals > 5);
+        assert!(result.stats.search_time > 0.0);
     }
 
     #[test]
@@ -169,7 +182,10 @@ mod tests {
         };
         let narrow = run(1);
         let wide = run(8);
-        assert!(wide >= narrow * 0.999, "wider beam regressed: {narrow} -> {wide}");
+        assert!(
+            wide >= narrow * 0.999,
+            "wider beam regressed: {narrow} -> {wide}"
+        );
     }
 
     #[test]
@@ -178,5 +194,17 @@ mod tests {
         let mut ev = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
         let result = BeamSearch::default().search(&p, &mut ev);
         assert!(dlcm_ir::apply_schedule(&p, &result.schedule).is_ok());
+    }
+
+    #[test]
+    fn boxed_evaluator_drives_search() {
+        // `Box<dyn Evaluator>` must work end to end (object safety).
+        let p = mm(64);
+        let mut ev: Box<dyn Evaluator> = Box::new(ExecutionEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+        ));
+        let result = BeamSearch::default().search(&p, &mut *ev);
+        assert!(result.stats.num_evals > 0);
     }
 }

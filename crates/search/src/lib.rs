@@ -3,8 +3,14 @@
 //! Search-space exploration for the DLCM reproduction of *"A Deep
 //! Learning Based Cost Model for Automatic Code Optimization"* (MLSys
 //! 2021), §5: the transformation decision tree of Figure 3, beam search,
-//! and MCTS, each driven by either (simulated) execution or the learned
-//! cost model, with explicit search-time accounting for Table 2.
+//! and MCTS, each driven by any [`dlcm_eval::Evaluator`] — (simulated)
+//! execution or the learned cost model — with explicit search-time
+//! accounting for Table 2 via [`dlcm_eval::EvalStats`].
+//!
+//! Candidate scoring is batch-first: beam search scores each expansion
+//! wave through one [`dlcm_eval::Evaluator::speedup_batch`] call, so
+//! evaluators can amortize per-call cost (batched model inference today,
+//! parallel/sharded evaluation later) without the search caring.
 //!
 //! # Examples
 //!
@@ -12,8 +18,9 @@
 //!
 //! ```no_run
 //! # use dlcm_ir::*;
+//! use dlcm_eval::{Evaluator, ExecutionEvaluator};
 //! use dlcm_machine::{Machine, Measurement};
-//! use dlcm_search::{BeamSearch, Evaluator, ExecutionEvaluator};
+//! use dlcm_search::BeamSearch;
 //! # let mut b = ProgramBuilder::new("p");
 //! # let i = b.iter("i", 0, 512);
 //! # let inp = b.input("in", &[512]);
@@ -23,17 +30,20 @@
 //! # let program = b.build().unwrap();
 //! let mut evaluator = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
 //! let result = BeamSearch::default().search(&program, &mut evaluator);
-//! println!("best: {} ({}x)", result.schedule.describe(), result.score);
+//! println!(
+//!     "best: {} ({}x, {} evals)",
+//!     result.schedule.describe(),
+//!     result.score,
+//!     result.stats.num_evals
+//! );
 //! ```
 
 #![warn(missing_docs)]
 
 mod beam;
-mod evaluator;
 mod mcts;
 mod space;
 
 pub use beam::{BeamSearch, SearchResult};
-pub use evaluator::{Evaluator, ExecutionEvaluator, ModelEvaluator};
 pub use mcts::Mcts;
 pub use space::{expand, finalize, Candidate, SearchSpace, Stage};

@@ -7,6 +7,7 @@
 //! two-step approach: the model prunes the space, and a small number of
 //! real executions corrects the model's error.
 
+use dlcm_eval::Evaluator;
 use dlcm_ir::{Program, Schedule};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -15,7 +16,6 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::beam::SearchResult;
-use crate::evaluator::Evaluator;
 use crate::space::{expand, finalize, Candidate, SearchSpace};
 
 /// MCTS configuration.
@@ -57,18 +57,17 @@ struct Node {
 
 impl Mcts {
     /// Runs MCTS: `model_eval` scores rollouts; `exec_eval` (the
-    /// correction step) executes the retained top-k set and the best
-    /// measured schedule wins. The returned
-    /// [`SearchResult::search_time`] combines both evaluators' costs.
+    /// correction step) executes the retained top-k set in one batched
+    /// call and the best measured schedule wins. The returned
+    /// [`SearchResult::stats`] combines both evaluators' accounting.
     pub fn search(
         &self,
         program: &Program,
         model_eval: &mut dyn Evaluator,
         exec_eval: &mut dyn Evaluator,
     ) -> SearchResult {
-        let model_evals_before = model_eval.num_evals();
-        let model_time_before = model_eval.search_time();
-        let exec_time_before = exec_eval.search_time();
+        let model_before = model_eval.stats();
+        let exec_before = exec_eval.stats();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
 
         let mut nodes = vec![Node {
@@ -104,7 +103,11 @@ impl Mcts {
                     .iter()
                     .max_by(|&&a, &&b| {
                         let ucb = |n: &Node| {
-                            let mean = if n.visits > 0.0 { n.total / n.visits } else { 0.0 };
+                            let mean = if n.visits > 0.0 {
+                                n.total / n.visits
+                            } else {
+                                0.0
+                            };
                             mean / global_max
                                 + self.exploration
                                     * (parent_visits.ln() / n.visits.max(1e-9)).sqrt()
@@ -133,10 +136,7 @@ impl Mcts {
                     nodes[leaf].children.push(id);
                 }
                 nodes[leaf].expanded = true;
-                if let Some(&pick) = nodes[leaf]
-                    .children
-                    .choose(&mut rng)
-                {
+                if let Some(&pick) = nodes[leaf].children.choose(&mut rng) {
                     path.push(pick);
                 }
             }
@@ -166,22 +166,19 @@ impl Mcts {
             }
         }
 
-        // --- Correction step: execute the retained set -----------------------
-        let (best_schedule, best_measured) = best_set
-            .iter()
-            .map(|(_, s)| {
-                let measured = exec_eval.speedup(program, s);
-                (s.clone(), measured)
-            })
+        // --- Correction step: execute the retained set in one batch ---------
+        let retained: Vec<Schedule> = best_set.iter().map(|(_, s)| s.clone()).collect();
+        let measured = exec_eval.speedup_batch(program, &retained);
+        let (best_schedule, best_measured) = retained
+            .into_iter()
+            .zip(measured)
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite measurements"))
             .unwrap_or((Schedule::empty(), 1.0));
 
         SearchResult {
             schedule: best_schedule,
             score: best_measured,
-            evals: model_eval.num_evals() - model_evals_before,
-            search_time: (model_eval.search_time() - model_time_before)
-                + (exec_eval.search_time() - exec_time_before),
+            stats: model_eval.stats().since(&model_before) + exec_eval.stats().since(&exec_before),
         }
     }
 }
@@ -189,7 +186,7 @@ impl Mcts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::ExecutionEvaluator;
+    use dlcm_eval::ExecutionEvaluator;
     use dlcm_ir::{BinOp, Expr, ProgramBuilder};
     use dlcm_machine::{Machine, Measurement};
 
@@ -233,9 +230,13 @@ mod tests {
         };
         let result = mcts.search(&p, &mut model_ev, &mut exec_ev);
         assert!(dlcm_ir::apply_schedule(&p, &result.schedule).is_ok());
-        assert!(result.score >= 1.0, "should at least match baseline: {}", result.score);
-        assert!(result.evals >= 40);
-        assert!(result.search_time > 0.0);
+        assert!(
+            result.score >= 1.0,
+            "should at least match baseline: {}",
+            result.score
+        );
+        assert!(result.stats.num_evals >= 40);
+        assert!(result.stats.search_time > 0.0);
     }
 
     #[test]

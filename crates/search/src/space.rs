@@ -104,10 +104,21 @@ fn next_stage(program: &Program, stage: Stage) -> Stage {
 fn current_order(program: &Program, schedule: &Schedule, comp: CompId) -> Vec<usize> {
     let mut order: Vec<usize> = (0..program.comp(comp).depth()).collect();
     for t in &schedule.transforms {
-        if let Transform::Interchange { comp: c, level_a, level_b } = *t {
+        if let Transform::Interchange {
+            comp: c,
+            level_a,
+            level_b,
+        } = *t
+        {
             if c == comp {
-                let pa = order.iter().position(|&l| l == level_a).expect("valid level");
-                let pb = order.iter().position(|&l| l == level_b).expect("valid level");
+                let pa = order
+                    .iter()
+                    .position(|&l| l == level_a)
+                    .expect("valid level");
+                let pb = order
+                    .iter()
+                    .position(|&l| l == level_b)
+                    .expect("valid level");
                 order.swap(pa, pb);
             }
         }
@@ -194,7 +205,13 @@ pub fn expand(program: &Program, space: &SearchSpace, cand: &Candidate) -> Vec<C
         }
         Stage::Unroll(c) => {
             for &f in &space.unroll_factors {
-                push_if_legal(Transform::Unroll { comp: CompId(c), factor: f }, advance);
+                push_if_legal(
+                    Transform::Unroll {
+                        comp: CompId(c),
+                        factor: f,
+                    },
+                    advance,
+                );
             }
         }
         Stage::Done => {}
@@ -305,11 +322,16 @@ mod tests {
         let tiles: Vec<(usize, usize)> = children
             .iter()
             .filter_map(|c| match c.schedule.transforms.last() {
-                Some(Transform::Tile { level_a, level_b, .. }) => Some((*level_a, *level_b)),
+                Some(Transform::Tile {
+                    level_a, level_b, ..
+                }) => Some((*level_a, *level_b)),
                 _ => None,
             })
             .collect();
-        assert!(tiles.contains(&(2, 1)) || tiles.contains(&(1, 0)), "tiles: {tiles:?}");
+        assert!(
+            tiles.contains(&(2, 1)) || tiles.contains(&(1, 0)),
+            "tiles: {tiles:?}"
+        );
     }
 
     #[test]

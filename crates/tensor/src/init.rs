@@ -23,7 +23,9 @@ pub fn glorot_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tens
     Tensor::from_vec(
         fan_in,
         fan_out,
-        (0..fan_in * fan_out).map(|_| rng.gen_range(-a..a)).collect(),
+        (0..fan_in * fan_out)
+            .map(|_| rng.gen_range(-a..a))
+            .collect(),
     )
 }
 
@@ -59,6 +61,9 @@ mod tests {
         let large = glorot_uniform(1000, 1000, &mut rng);
         let small_rms = small.norm() / (small.len() as f32).sqrt();
         let large_rms = large.norm() / (large.len() as f32).sqrt();
-        assert!(small_rms > large_rms, "larger layers should have smaller weights");
+        assert!(
+            small_rms > large_rms,
+            "larger layers should have smaller weights"
+        );
     }
 }

@@ -75,7 +75,10 @@ impl ParamStore {
 
     /// Iterates over all `(id, tensor)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
-        self.tensors.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+        self.tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ParamId(i), t))
     }
 
     /// Binds parameter `id` into `tape` as a parameter leaf.
@@ -172,7 +175,12 @@ impl Linear {
     ) -> Self {
         let w = store.register(format!("{name}.w"), glorot_uniform(in_dim, out_dim, rng));
         let b = store.register(format!("{name}.b"), Tensor::zeros(1, out_dim));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input dimension.
@@ -248,7 +256,10 @@ impl Mlp {
         activate_last: bool,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()
@@ -273,13 +284,7 @@ impl Mlp {
     }
 
     /// Applies the MLP to a `batch x in_dim` input.
-    pub fn forward(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        x: Var,
-        rng: &mut impl Rng,
-    ) -> Var {
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var, rng: &mut impl Rng) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
@@ -376,14 +381,7 @@ impl LstmCell {
         }
     }
 
-    fn gate(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        idx: usize,
-        x: Var,
-        h: Var,
-    ) -> Var {
+    fn gate(&self, tape: &mut Tape, store: &ParamStore, idx: usize, x: Var, h: Var) -> Var {
         let wx = store.bind(tape, self.wx[idx]);
         let wh = store.bind(tape, self.wh[idx]);
         let b = store.bind(tape, self.b[idx]);
@@ -394,13 +392,7 @@ impl LstmCell {
     }
 
     /// Performs one step, consuming input `x` (`rows x input_dim`).
-    pub fn step(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        x: Var,
-        state: LstmState,
-    ) -> LstmState {
+    pub fn step(&self, tape: &mut Tape, store: &ParamStore, x: Var, state: LstmState) -> LstmState {
         let i_pre = self.gate(tape, store, 0, x, state.h);
         let f_pre = self.gate(tape, store, 1, x, state.h);
         let g_pre = self.gate(tape, store, 2, x, state.h);
@@ -522,7 +514,11 @@ mod tests {
         // Parameters are re-bound at every step, so the same ParamId can
         // appear several times; count distinct ids.
         let ids: std::collections::HashSet<_> = grads.params().map(|(id, _)| id).collect();
-        assert_eq!(ids.len(), store.len(), "every LSTM parameter should get a gradient");
+        assert_eq!(
+            ids.len(),
+            store.len(),
+            "every LSTM parameter should get a gradient"
+        );
     }
 
     #[test]

@@ -53,8 +53,14 @@ pub struct AdamW {
 impl AdamW {
     /// Creates optimizer state shaped after `store`.
     pub fn new(store: &ParamStore, cfg: AdamWConfig) -> Self {
-        let m = store.iter().map(|(_, t)| Tensor::zeros(t.rows(), t.cols())).collect();
-        let v = store.iter().map(|(_, t)| Tensor::zeros(t.rows(), t.cols())).collect();
+        let m = store
+            .iter()
+            .map(|(_, t)| Tensor::zeros(t.rows(), t.cols()))
+            .collect();
+        let v = store
+            .iter()
+            .map(|(_, t)| Tensor::zeros(t.rows(), t.cols()))
+            .collect();
         Self { cfg, m, v, t: 0 }
     }
 
@@ -89,7 +95,9 @@ impl AdamW {
         let bias2 = 1.0 - c.beta2.powi(t);
         for i in 0..store.len() {
             let id = ParamId(i);
-            let Some(mut g) = acc.mean_grad(id) else { continue };
+            let Some(mut g) = acc.mean_grad(id) else {
+                continue;
+            };
             if clip_scale != 1.0 {
                 g = g.map(|x| x * clip_scale);
             }
@@ -228,7 +236,10 @@ mod tests {
         let before = store.get(id).item();
         opt.step(&mut store, &acc, 0.1);
         let after = store.get(id).item();
-        assert!(after < before, "decay should shrink the weight: {before} -> {after}");
+        assert!(
+            after < before,
+            "decay should shrink the weight: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -238,7 +249,10 @@ mod tests {
         let peak = sched.lr_at(300);
         let end = sched.lr_at(999);
         assert!(start < peak, "warm-up should increase LR");
-        assert!((peak - 1e-3).abs() < 1e-4, "peak should reach max_lr, got {peak}");
+        assert!(
+            (peak - 1e-3).abs() < 1e-4,
+            "peak should reach max_lr, got {peak}"
+        );
         assert!(end < start, "final LR should be tiny, got {end}");
         // Monotone up then down.
         for i in 1..300 {

@@ -25,16 +25,7 @@ pub struct Var(usize);
 
 /// Identifier tying a tape leaf back to a persistent model parameter slot.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub struct ParamId(pub usize);
 
@@ -150,7 +141,10 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
-        debug_assert!(!value.has_non_finite() || matches!(op, Op::Leaf), "non-finite value from {op:?}");
+        debug_assert!(
+            !value.has_non_finite() || matches!(op, Op::Leaf),
+            "non-finite value from {op:?}"
+        );
         self.nodes.push(Node {
             value,
             op,
@@ -381,7 +375,10 @@ impl Tape {
     /// is dropped with probability `p` and survivors are scaled by
     /// `1 / (1 - p)`, so expectations match between modes.
     pub fn dropout(&mut self, a: Var, p: f32, rng: &mut impl rand::Rng) -> Var {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1)"
+        );
         if !self.train || p == 0.0 {
             let value = self.value(a).clone();
             let mask = Tensor::ones(value.rows(), value.cols());
@@ -393,7 +390,13 @@ impl Tape {
             m,
             n,
             (0..m * n)
-                .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                .map(|_| {
+                    if rng.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
                 .collect(),
         );
         let value = self.value(a).zip_map(&mask, |x, k| x * k);
@@ -431,11 +434,9 @@ impl Tape {
     }
 
     fn accumulate(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
-        let add = |grads: &mut [Option<Tensor>], v: Var, contrib: Tensor| {
-            match &mut grads[v.0] {
-                Some(existing) => existing.add_scaled(&contrib, 1.0),
-                slot => *slot = Some(contrib),
-            }
+        let add = |grads: &mut [Option<Tensor>], v: Var, contrib: Tensor| match &mut grads[v.0] {
+            Some(existing) => existing.add_scaled(&contrib, 1.0),
+            slot => *slot = Some(contrib),
         };
         match &self.nodes[idx].op {
             Op::Leaf => {}
@@ -481,7 +482,11 @@ impl Tape {
             }
             Op::Relu(a) => {
                 let x = self.value(*a);
-                add(grads, *a, g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }));
+                add(
+                    grads,
+                    *a,
+                    g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 }),
+                );
             }
             Op::Elu(a, alpha) => {
                 let out = &self.nodes[idx].value;
@@ -494,11 +499,7 @@ impl Tape {
             }
             Op::Softplus(a) => {
                 let x = self.value(*a);
-                add(
-                    grads,
-                    *a,
-                    g.zip_map(x, |gv, xv| gv / (1.0 + (-xv).exp())),
-                );
+                add(grads, *a, g.zip_map(x, |gv, xv| gv / (1.0 + (-xv).exp())));
             }
             Op::Exp(a) => {
                 let out = &self.nodes[idx].value;
@@ -566,10 +567,7 @@ impl Tape {
                 {
                     let dst = da.as_mut_slice();
                     for (gi, &r) in indices.iter().enumerate() {
-                        for (d, &s) in dst[r * n..(r + 1) * n]
-                            .iter_mut()
-                            .zip(g.row_slice(gi))
-                        {
+                        for (d, &s) in dst[r * n..(r + 1) * n].iter_mut().zip(g.row_slice(gi)) {
                             *d += s;
                         }
                     }
@@ -636,7 +634,10 @@ mod tests {
                 let mut tape = Tape::new();
                 let v = tape.leaf(t.clone());
                 let y = op(&mut tape, v);
-                { let s = tape.sum(y); tape.value(s).item() }
+                {
+                    let s = tape.sum(y);
+                    tape.value(s).item()
+                }
             },
             &x,
         );
@@ -687,7 +688,10 @@ mod tests {
                 let a = tape.leaf(t.clone());
                 let b = tape.leaf(b0.clone());
                 let c = tape.matmul(a, b);
-                { let s = tape.sum(c); tape.value(s).item() }
+                {
+                    let s = tape.sum(c);
+                    tape.value(s).item()
+                }
             },
             &a0,
         );
@@ -697,7 +701,10 @@ mod tests {
                 let a = tape.leaf(a0.clone());
                 let b = tape.leaf(t.clone());
                 let c = tape.matmul(a, b);
-                { let s = tape.sum(c); tape.value(s).item() }
+                {
+                    let s = tape.sum(c);
+                    tape.value(s).item()
+                }
             },
             &b0,
         );
@@ -728,7 +735,9 @@ mod tests {
                     Some((g.get(a).unwrap().clone(), g.get(b).unwrap().clone())),
                 )
             };
-            let (_, Some((ga, gb))) = run(&a0, &b0) else { unreachable!() };
+            let (_, Some((ga, gb))) = run(&a0, &b0) else {
+                unreachable!()
+            };
             let na = numeric_grad(|t| run(t, &b0).0, &a0);
             let nb = numeric_grad(|t| run(&a0, t).0, &b0);
             assert_close(&ga, &na, 2e-2);
@@ -780,10 +789,7 @@ mod tests {
         let r = tape.row_select(a, 1);
         let s = tape.sum(r);
         let grads = tape.backward(s);
-        assert_eq!(
-            grads.get(a).unwrap().as_slice(),
-            &[0.0, 0.0, 1.0, 1.0]
-        );
+        assert_eq!(grads.get(a).unwrap().as_slice(), &[0.0, 0.0, 1.0, 1.0]);
     }
 
     #[test]

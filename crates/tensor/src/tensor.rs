@@ -8,9 +8,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::de::{SeqAccess, Visitor};
-use serde::ser::SerializeStruct;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::{Deserialize, Serialize};
 
 /// A dense row-major `rows x cols` matrix of `f32`.
 ///
@@ -133,7 +131,10 @@ impl Tensor {
     ///
     /// Panics if the indices are out of bounds.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -143,7 +144,10 @@ impl Tensor {
     ///
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         let cols = self.cols;
         Arc::make_mut(&mut self.data)[r * cols + c] = v;
     }
@@ -154,7 +158,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not `1 x 1`.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.len(), 1, "item() requires a 1x1 tensor, got {:?}", self.shape());
+        assert_eq!(
+            self.len(),
+            1,
+            "item() requires a 1x1 tensor, got {:?}",
+            self.shape()
+        );
         self.data[0]
     }
 
@@ -184,7 +193,8 @@ impl Tensor {
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -222,7 +232,8 @@ impl Tensor {
     /// Matrix product `selfᵀ x other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "t_matmul shape mismatch: {:?}ᵀ x {:?}",
             self.shape(),
             other.shape()
@@ -248,7 +259,8 @@ impl Tensor {
     /// Matrix product `self x otherᵀ` without materializing the transpose.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_t shape mismatch: {:?} x {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -283,7 +295,11 @@ impl Tensor {
 
     /// Elementwise map.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.rows, self.cols, self.data.iter().map(|&x| f(x)).collect())
+        Tensor::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&x| f(x)).collect(),
+        )
     }
 
     /// Elementwise combination of two same-shaped tensors.
@@ -389,65 +405,24 @@ impl fmt::Debug for Tensor {
 }
 
 impl Serialize for Tensor {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("Tensor", 3)?;
-        s.serialize_field("rows", &self.rows)?;
-        s.serialize_field("cols", &self.cols)?;
-        s.serialize_field("data", self.data.as_ref())?;
-        s.end()
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Obj(vec![
+            ("rows".to_string(), self.rows.to_value()),
+            ("cols".to_string(), self.cols.to_value()),
+            ("data".to_string(), self.data.as_ref().to_value()),
+        ])
     }
 }
 
-impl<'de> Deserialize<'de> for Tensor {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        #[derive(Deserialize)]
-        #[serde(field_identifier, rename_all = "lowercase")]
-        enum Field {
-            Rows,
-            Cols,
-            Data,
+impl Deserialize for Tensor {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let rows = usize::from_value(v.get_field("rows")?)?;
+        let cols = usize::from_value(v.get_field("cols")?)?;
+        let data = Vec::<f32>::from_value(v.get_field("data")?)?;
+        if data.len() != rows * cols {
+            return Err(serde::Error::msg("tensor buffer/shape mismatch"));
         }
-        struct TensorVisitor;
-        impl<'de> Visitor<'de> for TensorVisitor {
-            type Value = Tensor;
-            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str("struct Tensor")
-            }
-            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Tensor, A::Error> {
-                let rows: usize = seq
-                    .next_element()?
-                    .ok_or_else(|| serde::de::Error::invalid_length(0, &self))?;
-                let cols: usize = seq
-                    .next_element()?
-                    .ok_or_else(|| serde::de::Error::invalid_length(1, &self))?;
-                let data: Vec<f32> = seq
-                    .next_element()?
-                    .ok_or_else(|| serde::de::Error::invalid_length(2, &self))?;
-                if data.len() != rows * cols {
-                    return Err(serde::de::Error::custom("tensor buffer/shape mismatch"));
-                }
-                Ok(Tensor::from_vec(rows, cols, data))
-            }
-            fn visit_map<A: serde::de::MapAccess<'de>>(self, mut map: A) -> Result<Tensor, A::Error> {
-                let (mut rows, mut cols, mut data): (Option<usize>, Option<usize>, Option<Vec<f32>>) =
-                    (None, None, None);
-                while let Some(key) = map.next_key()? {
-                    match key {
-                        Field::Rows => rows = Some(map.next_value()?),
-                        Field::Cols => cols = Some(map.next_value()?),
-                        Field::Data => data = Some(map.next_value()?),
-                    }
-                }
-                let rows = rows.ok_or_else(|| serde::de::Error::missing_field("rows"))?;
-                let cols = cols.ok_or_else(|| serde::de::Error::missing_field("cols"))?;
-                let data = data.ok_or_else(|| serde::de::Error::missing_field("data"))?;
-                if data.len() != rows * cols {
-                    return Err(serde::de::Error::custom("tensor buffer/shape mismatch"));
-                }
-                Ok(Tensor::from_vec(rows, cols, data))
-            }
-        }
-        deserializer.deserialize_struct("Tensor", &["rows", "cols", "data"], TensorVisitor)
+        Ok(Tensor::from_vec(rows, cols, data))
     }
 }
 

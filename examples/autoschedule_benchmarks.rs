@@ -6,9 +6,10 @@
 //! Run with: `cargo run --release --example autoschedule_benchmarks [scale]`
 
 use dlcm::benchsuite;
+use dlcm::eval::ExecutionEvaluator;
 use dlcm::ir::apply_schedule;
 use dlcm::machine::{parallel_baseline, Machine, Measurement};
-use dlcm::search::{BeamSearch, Evaluator, ExecutionEvaluator, SearchSpace};
+use dlcm::search::{BeamSearch, SearchSpace};
 
 fn main() {
     let scale: f64 = std::env::args()
@@ -22,7 +23,10 @@ fn main() {
         ..SearchSpace::default()
     };
 
-    println!("{:<14} {:>9} {:>8} {:>12}  schedule", "benchmark", "speedup", "evals", "search(s)");
+    println!(
+        "{:<14} {:>9} {:>8} {:>12}  schedule",
+        "benchmark", "speedup", "evals", "search(s)"
+    );
     for bench in benchsuite::suite() {
         let program = (bench.build)(scale);
         let mut evaluator = ExecutionEvaluator::new(harness.clone(), 0);
@@ -41,8 +45,8 @@ fn main() {
             "{:<14} {:>8.2}x {:>8} {:>12.1}  {}",
             bench.name,
             t_base / t_opt,
-            evaluator.num_evals(),
-            result.search_time,
+            result.stats.num_evals,
+            result.stats.search_time,
             result.schedule.describe()
         );
     }

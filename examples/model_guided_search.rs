@@ -7,11 +7,12 @@
 
 use dlcm::benchsuite;
 use dlcm::datagen::{Dataset, DatasetConfig};
+use dlcm::eval::{ExecutionEvaluator, ModelEvaluator};
 use dlcm::machine::{parallel_baseline, Machine, Measurement};
 use dlcm::model::{
     prepare, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig, TrainConfig,
 };
-use dlcm::search::{BeamSearch, Evaluator, ExecutionEvaluator, Mcts, ModelEvaluator, SearchSpace};
+use dlcm::search::{BeamSearch, Mcts, SearchSpace};
 
 fn main() {
     // --- Train a model on random programs ---------------------------------
@@ -30,10 +31,7 @@ fn main() {
     let featurizer = Featurizer::new(FeaturizerConfig::default());
     let train_set = prepare(&featurizer, &dataset, &split.train);
     let val_set = prepare(&featurizer, &dataset, &split.val);
-    let mut model = CostModel::new(
-        CostModelConfig::fast(featurizer.config().vector_width()),
-        0,
-    );
+    let mut model = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 0);
     println!("training ({} samples) ...", train_set.len());
     train(
         &mut model,
@@ -52,7 +50,9 @@ fn main() {
     for bench in benchsuite::suite().into_iter().take(4) {
         let program = (bench.build)(scale);
         let baseline = parallel_baseline(&program);
-        let t_base = harness.measure_schedule(&program, &baseline, 1).expect("legal");
+        let t_base = harness
+            .measure_schedule(&program, &baseline, 1)
+            .expect("legal");
         let measured = |s: &dlcm::ir::Schedule| {
             t_base / harness.measure_schedule(&program, s, 1).expect("legal")
         };
@@ -77,20 +77,21 @@ fn main() {
 
         println!("\n=== {} ===", bench.name);
         println!(
-            "  BSE : {:>6.2}x   search {:>9.1}s (simulated)",
+            "  BSE : {:>6.2}x   search {:>9.1}s (simulated, {} evals)",
             measured(&bse.schedule),
-            bse.search_time
+            bse.stats.search_time,
+            bse.stats.num_evals
         );
         println!(
             "  BSM : {:>6.2}x   search {:>9.3}s (model wall-clock), {:.0}x faster",
             measured(&bsm.schedule),
-            bsm.search_time,
-            bse.search_time / bsm.search_time.max(1e-9)
+            bsm.stats.search_time,
+            bse.stats.search_time / bsm.stats.search_time.max(1e-9)
         );
         println!(
             "  MCTS: {:>6.2}x   search {:>9.1}s (model + top-k execution)",
             measured(&mcts.schedule),
-            mcts.search_time
+            mcts.stats.search_time
         );
     }
 }

@@ -25,7 +25,11 @@ fn main() {
     let weights = b.input("weights", &[cout, cin, 3, 3]);
     let conv = b.buffer("conv", &[batch, cout, h - 2, w - 2]);
     let iters = [n, fout, y, x, fin, k0, k1];
-    let w_acc = b.access(weights, &[fout.into(), fin.into(), k0.into(), k1.into()], &iters);
+    let w_acc = b.access(
+        weights,
+        &[fout.into(), fin.into(), k0.into(), k1.into()],
+        &iters,
+    );
     let i_acc = b.access(
         input,
         &[
@@ -48,11 +52,42 @@ fn main() {
     println!("{program}");
 
     // --- The §2 example transformations -----------------------------------
+    // Interchange hoists the reduction loops (fin, k0, k1) out so the wide
+    // x loop is innermost (levels refer to the loops' *original* nesting
+    // positions: n=0, fout=1, y=2, x=3, fin=4, k0=5, k1=6), then tile y/x,
+    // parallelize the batch loop, vectorize the innermost tile, and unroll.
+    let c = CompId(0);
     let schedule = Schedule::new(vec![
-        Transform::Tile { comp: CompId(0), level_a: 2, level_b: 3, size_a: 32, size_b: 32 },
-        Transform::Parallelize { comp: CompId(0), level: 0 },
-        Transform::Vectorize { comp: CompId(0), factor: 8 },
-        Transform::Unroll { comp: CompId(0), factor: 3 },
+        Transform::Interchange {
+            comp: c,
+            level_a: 2,
+            level_b: 4,
+        },
+        Transform::Interchange {
+            comp: c,
+            level_a: 3,
+            level_b: 5,
+        },
+        Transform::Interchange {
+            comp: c,
+            level_a: 2,
+            level_b: 6,
+        },
+        Transform::Interchange {
+            comp: c,
+            level_a: 2,
+            level_b: 3,
+        },
+        Transform::Tile {
+            comp: c,
+            level_a: 2,
+            level_b: 3,
+            size_a: 32,
+            size_b: 32,
+        },
+        Transform::Parallelize { comp: c, level: 0 },
+        Transform::Vectorize { comp: c, factor: 8 },
+        Transform::Unroll { comp: c, factor: 3 },
     ]);
     println!("schedule: {}", schedule.describe());
 
@@ -71,7 +106,9 @@ fn main() {
     let t_base = harness
         .measure_schedule(&program, &Schedule::empty(), 0)
         .expect("legal");
-    let t_opt = harness.measure_schedule(&program, &schedule, 0).expect("legal");
+    let t_opt = harness
+        .measure_schedule(&program, &schedule, 0)
+        .expect("legal");
     println!("baseline : {:.3} ms", t_base * 1e3);
     println!("optimized: {:.3} ms", t_opt * 1e3);
     println!("speedup  : {:.2}x", t_base / t_opt);

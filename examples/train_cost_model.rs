@@ -61,7 +61,10 @@ fn main() {
     let (test_mape, preds) = evaluate(&model, &test_set);
     let targets: Vec<f64> = test_set.iter().map(|s| s.target).collect();
     println!("--- test set ---");
-    println!("MAPE              : {:.1}%   (paper: 16%)", 100.0 * test_mape);
+    println!(
+        "MAPE              : {:.1}%   (paper: 16%)",
+        100.0 * test_mape
+    );
     println!(
         "Pearson r         : {:.3}   (paper: 0.90)",
         metrics::pearson(&targets, &preds)

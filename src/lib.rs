@@ -12,17 +12,24 @@
 //!   the median-of-30 measurement harness;
 //! - [`datagen`] — random programs, random schedules, labeled datasets;
 //! - [`model`] — featurization + the recursive LSTM cost model + training;
-//! - [`search`] — beam search and MCTS with execution/model evaluators;
-//! - [`baseline`] — the Halide-2019-style 54-feature comparator;
+//! - [`eval`] — the unified batch-first candidate evaluation API: the
+//!   object-safe [`eval::Evaluator`] trait (`speedup_batch` + a defaulted
+//!   single-candidate wrapper), [`eval::EvalStats`] accounting, and the
+//!   execution/model evaluators every search strategy and experiment
+//!   shares;
+//! - [`search`] — beam search and MCTS, driven by any [`eval::Evaluator`];
+//! - [`baseline`] — the Halide-2019-style 54-feature comparator, also an
+//!   [`eval::Evaluator`];
 //! - [`benchsuite`] — the ten evaluation benchmarks at Table 3 sizes;
 //! - [`tensor`] — the tape-based autodiff / NN substrate.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and DESIGN.md for
-//! the experiment index.
+//! the crate map, the evaluation-API diagram, and the experiment index.
 
 pub use dlcm_baseline as baseline;
 pub use dlcm_benchsuite as benchsuite;
 pub use dlcm_datagen as datagen;
+pub use dlcm_eval as eval;
 pub use dlcm_ir as ir;
 pub use dlcm_machine as machine;
 pub use dlcm_model as model;

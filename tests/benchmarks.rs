@@ -2,9 +2,10 @@
 //! machine and the search behave sensibly on the real workloads of §6.
 
 use dlcm::benchsuite::{self, Category};
+use dlcm::eval::ExecutionEvaluator;
 use dlcm::ir::{apply_schedule, Schedule};
 use dlcm::machine::{parallel_baseline, Machine, Measurement};
-use dlcm::search::{BeamSearch, ExecutionEvaluator, SearchSpace};
+use dlcm::search::{BeamSearch, SearchSpace};
 
 #[test]
 fn every_benchmark_is_measurable_at_paper_scale() {

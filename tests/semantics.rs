@@ -71,7 +71,11 @@ fn partial_tiles_preserve_semantics() {
     let inputs = synthetic_inputs(&p, 1);
     let base = interpret_baseline(&p, &inputs).unwrap();
     let opt = interpret(&sp, &inputs).unwrap();
-    assert_eq!(max_relative_error(&base, &opt), 0.0, "pointwise code must be bit-exact");
+    assert_eq!(
+        max_relative_error(&base, &opt),
+        0.0,
+        "pointwise code must be bit-exact"
+    );
 }
 
 /// Illegal transformations must be rejected, not silently miscompiled:
@@ -85,11 +89,7 @@ fn illegal_interchange_is_rejected() {
     let j = b.iter("j", 0, 15);
     let out = b.buffer("out", &[16, 16]);
     // out[i,j] = out[i-1, j+1] — distance (1, -1): interchange illegal.
-    let acc = b.access(
-        out,
-        &[LinExpr::from(i) - 1, LinExpr::from(j) + 1],
-        &[i, j],
-    );
+    let acc = b.access(out, &[LinExpr::from(i) - 1, LinExpr::from(j) + 1], &[i, j]);
     b.assign(
         "c",
         &[i, j],

@@ -1,0 +1,155 @@
+//! In-tree stand-in for `rand_chacha` (see `vendor/README.md`): a real
+//! ChaCha8 keystream generator. Deterministic and well-distributed per
+//! seed; the stream is not byte-compatible with the upstream crate
+//! (seeds only reproduce results within this repository).
+
+pub use rand::{RngCore, SeedableRng};
+
+/// Upstream-compatible module path: `rand_chacha::rand_core::SeedableRng`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+/// A ChaCha stream cipher RNG with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 256-bit key, 64-bit counter, 64-bit nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next word index into `block`; 16 means exhausted.
+    word: usize,
+}
+
+impl ChaCha8Rng {
+    fn from_key(key: [u32; 8]) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&key);
+        // Counter and nonce start at zero.
+        Self {
+            state,
+            block: [0; 16],
+            word: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (out, (a, b)) in self.block.iter_mut().zip(x.iter().zip(&self.state)) {
+            *out = a.wrapping_add(*b);
+        }
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.word = 0;
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64-expanded key, as upstream does for seed_from_u64.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for i in 0..4 {
+            let w = next();
+            key[2 * i] = w as u32;
+            key[2 * i + 1] = (w >> 32) as u32;
+        }
+        Self::from_key(key)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn clones_continue_the_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn words_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ones = 0u32;
+        const N: u32 = 10_000;
+        for _ in 0..N {
+            ones += rng.next_u32().count_ones();
+        }
+        let frac = f64::from(ones) / (f64::from(N) * 32.0);
+        assert!((frac - 0.5).abs() < 0.01, "bit balance off: {frac}");
+    }
+}

@@ -1,0 +1,63 @@
+//! In-tree stand-in for `rayon` (see `vendor/README.md`): the parallel
+//! iterator entry points this workspace calls, implemented as their
+//! sequential `std` equivalents. Results (and result *order*) are
+//! identical to rayon's; only wall-clock parallelism is absent, which is
+//! a future-PR concern once a real thread pool is available.
+
+/// Sequential stand-ins for rayon's prelude traits.
+pub mod prelude {
+    /// `par_iter` on slices (and anything that derefs to one).
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for rayon's indexed parallel iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for rayon's parallel chunk iterator.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `into_par_iter` on any owned iterable (ranges, vectors, ...).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in: the plain owning iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn entry_points_behave_like_std() {
+        let v = [1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut buf = [0u8; 6];
+        for (i, chunk) in buf.par_chunks_mut(2).enumerate() {
+            chunk.fill(i as u8);
+        }
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+
+        let squares: Vec<usize> = (0..5).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -1,0 +1,438 @@
+//! In-tree stand-in for `serde` (no registry access in this build
+//! environment — see `vendor/README.md`).
+//!
+//! Instead of upstream serde's visitor-based data model, this stub
+//! routes everything through a JSON-like [`Value`] tree: `Serialize`
+//! lowers a value to a [`Value`], `Deserialize` lifts it back. The
+//! derive macros in `serde_derive` generate those two methods for the
+//! struct/enum shapes used in this workspace.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like tree: the single data model of this serde stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (integers are stored exactly up to 2^53).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object with preserved insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    pub fn get_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            _ => Err(Error::msg(format!("expected object with field `{name}`"))),
+        }
+    }
+
+    /// Interprets the value as an array of exactly `n` elements.
+    pub fn as_arr_n(&self, n: usize) -> Result<&[Value], Error> {
+        match self {
+            Value::Arr(items) if items.len() == n => Ok(items),
+            Value::Arr(items) => Err(Error::msg(format!(
+                "expected array of {n} elements, got {}",
+                items.len()
+            ))),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+
+    /// Interprets the value as a finite number.
+    pub fn as_num(&self) -> Result<f64, Error> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            _ => Err(Error::msg("expected number")),
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a value into the [`Value`] data model.
+pub trait Serialize {
+    /// The [`Value`] representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Lifts a value back out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from its [`Value`] representation.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- primitives -----------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_num()?;
+                if n.fract() != 0.0 {
+                    return Err(Error::msg(concat!("expected integer for ", stringify!($t))));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::msg(format!(
+                        concat!("number {} out of range for ", stringify!($t)),
+                        n
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_num()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_num()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::msg("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(Error::msg("expected null")),
+        }
+    }
+}
+
+// --- containers -----------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_arr_n(N)?;
+        let vec: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Arc::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Rc::new(T::from_value(v)?))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($n:literal; $($t:ident . $i:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_arr_n($n)?;
+                Ok(($($t::from_value(&items[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (1; A.0),
+    (2; A.0, B.1),
+    (3; A.0, B.1, C.2),
+    (4; A.0, B.1, C.2, D.3)
+);
+
+// --- maps -----------------------------------------------------------------
+//
+// Map keys are stringified through the data model: string keys pass
+// through, numeric keys (including newtype ids over integers) format as
+// their number. This is self-consistent for the round trips this
+// workspace performs.
+
+fn key_to_string(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Num(n) => Ok(fmt_num(*n)),
+        Value::Bool(b) => Ok(b.to_string()),
+        _ => Err(Error::msg("unsupported map key type")),
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<f64>() {
+        if let Ok(k) = K::from_value(&Value::Num(n)) {
+            return Ok(k);
+        }
+    }
+    match s {
+        "true" => K::from_value(&Value::Bool(true)),
+        "false" => K::from_value(&Value::Bool(false)),
+        _ => Err(Error::msg(format!("cannot reconstruct map key from `{s}`"))),
+    }
+}
+
+/// Formats a number the way the JSON writer does (integers without a
+/// fractional part).
+pub fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:?}")
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.to_value()).expect("map key"), v.to_value()))
+            .collect();
+        // Deterministic output regardless of hash order.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+                .collect(),
+            _ => Err(Error::msg("expected object for map")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()).expect("map key"), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+                .collect(),
+            _ => Err(Error::msg("expected object for map")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

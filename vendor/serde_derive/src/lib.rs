@@ -1,0 +1,448 @@
+//! In-tree stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Hand-written token parsing — no `syn`/`quote` available — supporting
+//! the shapes this workspace derives on: non-generic structs with named
+//! fields, tuple structs, and enums with unit/tuple/struct variants.
+//! Supported field attribute: `#[serde(skip)]` (field is omitted on
+//! serialize and filled from `Default::default()` on deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by generating `to_value`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` by generating `from_value`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// --- model ----------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    /// Struct with named fields.
+    Named(Vec<Field>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// --- parsing --------------------------------------------------------------
+
+/// `#[serde(skip)]` detection: the attribute group tokens are
+/// `serde ( skip )`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(inner)))
+            if i.to_string() == "serde" && inner.delimiter() == Delimiter::Parenthesis =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Skips leading attributes, returning whether any was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if attr_is_serde_skip(g) {
+                        skip = true;
+                    }
+                    *pos += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Skips a `pub` / `pub(...)` visibility prefix.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = tokens.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consumes type tokens until a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle: i32 = 0;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        // Consume the trailing comma if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' && angle == 0 {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let variants = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                other => panic!("serde_derive: unsupported enum body for `{name}`: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+// --- codegen: Serialize ---------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => named_to_value(fields, "self."),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => tuple_to_value(*n, "self."),
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Arr(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = named_to_value(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `Value::Obj` construction for named fields; `prefix` is `self.` for
+/// structs and empty for destructured enum variants (whose bindings are
+/// references already).
+fn named_to_value(fields: &[Field], prefix: &str) -> String {
+    let mut entries = Vec::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        let fname = &f.name;
+        let access = if prefix.is_empty() {
+            fname.clone()
+        } else {
+            format!("&{prefix}{fname}")
+        };
+        entries.push(format!(
+            "(::std::string::String::from(\"{fname}\"), ::serde::Serialize::to_value({access}))"
+        ));
+    }
+    format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+}
+
+fn tuple_to_value(n: usize, prefix: &str) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Serialize::to_value(&{prefix}{i})"))
+        .collect();
+    format!("::serde::Value::Arr(vec![{}])", elems.join(", "))
+}
+
+// --- codegen: Deserialize -------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => named_from_value(name, fields, "v"),
+                Shape::Tuple(1) => {
+                    format!(
+                        "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                    )
+                }
+                Shape::Tuple(n) => tuple_from_value(name, *n, "v"),
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => {
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let items = inner.as_arr_n({n})?; ::std::result::Result::Ok({name}::{vn}({})) }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ctor = named_from_value(&format!("{name}::{vn}"), fields, "inner");
+                        keyed_arms.push_str(&format!("\"{vn}\" => {{ {ctor} }},\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                 let (key, inner) = &fields[0];\n\
+                 let _ = inner;\n\
+                 match key.as_str() {{\n\
+                 {keyed_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\"invalid representation for enum {name}\")),\n\
+                 }}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_from_value(ctor: &str, fields: &[Field], src: &str) -> String {
+    let mut inits = Vec::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            inits.push(format!("{fname}: ::std::default::Default::default()"));
+        } else {
+            inits.push(format!(
+                "{fname}: ::serde::Deserialize::from_value({src}.get_field(\"{fname}\")?)?"
+            ));
+        }
+    }
+    format!(
+        "::std::result::Result::Ok({ctor} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn tuple_from_value(ctor: &str, n: usize, src: &str) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+        .collect();
+    format!(
+        "{{ let items = {src}.as_arr_n({n})?; ::std::result::Result::Ok({ctor}({})) }}",
+        elems.join(", ")
+    )
+}
