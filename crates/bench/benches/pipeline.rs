@@ -4,8 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
-use dlcm_eval::{Evaluator, ExecutionEvaluator, ModelEvaluator};
-use dlcm_ir::{apply_schedule, interpret, synthetic_inputs, Schedule};
+use dlcm_eval::{
+    CachedEvaluator, Evaluator, ExecutionEvaluator, ModelEvaluator, ParallelEvaluator,
+};
+use dlcm_ir::{apply_schedule, interpret, synthetic_inputs, CompId, Schedule, Transform};
 use dlcm_machine::{analyze_program, Machine, Measurement};
 use dlcm_model::{CostModel, CostModelConfig, Featurizer, FeaturizerConfig, SpeedupPredictor};
 use dlcm_search::{BeamSearch, SearchSpace};
@@ -162,6 +164,69 @@ fn generation(c: &mut Criterion) {
     });
 }
 
+/// Batched execution evaluation: sequential vs parallel vs cached.
+///
+/// One fixed 16-candidate wave (4 tile sizes × 4 unroll factors) over a
+/// 512×512 elementwise program, measured with the paper's median-of-30
+/// protocol. `..._par4` runs the same wave through the 4-worker pool —
+/// the Table 2 throughput lever — and `cached_exec_rescore_16` re-scores
+/// a warm wave (pure cache hits).
+fn parallel_eval(c: &mut Criterion) {
+    let program = {
+        let mut b = dlcm_ir::ProgramBuilder::new("wave");
+        let i = b.iter("i", 0, 512);
+        let j = b.iter("j", 0, 512);
+        let inp = b.input("in", &[512, 512]);
+        let out = b.buffer("out", &[512, 512]);
+        let acc = b.access(inp, &[i.into(), j.into()], &[i, j]);
+        b.assign(
+            "c",
+            &[i, j],
+            out,
+            &[i.into(), j.into()],
+            dlcm_ir::Expr::Load(acc),
+        );
+        b.build().unwrap()
+    };
+    let wave: Vec<Schedule> = [16, 32, 64, 128]
+        .iter()
+        .flat_map(|&tile| {
+            [2, 4, 8, 16].iter().map(move |&unroll| {
+                Schedule::new(vec![
+                    Transform::Tile {
+                        comp: CompId(0),
+                        level_a: 0,
+                        level_b: 1,
+                        size_a: tile,
+                        size_b: tile,
+                    },
+                    Transform::Unroll {
+                        comp: CompId(0),
+                        factor: unroll,
+                    },
+                ])
+            })
+        })
+        .collect();
+    assert_eq!(wave.len(), 16);
+
+    let mut seq = ExecutionEvaluator::new(Measurement::default(), 0);
+    c.bench_function("exec_speedup_batch_16_seq", |b| {
+        b.iter(|| seq.speedup_batch(&program, &wave));
+    });
+
+    let mut par = ParallelEvaluator::new(Measurement::default(), 0, 4);
+    c.bench_function("exec_speedup_batch_16_par4", |b| {
+        b.iter(|| par.speedup_batch(&program, &wave));
+    });
+
+    let mut cached = CachedEvaluator::new(ExecutionEvaluator::new(Measurement::default(), 0));
+    cached.speedup_batch(&program, &wave); // warm
+    c.bench_function("cached_exec_rescore_16", |b| {
+        b.iter(|| cached.speedup_batch(&program, &wave));
+    });
+}
+
 /// Full beam-search run with the execution evaluator on a small benchmark.
 fn search(c: &mut Criterion) {
     let program = dlcm_benchsuite::heat2d(0.1);
@@ -187,6 +252,7 @@ criterion_group!(
     legality,
     interpreter,
     generation,
+    parallel_eval,
     search
 );
 criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! CI bench regression gate.
+//!
+//! Aggregates the JSON-lines emitted by the vendored Criterion's
+//! `DLCM_BENCH_JSON` hook into a per-candidate cost summary
+//! (`results/BENCH_eval.json`) and fails when any gated metric regresses
+//! more than 25% against the committed baseline (`ci/bench_baseline.json`).
+//!
+//! ```text
+//! rm -f target/bench.jsonl
+//! DLCM_BENCH_QUICK=1 DLCM_BENCH_JSON=target/bench.jsonl cargo bench -p dlcm-bench
+//! cargo run -p dlcm-bench --bin bench_gate            # check
+//! cargo run -p dlcm-bench --bin bench_gate -- --update-baseline
+//! ```
+//!
+//! The parallel-eval numbers are reported but **not** gated: their ratio
+//! to sequential depends on the runner's core count (a 1-core runner
+//! legitimately shows no speedup), while the gated per-candidate costs
+//! regress only when the code does.
+
+use serde::{Deserialize, Serialize};
+
+/// One line of the `DLCM_BENCH_JSON` stream.
+#[derive(Debug, Deserialize)]
+struct BenchRecord {
+    name: String,
+    ns_per_iter: f64,
+    #[allow(dead_code)]
+    iters: u64,
+}
+
+/// Per-candidate operational costs, the quantities Table 2 rests on.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct BenchSummary {
+    /// Featurize one `(program, schedule)` candidate.
+    featurize_ns: f64,
+    /// One single-candidate model forward pass.
+    infer_ns: f64,
+    /// Per-candidate cost of an 8-candidate batched forward pass.
+    infer_batch_ns_per_candidate: f64,
+    /// One simulated machine execution.
+    exec_ns: f64,
+    /// One legality check + schedule application.
+    legality_ns: f64,
+    /// Per-candidate cost of a 16-candidate sequential execution batch.
+    exec_eval_seq_ns_per_candidate: f64,
+    /// Per-candidate cost of the same batch through the 4-worker pool.
+    exec_eval_par_ns_per_candidate: f64,
+    /// Sequential / parallel throughput ratio (hardware-dependent).
+    parallel_speedup_x: f64,
+    /// Per-candidate cost of re-scoring a warm cached batch.
+    cache_hit_ns_per_candidate: f64,
+}
+
+const BASELINE_PATH: &str = "ci/bench_baseline.json";
+const REGRESSION_TOLERANCE: f64 = 1.25;
+
+fn lookup(records: &[BenchRecord], name: &str) -> f64 {
+    // DLCM_BENCH_JSON appends across `cargo bench` runs; the LAST record
+    // per name is the current measurement (earlier ones are stale).
+    records
+        .iter()
+        .rev()
+        .find(|r| r.name == name)
+        .map_or(0.0, |r| r.ns_per_iter)
+}
+
+fn summarize(records: &[BenchRecord]) -> BenchSummary {
+    let seq = lookup(records, "exec_speedup_batch_16_seq") / 16.0;
+    let par = lookup(records, "exec_speedup_batch_16_par4") / 16.0;
+    BenchSummary {
+        featurize_ns: lookup(records, "featurize_program"),
+        infer_ns: lookup(records, "model_predict"),
+        infer_batch_ns_per_candidate: lookup(records, "model_speedup_batch_8") / 8.0,
+        exec_ns: lookup(records, "machine_execute"),
+        legality_ns: lookup(records, "apply_schedule"),
+        exec_eval_seq_ns_per_candidate: seq,
+        exec_eval_par_ns_per_candidate: par,
+        parallel_speedup_x: if par > 0.0 { seq / par } else { 0.0 },
+        cache_hit_ns_per_candidate: lookup(records, "cached_exec_rescore_16") / 16.0,
+    }
+}
+
+/// The metrics held to the regression tolerance (name, current, baseline).
+fn gated(current: &BenchSummary, baseline: &BenchSummary) -> Vec<(&'static str, f64, f64)> {
+    vec![
+        ("featurize_ns", current.featurize_ns, baseline.featurize_ns),
+        ("infer_ns", current.infer_ns, baseline.infer_ns),
+        (
+            "infer_batch_ns_per_candidate",
+            current.infer_batch_ns_per_candidate,
+            baseline.infer_batch_ns_per_candidate,
+        ),
+        ("exec_ns", current.exec_ns, baseline.exec_ns),
+        ("legality_ns", current.legality_ns, baseline.legality_ns),
+        (
+            "exec_eval_seq_ns_per_candidate",
+            current.exec_eval_seq_ns_per_candidate,
+            baseline.exec_eval_seq_ns_per_candidate,
+        ),
+        (
+            "cache_hit_ns_per_candidate",
+            current.cache_hit_ns_per_candidate,
+            baseline.cache_hit_ns_per_candidate,
+        ),
+    ]
+}
+
+fn main() {
+    let input = std::env::var("DLCM_BENCH_JSON").unwrap_or_else(|_| "target/bench.jsonl".into());
+    let raw = std::fs::read_to_string(&input).unwrap_or_else(|e| {
+        eprintln!("cannot read {input}: {e}");
+        eprintln!("run the benches first:");
+        eprintln!("  DLCM_BENCH_QUICK=1 DLCM_BENCH_JSON={input} cargo bench -p dlcm-bench");
+        std::process::exit(2);
+    });
+    let records: Vec<BenchRecord> = raw
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("valid bench record"))
+        .collect();
+    let current = summarize(&records);
+    dlcm_bench::write_json("BENCH_eval.json", &current);
+    println!("bench summary (ns/candidate): {current:#?}");
+
+    if std::env::args().any(|a| a == "--update-baseline") {
+        std::fs::create_dir_all("ci").expect("create ci dir");
+        let file = std::fs::File::create(BASELINE_PATH).expect("create baseline");
+        serde_json::to_writer_pretty(std::io::BufWriter::new(file), &current)
+            .expect("serialize baseline");
+        println!("wrote {BASELINE_PATH}");
+        return;
+    }
+
+    let Ok(baseline_raw) = std::fs::read_to_string(BASELINE_PATH) else {
+        println!("no committed baseline at {BASELINE_PATH}; skipping the gate");
+        println!(
+            "(create one with: cargo run -p dlcm-bench --bin bench_gate -- --update-baseline)"
+        );
+        return;
+    };
+    let baseline: BenchSummary = serde_json::from_str(&baseline_raw).expect("valid baseline");
+
+    // `DLCM_BENCH_TOLERANCE` overrides the default 1.25x for slow or
+    // noisy runner classes (per-candidate ns are absolute; a runner much
+    // slower than the one that recorded the baseline needs headroom, or
+    // a baseline refreshed with --update-baseline on its own class).
+    let tolerance = std::env::var("DLCM_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(REGRESSION_TOLERANCE);
+
+    let mut failed = false;
+    for (name, now, base) in gated(&current, &baseline) {
+        if now <= 0.0 {
+            // A gated bench that produced no measurement means the bench
+            // was renamed or removed: that silently disables its gate,
+            // which must fail loudly rather than pass green.
+            println!("{name:<34} MISSING measurement (bench renamed/removed?)");
+            failed = true;
+            continue;
+        }
+        if base <= 0.0 {
+            println!("{name:<34} skipped (not in baseline yet; refresh with --update-baseline)");
+            continue;
+        }
+        let ratio = now / base;
+        let status = if ratio > tolerance {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{name:<34} {now:>12.1} ns vs baseline {base:>12.1} ns ({ratio:>5.2}x) {status}");
+    }
+    println!(
+        "parallel_speedup_x                 {:>12.2} (not gated: depends on runner cores)",
+        current.parallel_speedup_x
+    );
+    if failed {
+        eprintln!(
+            "bench gate FAILED: a gated metric regressed more than {:.0}% vs {BASELINE_PATH}, or went missing",
+            100.0 * (tolerance - 1.0)
+        );
+        std::process::exit(1);
+    }
+    println!("bench gate passed");
+}

@@ -10,20 +10,34 @@
 //! Outputs `fig6.csv` (speedups over the §6 parallel baseline) and
 //! `table2.csv` (search-time improvement vs performance degradation).
 //!
-//! `cargo run --release -p dlcm-bench --bin exp_search [--quick]`
+//! Execution-backed evaluation runs through the cached + parallel stack:
+//! `--threads N` fans candidate batches across N workers, and the
+//! schedule-keyed result cache answers re-derived candidates for free.
+//! Both layers are bit-identical to sequential scoring, and the model
+//! evaluators charge a *simulated* per-candidate inference cost, so the
+//! CSVs are byte-identical at any `--threads` setting.
+//!
+//! `cargo run --release -p dlcm-bench --bin exp_search [--quick] [--threads N]`
 
 use dlcm_baseline::{HalideModel, HalideTrainConfig};
-use dlcm_bench::{harness, load_model, quick_mode, write_csv};
+use dlcm_bench::{harness, load_model, quick_mode, threads, write_csv};
 use dlcm_datagen::{Dataset, DatasetConfig, ProgramGenConfig};
-use dlcm_eval::{ExecutionEvaluator, ModelEvaluator};
+use dlcm_eval::{CachedEvaluator, Evaluator, ModelEvaluator, ParallelEvaluator};
 use dlcm_ir::Schedule;
 use dlcm_machine::{parallel_baseline, MachineConfig};
 use dlcm_model::{Featurizer, FeaturizerConfig};
 use dlcm_search::{BeamSearch, Mcts, SearchSpace};
 
+/// Simulated seconds of model inference per candidate (the paper's LSTM
+/// forward pass runs in a few milliseconds). Charged instead of measured
+/// wall-clock so Table 2's acceleration column is a pure function of the
+/// search trace — see `ModelEvaluator::with_simulated_cost`.
+const SIM_INFER_COST: f64 = 0.004;
+
 fn main() {
     let quick = quick_mode();
-    eprintln!("=== FIG-6 / TAB-2: benchmark search (quick={quick}) ===");
+    let threads = threads();
+    eprintln!("=== FIG-6 / TAB-2: benchmark search (quick={quick}, threads={threads}) ===");
     let scale = if quick { 0.15 } else { 1.0 };
     let model = load_model();
     let featurizer = Featurizer::new(FeaturizerConfig::default());
@@ -53,6 +67,13 @@ fn main() {
     let beam_width = 4;
     let mut fig6 = Vec::new();
     let mut table2 = Vec::new();
+    // One execution evaluator for every search that pays (simulated)
+    // compile+run: batches fan out across `threads` workers, and the
+    // schedule-keyed cache lets BSE reuse any measurement the (earlier)
+    // MCTS correction step already made on the same benchmark (keys
+    // include the program fingerprint, so benchmarks never
+    // cross-contaminate).
+    let mut exec_ev = CachedEvaluator::new(ParallelEvaluator::new(harness.clone(), 0, threads));
     println!(
         "{:<13} {:>7} {:>7} {:>7} {:>8} | {:>9} {:>9} | {:>7} {:>7}",
         "benchmark", "BSE", "BSM", "MCTS", "Halide", "BSM tAcc", "MCTS tAcc", "BSM dg%", "MCTS dg%"
@@ -71,26 +92,30 @@ fn main() {
                     .expect("legal schedule")
         };
 
-        // BSE.
-        let mut ev_bse = ExecutionEvaluator::new(harness.clone(), 0);
-        let bse = BeamSearch::new(beam_width, space.clone()).search(&program, &mut ev_bse);
-        let bse_speedup = measured(&bse.schedule);
-
-        // BSM.
-        let mut ev_bsm = ModelEvaluator::new(&model, featurizer.clone());
-        let bsm = BeamSearch::new(beam_width, space.clone()).search(&program, &mut ev_bsm);
-        let bsm_speedup = measured(&bsm.schedule);
-
-        // MCTS (model rollouts + top-3 executed).
-        let mut ev_m = ModelEvaluator::new(&model, featurizer.clone());
-        let mut ev_x = ExecutionEvaluator::new(harness.clone(), 0);
+        // MCTS first (model rollouts + top-3 executed): it runs on a cold
+        // cache so its Table 2 accounting is standalone, like the paper's.
+        // BSE afterwards reuses any measurement MCTS already paid for —
+        // a few cache hits that only make the reference denominator
+        // slightly cheaper (the conservative direction for both ratios).
+        let mut ev_m =
+            ModelEvaluator::new(&model, featurizer.clone()).with_simulated_cost(SIM_INFER_COST);
         let mcts = Mcts {
             iterations: if quick { 40 } else { 150 },
             space: space.clone(),
             ..Mcts::default()
         }
-        .search(&program, &mut ev_m, &mut ev_x);
+        .search(&program, &mut ev_m, &mut exec_ev);
         let mcts_speedup = measured(&mcts.schedule);
+
+        // BSE: execution evaluation behind the same cached+parallel stack.
+        let bse = BeamSearch::new(beam_width, space.clone()).search(&program, &mut exec_ev);
+        let bse_speedup = measured(&bse.schedule);
+
+        // BSM.
+        let mut ev_bsm =
+            ModelEvaluator::new(&model, featurizer.clone()).with_simulated_cost(SIM_INFER_COST);
+        let bsm = BeamSearch::new(beam_width, space.clone()).search(&program, &mut ev_bsm);
+        let bsm_speedup = measured(&bsm.schedule);
 
         // Halide autoscheduler: the trained baseline model *is* an
         // Evaluator, no adapter needed.
@@ -152,4 +177,15 @@ fn main() {
         avg(3),
         avg(4)
     );
+    let exec_stats = exec_ev.stats();
+    match exec_stats.cache_hit_rate() {
+        Some(rate) => eprintln!(
+            "execution evals: {} performed, {} answered from cache ({:.0}% hit rate), {} threads",
+            exec_stats.num_evals,
+            exec_stats.cache_hits,
+            100.0 * rate,
+            threads
+        ),
+        None => eprintln!("execution evals: {}", exec_stats.num_evals),
+    }
 }

@@ -34,6 +34,43 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Worker-thread count for parallel evaluation: `--threads N` (or
+/// `--threads=N`) on the command line, defaulting to 1.
+///
+/// Thread count never changes results — the parallel evaluator is
+/// bit-identical to sequential scoring — so experiment CSVs are byte-equal
+/// at any setting; only wall-clock changes.
+pub fn threads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--threads" {
+            match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(n) => return std::cmp::max(n, 1),
+                // Don't silently benchmark the wrong configuration.
+                None => {
+                    eprintln!(
+                        "warning: --threads needs a positive integer (got {:?}); using 1 worker",
+                        args.get(i + 1)
+                    );
+                    return 1;
+                }
+            }
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            match v.parse() {
+                Ok(n) => return std::cmp::max(n, 1),
+                Err(_) => {
+                    eprintln!(
+                        "warning: --threads needs a positive integer (got {v:?}); using 1 worker"
+                    );
+                    return 1;
+                }
+            }
+        }
+    }
+    1
+}
+
 /// The shared measurement harness (paper protocol: median of 30 runs,
 /// 2% noise, simulated Xeon E5-2680v3).
 pub fn harness() -> Measurement {

@@ -1,0 +1,230 @@
+//! Schedule-keyed result caching: never score the same candidate twice.
+//!
+//! Beam waves re-derive the skip-equivalent schedules of their parents,
+//! MCTS rollouts revisit the same finalized schedules across iterations,
+//! and both searches finalize partial candidates onto a shared tail of
+//! tag transforms. [`CachedEvaluator`] memoizes speedups under a
+//! `(program fingerprint, normalized schedule)` key so every re-derived
+//! candidate is answered without paying the wrapped evaluator's compile /
+//! run / inference cost.
+//!
+//! Correctness rests on the determinism contract of [`crate::Evaluator`]:
+//! implementations return the same value for the same `(program,
+//! schedule)` given their construction seed, so replaying a cached value
+//! is indistinguishable from re-evaluating — `tests/cache_props.rs`
+//! asserts this over randomized schedule sequences.
+
+use std::collections::HashMap;
+
+use dlcm_ir::{Program, Schedule};
+
+use crate::{EvalStats, Evaluator};
+
+/// Memoizing decorator over any [`Evaluator`].
+///
+/// Cache keys are content-derived: the program half is
+/// [`Program::fingerprint`] (names are not unique across generated and
+/// scaled programs), the schedule half is [`Schedule::cache_key`]
+/// (normalized, so equivalent tag orders share an entry). Hits and misses
+/// are surfaced through [`EvalStats::cache_hits`] /
+/// [`EvalStats::cache_misses`].
+pub struct CachedEvaluator<E> {
+    inner: E,
+    entries: HashMap<(u64, u64), f64>,
+    /// Fingerprint of the last program seen, keyed by the program itself
+    /// so repeated waves over one program hash it once.
+    program_key: Option<(Program, u64)>,
+    hits: usize,
+    misses: usize,
+}
+
+impl<E: Evaluator> CachedEvaluator<E> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: E) -> Self {
+        Self {
+            inner,
+            entries: HashMap::new(),
+            program_key: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwraps, discarding the cache.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    /// Number of cached `(program, schedule)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Candidates answered from the cache so far (duplicates within one
+    /// batch count as hits: the wrapped evaluator never saw them).
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Candidates forwarded to the wrapped evaluator so far.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    fn program_fingerprint(&mut self, program: &Program) -> u64 {
+        match &self.program_key {
+            Some((cached, fp)) if cached == program => *fp,
+            _ => {
+                let fp = program.fingerprint();
+                self.program_key = Some((program.clone(), fp));
+                fp
+            }
+        }
+    }
+}
+
+impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
+    fn speedup_batch(&mut self, program: &Program, schedules: &[Schedule]) -> Vec<f64> {
+        let pfp = self.program_fingerprint(program);
+        let keys: Vec<(u64, u64)> = schedules.iter().map(|s| (pfp, s.cache_key())).collect();
+
+        // Forward only the first occurrence of each missing key, in batch
+        // order, so the wrapped evaluator sees a deduplicated sub-batch.
+        let mut fresh: Vec<(u64, u64)> = Vec::new();
+        let mut fresh_schedules: Vec<Schedule> = Vec::new();
+        for (key, schedule) in keys.iter().zip(schedules) {
+            if self.entries.contains_key(key) || fresh.contains(key) {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+                fresh.push(*key);
+                fresh_schedules.push(schedule.clone());
+            }
+        }
+        if !fresh_schedules.is_empty() {
+            let values = self.inner.speedup_batch(program, &fresh_schedules);
+            debug_assert_eq!(values.len(), fresh.len());
+            for (key, value) in fresh.into_iter().zip(values) {
+                self.entries.insert(key, value);
+            }
+        }
+        keys.iter().map(|key| self.entries[key]).collect()
+    }
+
+    fn stats(&self) -> EvalStats {
+        let mut stats = self.inner.stats();
+        stats.cache_hits += self.hits;
+        stats.cache_misses += self.misses;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecutionEvaluator;
+    use dlcm_ir::{CompId, Expr, ProgramBuilder, Transform};
+    use dlcm_machine::{Machine, Measurement};
+
+    fn program(n: i64) -> Program {
+        let mut b = ProgramBuilder::new("p");
+        let i = b.iter("i", 0, n);
+        let j = b.iter("j", 0, n);
+        let inp = b.input("in", &[n, n]);
+        let out = b.buffer("out", &[n, n]);
+        let acc = b.access(inp, &[i.into(), j.into()], &[i, j]);
+        b.assign("c", &[i, j], out, &[i.into(), j.into()], Expr::Load(acc));
+        b.build().unwrap()
+    }
+
+    fn tile(size: i64) -> Schedule {
+        Schedule::new(vec![Transform::Tile {
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
+            size_a: size,
+            size_b: size,
+        }])
+    }
+
+    #[test]
+    fn repeats_and_duplicates_hit_the_cache() {
+        let p = program(512);
+        let mut ev = CachedEvaluator::new(ExecutionEvaluator::new(
+            Measurement::new(Machine::default()),
+            3,
+        ));
+        // Batch with an internal duplicate: 3 candidates, 2 unique.
+        let batch = vec![tile(32), tile(64), tile(32)];
+        let first = ev.speedup_batch(&p, &batch);
+        assert_eq!(first[0], first[2]);
+        assert_eq!(ev.hits(), 1);
+        assert_eq!(ev.misses(), 2);
+        assert_eq!(ev.stats().num_evals, 2, "inner saw only unique candidates");
+
+        // A later wave re-deriving the same schedules pays nothing.
+        let before = ev.stats();
+        let again = ev.speedup_batch(&p, &batch);
+        assert_eq!(again, first);
+        let delta = ev.stats().since(&before);
+        assert_eq!(delta.num_evals, 0);
+        assert_eq!(delta.search_time, 0.0);
+        assert_eq!(delta.cache_hits, 3);
+        assert_eq!(ev.stats().cache_hit_rate(), Some(4.0 / 6.0));
+    }
+
+    #[test]
+    fn equivalent_tag_orders_share_one_entry() {
+        let p = program(256);
+        let par = Transform::Parallelize {
+            comp: CompId(0),
+            level: 0,
+        };
+        let vec = Transform::Vectorize {
+            comp: CompId(0),
+            factor: 8,
+        };
+        let a = Schedule::new(vec![par.clone(), vec.clone()]);
+        let b = Schedule::new(vec![vec, par]);
+        let mut ev = CachedEvaluator::new(ExecutionEvaluator::new(
+            Measurement::new(Machine::default()),
+            0,
+        ));
+        let sa = ev.speedup(&p, &a);
+        let sb = ev.speedup(&p, &b);
+        assert_eq!(sa, sb);
+        assert_eq!(ev.misses(), 1);
+        assert_eq!(ev.hits(), 1);
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn same_named_programs_do_not_collide() {
+        // program(64) and program(128) share the name "p"; the content
+        // fingerprint must keep their entries apart.
+        let small = program(64);
+        let big = program(128);
+        let mut ev = CachedEvaluator::new(ExecutionEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+        ));
+        let s_small = ev.speedup(&small, &Schedule::empty());
+        let s_big = ev.speedup(&big, &Schedule::empty());
+        assert!((s_small - 1.0).abs() < 1e-9);
+        assert!((s_big - 1.0).abs() < 1e-9);
+        assert_eq!(ev.misses(), 2, "different programs must not share entries");
+        // Returning to the first program still hits its entry.
+        ev.speedup(&small, &Schedule::empty());
+        assert_eq!(ev.hits(), 1);
+    }
+}

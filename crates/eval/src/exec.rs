@@ -3,26 +3,89 @@
 //! The paper's ground-truth evaluator and the slow path of Table 2: every
 //! candidate pays a simulated compile (Tiramisu → Halide → LLVM is not
 //! cheap) plus `repeats` measured runs on the simulated machine.
+//!
+//! The per-candidate work is factored into [`ExecCore`], a *pure* scoring
+//! core: every score is a function of `(measurement, seed, program,
+//! schedule)` only, so [`crate::ParallelEvaluator`] can score candidates
+//! on any thread in any order and still reproduce the sequential values
+//! bit for bit. Deliberately, the candidate's position in a batch does
+//! **not** enter the seed: the same `(program, schedule)` must measure the
+//! same at any batch index, or the result cache would perturb results.
 
 use dlcm_ir::{Program, Schedule};
 use dlcm_machine::Measurement;
 
 use crate::{EvalStats, Evaluator};
 
+/// Pure scoring core shared by [`ExecutionEvaluator`] and
+/// [`crate::ParallelEvaluator`]: stateless per candidate, thread-safe by
+/// construction.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecCore {
+    pub measurement: Measurement,
+    pub seed: u64,
+    pub compile_cost: f64,
+}
+
+impl ExecCore {
+    /// Measures the baseline (unoptimized) execution time of `program`,
+    /// returning the time and the stats to charge for it.
+    pub fn measure_base(&self, program: &Program) -> (f64, EvalStats) {
+        let repeats = f64::from(self.measurement.repeats.max(1));
+        let t = self
+            .measurement
+            .measure_schedule(program, &Schedule::empty(), self.seed ^ 0xBA5E)
+            .expect("empty schedule is legal");
+        let delta = EvalStats {
+            compile_time: self.compile_cost,
+            search_time: self.compile_cost + repeats * t,
+            ..EvalStats::default()
+        };
+        (t, delta)
+    }
+
+    /// Scores one candidate against a baseline time, returning the speedup
+    /// and the stats to charge for it. Pure: no `&mut`, no batch-position
+    /// dependence.
+    pub fn score(&self, program: &Program, base: f64, schedule: &Schedule) -> (f64, EvalStats) {
+        let repeats = f64::from(self.measurement.repeats.max(1));
+        match self
+            .measurement
+            .measure_schedule(program, schedule, self.seed)
+        {
+            Ok(t) => (
+                base / t.max(f64::MIN_POSITIVE),
+                EvalStats {
+                    num_evals: 1,
+                    compile_time: self.compile_cost,
+                    search_time: self.compile_cost + repeats * t,
+                    ..EvalStats::default()
+                },
+            ),
+            // Candidates are validated before evaluation; an illegal one
+            // contributes a failed compile.
+            Err(_) => (
+                0.0,
+                EvalStats {
+                    num_evals: 1,
+                    compile_time: self.compile_cost,
+                    search_time: self.compile_cost,
+                    ..EvalStats::default()
+                },
+            ),
+        }
+    }
+}
+
 /// Evaluation by (simulated) compilation and execution: the paper's
 /// ground-truth evaluator.
+///
+/// A single-worker [`crate::ParallelEvaluator`] — one scoring
+/// implementation serves both, which is what makes the parallel path
+/// bit-identical to this one by construction.
 #[derive(Debug, Clone)]
 pub struct ExecutionEvaluator {
-    measurement: Measurement,
-    seed: u64,
-    /// Simulated seconds to compile one candidate.
-    pub compile_cost: f64,
-    stats: EvalStats,
-    /// Baseline time of the last program seen, keyed by the program
-    /// itself (names are not unique — generated programs and scaled
-    /// benchmark builders reuse them) so one evaluator can score
-    /// candidates for several programs without mixing up baselines.
-    base_time: Option<(Program, f64)>,
+    inner: crate::ParallelEvaluator,
 }
 
 impl ExecutionEvaluator {
@@ -30,70 +93,33 @@ impl ExecutionEvaluator {
     /// cost per candidate.
     pub fn new(measurement: Measurement, seed: u64) -> Self {
         Self {
-            measurement,
-            seed,
-            compile_cost: 2.0,
-            stats: EvalStats::default(),
-            base_time: None,
+            inner: crate::ParallelEvaluator::new(measurement, seed, 1),
         }
     }
 
     /// The underlying harness.
     pub fn measurement(&self) -> &Measurement {
-        &self.measurement
+        self.inner.measurement()
     }
 
-    /// Baseline (unoptimized) execution time, measured and charged once
-    /// per program (re-measured when a different program comes through).
-    fn base_time(&mut self, program: &Program) -> f64 {
-        let repeats = f64::from(self.measurement.repeats.max(1));
-        match &self.base_time {
-            Some((cached, t)) if cached == program => *t,
-            _ => {
-                let t = self
-                    .measurement
-                    .measure_schedule(program, &Schedule::empty(), self.seed ^ 0xBA5E)
-                    .expect("empty schedule is legal");
-                self.stats.compile_time += self.compile_cost;
-                self.stats.search_time += self.compile_cost + repeats * t;
-                self.base_time = Some((program.clone(), t));
-                t
-            }
-        }
+    /// Simulated seconds charged to compile one candidate.
+    pub fn compile_cost(&self) -> f64 {
+        self.inner.compile_cost()
+    }
+
+    /// Overrides the simulated per-candidate compile cost.
+    pub fn set_compile_cost(&mut self, seconds: f64) {
+        self.inner.set_compile_cost(seconds);
     }
 }
 
 impl Evaluator for ExecutionEvaluator {
     fn speedup_batch(&mut self, program: &Program, schedules: &[Schedule]) -> Vec<f64> {
-        let repeats = f64::from(self.measurement.repeats.max(1));
-        schedules
-            .iter()
-            .map(|schedule| {
-                self.stats.num_evals += 1;
-                let base = self.base_time(program);
-                match self
-                    .measurement
-                    .measure_schedule(program, schedule, self.seed)
-                {
-                    Ok(t) => {
-                        self.stats.compile_time += self.compile_cost;
-                        self.stats.search_time += self.compile_cost + repeats * t;
-                        base / t.max(f64::MIN_POSITIVE)
-                    }
-                    Err(_) => {
-                        // Candidates are validated before evaluation; an
-                        // illegal one contributes a failed compile.
-                        self.stats.compile_time += self.compile_cost;
-                        self.stats.search_time += self.compile_cost;
-                        0.0
-                    }
-                }
-            })
-            .collect()
+        self.inner.speedup_batch(program, schedules)
     }
 
     fn stats(&self) -> EvalStats {
-        self.stats
+        self.inner.stats()
     }
 }
 
@@ -129,8 +155,8 @@ mod tests {
         );
         assert!(s2 > 1.0);
         assert_eq!(ev.stats().num_evals, 2);
-        assert!(ev.stats().search_time > 2.0 * ev.compile_cost);
-        assert!(ev.stats().compile_time >= 3.0 * ev.compile_cost);
+        assert!(ev.stats().search_time > 2.0 * ev.compile_cost());
+        assert!(ev.stats().compile_time >= 3.0 * ev.compile_cost());
         assert_eq!(ev.stats().infer_time, 0.0);
     }
 

@@ -20,10 +20,25 @@
 //!   time-vs-quality tradeoff reads the same numbers for every evaluator;
 //! - [`ExecutionEvaluator`] — ground truth by (simulated) compile + run;
 //! - [`ModelEvaluator`] — any [`dlcm_model::SpeedupPredictor`] behind the
-//!   same interface.
+//!   same interface;
+//! - [`ParallelEvaluator`] — execution evaluation fanned out across a
+//!   deterministic worker pool, bit-identical to sequential scoring;
+//! - [`CachedEvaluator`] — a memoizing decorator keyed by
+//!   `(program fingerprint, normalized schedule)`, so candidates that
+//!   beam waves and MCTS rollouts re-derive never pay twice (hit/miss
+//!   counters surface in [`EvalStats`]).
 //!
 //! The trait is object safe: search and bench hold `&mut dyn Evaluator`
 //! (or `Box<dyn Evaluator>`) and never know which backend is scoring.
+//! The parallel/cached layers compose with it:
+//!
+//! ```text
+//!   CachedEvaluator<ParallelEvaluator>   // dedup first, fan out misses
+//! ```
+//!
+//! Determinism contract: every evaluator is a pure function of
+//! `(construction seed, program, schedule)` — batching, caching, and
+//! parallel fan-out are throughput seams, never semantic ones.
 //!
 //! # Examples
 //!
@@ -51,14 +66,19 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod exec;
 mod model;
+mod parallel;
+pub mod pool;
 mod stats;
 
 use dlcm_ir::{Program, Schedule};
 
+pub use cache::CachedEvaluator;
 pub use exec::ExecutionEvaluator;
 pub use model::ModelEvaluator;
+pub use parallel::ParallelEvaluator;
 pub use stats::EvalStats;
 
 /// Scores `(program, schedule)` candidates during search and evaluation.

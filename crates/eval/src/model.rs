@@ -24,6 +24,7 @@ pub struct ModelEvaluator<'m> {
     model: &'m dyn SpeedupPredictor,
     featurizer: Featurizer,
     stats: EvalStats,
+    sim_infer_cost: Option<f64>,
 }
 
 impl<'m> ModelEvaluator<'m> {
@@ -33,7 +34,25 @@ impl<'m> ModelEvaluator<'m> {
             model,
             featurizer,
             stats: EvalStats::default(),
+            sim_infer_cost: None,
         }
+    }
+
+    /// Charges a *simulated* `seconds_per_candidate` inference cost into
+    /// `search_time` instead of measured wall-clock.
+    ///
+    /// The execution evaluator's `search_time` is simulated machine time;
+    /// by default the model evaluator mixes wall-clock into the same
+    /// field, which makes Table 2's acceleration ratios depend on the
+    /// machine running the experiment (and on how many threads it used).
+    /// With a simulated charge the ratio is a pure function of the search
+    /// trace — `exp_search` relies on this to emit byte-identical CSVs at
+    /// any `--threads` setting. `infer_time` always keeps the measured
+    /// wall-clock component.
+    #[must_use]
+    pub fn with_simulated_cost(mut self, seconds_per_candidate: f64) -> Self {
+        self.sim_infer_cost = Some(seconds_per_candidate);
+        self
     }
 
     /// The featurizer used to encode candidates.
@@ -79,7 +98,10 @@ impl Evaluator for ModelEvaluator<'_> {
         self.stats.num_evals += schedules.len();
         let dt = start.elapsed().as_secs_f64();
         self.stats.infer_time += dt;
-        self.stats.search_time += dt;
+        self.stats.search_time += match self.sim_infer_cost {
+            Some(per_candidate) => per_candidate * schedules.len() as f64,
+            None => dt,
+        };
         out
     }
 

@@ -2,10 +2,12 @@
 //!
 //! §5/§6 of the paper trade search time against schedule quality
 //! (Table 2): beam search with execution pays simulated compile+run
-//! seconds per candidate, model-guided search pays wall-clock inference
-//! milliseconds. [`EvalStats`] carries both on the same struct so every
-//! consumer — beam, MCTS, the experiment binaries — reads one shape of
-//! number regardless of the evaluator behind the trait object.
+//! seconds per candidate, model-guided search pays inference milliseconds.
+//! [`EvalStats`] carries both on the same struct so every consumer — beam,
+//! MCTS, the experiment binaries — reads one shape of number regardless of
+//! the evaluator behind the trait object. The caching layer
+//! ([`crate::CachedEvaluator`]) reports its hit/miss counters on the same
+//! struct, so search logs can show how much re-derived work was skipped.
 
 use std::ops::{Add, AddAssign, Sub};
 
@@ -19,17 +21,27 @@ use serde::{Deserialize, Serialize};
 /// evaluators that do not pay that cost.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct EvalStats {
-    /// Number of candidate evaluations performed.
+    /// Number of candidate evaluations performed (cache hits excluded:
+    /// a hit is precisely an evaluation *not* performed).
     pub num_evals: usize,
     /// Total accounted search time in seconds. For execution this is the
     /// *simulated* compile+run time (standing in for the paper's real
-    /// hardware); for model evaluators it is measured wall-clock
-    /// inference time.
+    /// hardware); for model evaluators it is inference time — measured
+    /// wall-clock by default, or the deterministic simulated charge when
+    /// one is configured (see `ModelEvaluator::with_simulated_cost`).
     pub search_time: f64,
     /// Seconds spent (simulated) compiling candidates.
     pub compile_time: f64,
     /// Seconds of wall-clock model inference (featurize + forward).
     pub infer_time: f64,
+    /// Candidates answered from the schedule-keyed result cache without
+    /// touching the wrapped evaluator (zero unless a
+    /// [`crate::CachedEvaluator`] is in the stack).
+    pub cache_hits: usize,
+    /// Candidates that missed the cache and were forwarded to the wrapped
+    /// evaluator (zero unless a [`crate::CachedEvaluator`] is in the
+    /// stack).
+    pub cache_misses: usize,
 }
 
 impl EvalStats {
@@ -38,6 +50,13 @@ impl EvalStats {
     #[must_use]
     pub fn since(&self, earlier: &EvalStats) -> EvalStats {
         *self - *earlier
+    }
+
+    /// Fraction of cache lookups answered from the cache, or `None` when
+    /// no caching layer recorded any lookups.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let lookups = self.cache_hits + self.cache_misses;
+        (lookups > 0).then(|| self.cache_hits as f64 / lookups as f64)
     }
 }
 
@@ -50,6 +69,8 @@ impl Add for EvalStats {
             search_time: self.search_time + rhs.search_time,
             compile_time: self.compile_time + rhs.compile_time,
             infer_time: self.infer_time + rhs.infer_time,
+            cache_hits: self.cache_hits + rhs.cache_hits,
+            cache_misses: self.cache_misses + rhs.cache_misses,
         }
     }
 }
@@ -69,6 +90,8 @@ impl Sub for EvalStats {
             search_time: self.search_time - rhs.search_time,
             compile_time: self.compile_time - rhs.compile_time,
             infer_time: self.infer_time - rhs.infer_time,
+            cache_hits: self.cache_hits.saturating_sub(rhs.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(rhs.cache_misses),
         }
     }
 }
@@ -84,17 +107,33 @@ mod tests {
             search_time: 2.0,
             compile_time: 1.5,
             infer_time: 0.0,
+            cache_hits: 1,
+            cache_misses: 2,
         };
         let b = EvalStats {
             num_evals: 8,
             search_time: 5.0,
             compile_time: 3.0,
             infer_time: 0.5,
+            cache_hits: 4,
+            cache_misses: 6,
         };
         let d = b.since(&a);
         assert_eq!(d.num_evals, 5);
+        assert_eq!(d.cache_hits, 3);
         assert!((d.search_time - 3.0).abs() < 1e-12);
         let s = a + d;
         assert_eq!(s, b);
+    }
+
+    #[test]
+    fn hit_rate_is_none_without_lookups() {
+        assert_eq!(EvalStats::default().cache_hit_rate(), None);
+        let s = EvalStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..EvalStats::default()
+        };
+        assert_eq!(s.cache_hit_rate(), Some(0.75));
     }
 }

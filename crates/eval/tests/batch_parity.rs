@@ -1,10 +1,12 @@
 //! Batch/sequential parity: for a fixed seed, `speedup_batch` over N
 //! candidates returns exactly the same values as N sequential `speedup`
-//! calls. This is the contract that lets search switch to batched
-//! evaluation (and later PRs to parallel/sharded evaluation) without
-//! changing any search result.
+//! calls. This is the contract that lets search switch to batched,
+//! cached, and parallel evaluation without changing any search result —
+//! the cached and parallel paths are held to the same equality below.
 
-use dlcm_eval::{Evaluator, ExecutionEvaluator, ModelEvaluator};
+use dlcm_eval::{
+    CachedEvaluator, Evaluator, ExecutionEvaluator, ModelEvaluator, ParallelEvaluator,
+};
 use dlcm_ir::{BinOp, CompId, Expr, Program, ProgramBuilder, Schedule, Transform};
 use dlcm_machine::{Machine, Measurement};
 use dlcm_model::{CostModel, CostModelConfig, Featurizer, FeaturizerConfig};
@@ -126,6 +128,68 @@ fn model_evaluator_batch_equals_sequential() {
     let fused = featurizer.featurize(&program, &schedules[3]);
     let base = featurizer.featurize(&program, &schedules[0]);
     assert_ne!(fused.structure_key(), base.structure_key());
+}
+
+#[test]
+fn parallel_evaluator_batch_equals_sequential() {
+    let program = pipeline(128);
+    let schedules = candidates();
+    let seed = 42;
+
+    let mut sequential = ExecutionEvaluator::new(Measurement::new(Machine::default()), seed);
+    let one_by_one: Vec<f64> = schedules
+        .iter()
+        .map(|s| sequential.speedup(&program, s))
+        .collect();
+
+    for threads in [1, 3, 8] {
+        let mut parallel =
+            ParallelEvaluator::new(Measurement::new(Machine::default()), seed, threads);
+        let batch = parallel.speedup_batch(&program, &schedules);
+        assert_eq!(
+            batch, one_by_one,
+            "parallel ({threads} threads) must match sequential exactly"
+        );
+        assert_eq!(parallel.stats().num_evals, sequential.stats().num_evals);
+        assert_eq!(parallel.stats().search_time, sequential.stats().search_time);
+        assert_eq!(
+            parallel.stats().compile_time,
+            sequential.stats().compile_time
+        );
+    }
+}
+
+#[test]
+fn cached_evaluator_batch_equals_sequential() {
+    let program = pipeline(128);
+    // Duplicate some candidates so the cache actually collapses work.
+    let mut schedules = candidates();
+    schedules.extend(candidates().into_iter().take(3));
+    let seed = 42;
+
+    let mut sequential = ExecutionEvaluator::new(Measurement::new(Machine::default()), seed);
+    let one_by_one: Vec<f64> = schedules
+        .iter()
+        .map(|s| sequential.speedup(&program, s))
+        .collect();
+
+    let mut cached = CachedEvaluator::new(ExecutionEvaluator::new(
+        Measurement::new(Machine::default()),
+        seed,
+    ));
+    let batch = cached.speedup_batch(&program, &schedules);
+    assert_eq!(batch, one_by_one, "cached batch must match sequential");
+    assert_eq!(cached.stats().cache_hits, 3);
+    assert_eq!(cached.stats().num_evals, candidates().len());
+
+    // Cached over parallel: the composition exp_search uses.
+    let mut stack = CachedEvaluator::new(ParallelEvaluator::new(
+        Measurement::new(Machine::default()),
+        seed,
+        4,
+    ));
+    let stacked = stack.speedup_batch(&program, &schedules);
+    assert_eq!(stacked, one_by_one, "cached+parallel must match sequential");
 }
 
 /// Opposite fusion choices on a 3-computation program produce

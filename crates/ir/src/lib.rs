@@ -70,6 +70,7 @@
 
 pub mod deps;
 mod expr;
+pub mod fingerprint;
 mod interp;
 mod program;
 mod schedule;
@@ -87,3 +88,13 @@ pub use schedule::{
     apply_schedule, is_legal, LoopSource, SLoop, SNode, ScheduleError, ScheduledProgram,
 };
 pub use transform::{Schedule, Transform};
+
+// The parallel evaluation layer (`dlcm-eval`) shares programs and
+// schedules across worker threads by reference; keep that guaranteed at
+// compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>();
+    assert_send_sync::<Schedule>();
+    assert_send_sync::<ScheduledProgram>();
+};

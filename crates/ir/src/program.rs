@@ -217,6 +217,15 @@ impl Program {
         self.comps.iter().map(Computation::depth).max().unwrap_or(0)
     }
 
+    /// Stable structural fingerprint of the whole program, covering
+    /// buffers, iterators, computations, and the loop tree. Programs that
+    /// merely share a name (generated programs, scaled benchmark builders)
+    /// get distinct fingerprints, which is what lets evaluation caches be
+    /// keyed by content instead of identity.
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::stable_fingerprint(self)
+    }
+
     /// Checks structural invariants, returning a description of the first
     /// violation.
     ///

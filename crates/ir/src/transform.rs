@@ -195,6 +195,46 @@ impl Schedule {
         self.transforms.iter().filter(move |t| t.comp() == comp)
     }
 
+    /// Canonical form for content-keyed caching.
+    ///
+    /// Within the tag phase (unroll / parallelize / vectorize) transforms
+    /// set independent flags on disjoint aspects of the loop tree, so any
+    /// two tag orders produce the same [`crate::ScheduledProgram`]; they
+    /// are sorted into a fixed order here so all equivalent spellings share
+    /// one cache entry. The structural phases (fuse, interchange, tile) are
+    /// order-sensitive and keep their relative order (the sort is stable
+    /// and compares them by phase only).
+    ///
+    /// Non-canonical schedules are returned unchanged: `apply_schedule`
+    /// rejects them (they evaluate to 0.0), so reordering one into phase
+    /// order would alias its cache entry with a *legal* schedule's.
+    #[must_use]
+    pub fn normalized(&self) -> Schedule {
+        if !self.is_canonical() {
+            return self.clone();
+        }
+        fn tag_key(t: &Transform) -> (usize, u8, i64) {
+            match *t {
+                Transform::Unroll { comp, factor } => (comp.0, 0, factor),
+                Transform::Parallelize { comp, level } => (comp.0, 1, level as i64),
+                Transform::Vectorize { comp, factor } => (comp.0, 2, factor),
+                _ => unreachable!("tag_key is only called on phase-3 transforms"),
+            }
+        }
+        let mut transforms = self.transforms.clone();
+        transforms.sort_by(|a, b| match (a.phase(), b.phase()) {
+            (3, 3) => tag_key(a).cmp(&tag_key(b)),
+            (pa, pb) => pa.cmp(&pb),
+        });
+        Schedule::new(transforms)
+    }
+
+    /// Stable hash of the [`Schedule::normalized`] form, suitable as the
+    /// schedule half of a `(program, schedule)` cache key.
+    pub fn cache_key(&self) -> u64 {
+        crate::fingerprint::stable_fingerprint(&self.normalized().transforms)
+    }
+
     /// One-line rendering of the whole schedule.
     pub fn describe(&self) -> String {
         if self.transforms.is_empty() {
@@ -279,6 +319,65 @@ mod tests {
         }]);
         assert_eq!(s.describe(), "tile(c2, L1, L2, 16, 8)");
         assert_eq!(Schedule::empty().describe(), "<baseline>");
+    }
+
+    #[test]
+    fn normalization_orders_tags_and_keeps_structural_order() {
+        let tile = Transform::Tile {
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
+            size_a: 32,
+            size_b: 32,
+        };
+        let par = Transform::Parallelize {
+            comp: CompId(0),
+            level: 0,
+        };
+        let vec = Transform::Vectorize {
+            comp: CompId(0),
+            factor: 8,
+        };
+        let a = Schedule::new(vec![tile.clone(), par.clone(), vec.clone()]);
+        let b = Schedule::new(vec![tile.clone(), vec, par]);
+        assert_eq!(a.normalized(), b.normalized());
+        assert_eq!(a.cache_key(), b.cache_key());
+        // Structural transforms are order-sensitive and must not move.
+        let i01 = Transform::Interchange {
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
+        };
+        let i12 = Transform::Interchange {
+            comp: CompId(0),
+            level_a: 1,
+            level_b: 2,
+        };
+        let s1 = Schedule::new(vec![i01.clone(), i12.clone()]);
+        let s2 = Schedule::new(vec![i12, i01]);
+        assert_ne!(s1.cache_key(), s2.cache_key());
+        assert_eq!(s1.normalized().transforms, s1.transforms);
+    }
+
+    #[test]
+    fn non_canonical_schedules_keep_their_own_cache_key() {
+        // [Unroll, Interchange] is rejected by apply_schedule (phase
+        // order), so it must NOT share a cache entry with the legal
+        // [Interchange, Unroll] spelling.
+        let unroll = Transform::Unroll {
+            comp: CompId(0),
+            factor: 2,
+        };
+        let inter = Transform::Interchange {
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
+        };
+        let illegal = Schedule::new(vec![unroll.clone(), inter.clone()]);
+        let legal = Schedule::new(vec![inter, unroll]);
+        assert!(!illegal.is_canonical());
+        assert_eq!(illegal.normalized().transforms, illegal.transforms);
+        assert_ne!(illegal.cache_key(), legal.cache_key());
     }
 
     #[test]

@@ -51,3 +51,12 @@ pub use analysis::{analyze_program, AccessProfile, CompProfile, LoopCtx};
 pub use config::{CacheLevel, MachineConfig};
 pub use cost::{CompCost, Machine};
 pub use measure::{parallel_baseline, Measurement};
+
+// The parallel execution evaluator in `dlcm-eval` shares one measurement
+// harness across worker threads; keep that guaranteed at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Machine>();
+    assert_send_sync::<Measurement>();
+    assert_send_sync::<MachineConfig>();
+};

@@ -51,3 +51,12 @@ mod train;
 pub use costmodel::{train_rng, CostModel, CostModelConfig, SpeedupPredictor};
 pub use featurize::{FeatNode, Featurizer, FeaturizerConfig, ProgramFeatures, LOOP_FEATS};
 pub use train::{evaluate, prepare, train, EpochStats, LabeledFeatures, TrainConfig, TrainReport};
+
+// Trained model state is shared (by reference) across evaluation worker
+// threads; keep that guaranteed at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CostModel>();
+    assert_send_sync::<Featurizer>();
+    assert_send_sync::<ProgramFeatures>();
+};

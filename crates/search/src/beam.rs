@@ -5,7 +5,15 @@
 //! speedup." The beam keeps the `width` best candidates per stage, scored
 //! on their *finalized* schedules (decision prefix + the §4 heuristic
 //! parallelization/vectorization tags). All new candidates of a stage are
-//! scored through one [`Evaluator::speedup_batch`] call.
+//! scored through one [`Evaluator::speedup_batch`] call, **deduplicated
+//! within and across waves**: finalization maps many decision prefixes
+//! onto the same schedule (skipped stages, equivalent tag tails), and
+//! evaluators are deterministic, so a schedule scored once never needs to
+//! be scored again. Dedup only skips re-evaluations of identical
+//! schedules, which by the determinism contract return identical values —
+//! search results are bit-identical with or without it.
+
+use std::collections::HashMap;
 
 use dlcm_eval::{EvalStats, Evaluator};
 use dlcm_ir::{Program, Schedule};
@@ -53,19 +61,27 @@ impl BeamSearch {
     pub fn search(&self, program: &Program, evaluator: &mut dyn Evaluator) -> SearchResult {
         let stats_before = evaluator.stats();
 
+        // Finalized schedules already scored in an earlier wave, keyed by
+        // their normalized cache key.
+        let mut seen: HashMap<u64, f64> = HashMap::new();
+
         let mut frontier: Vec<(Candidate, f64, Schedule)> = Vec::new();
         {
             let root = Candidate::root(program);
             let finalized = finalize(program, &self.space, &root.schedule);
             let score = evaluator.speedup(program, &finalized);
+            seen.insert(finalized.cache_key(), score);
             frontier.push((root, score, finalized));
         }
 
         // Expand until every beam entry is complete. Each wave's fresh
-        // candidates are scored in a single batched evaluator call.
+        // candidates are deduplicated and scored in a single batched
+        // evaluator call.
         while frontier.iter().any(|(c, _, _)| !c.is_complete()) {
             let mut next: Vec<(Candidate, Option<f64>, Schedule)> = Vec::new();
-            let mut pending: Vec<usize> = Vec::new();
+            // One entry per *unique* unseen schedule in this wave, with
+            // the `next` slots waiting on it.
+            let mut wave: Vec<(u64, Schedule, Vec<usize>)> = Vec::new();
             for (cand, score, finalized) in frontier {
                 if cand.is_complete() {
                     next.push((cand, Some(score), finalized));
@@ -79,15 +95,27 @@ impl BeamSearch {
                         continue;
                     }
                     let child_final = finalize(program, &self.space, &child.schedule);
-                    pending.push(next.len());
+                    let key = child_final.cache_key();
+                    if let Some(&known) = seen.get(&key) {
+                        next.push((child, Some(known), child_final));
+                        continue;
+                    }
+                    let slot = next.len();
+                    match wave.iter_mut().find(|(k, _, _)| *k == key) {
+                        Some((_, _, slots)) => slots.push(slot),
+                        None => wave.push((key, child_final.clone(), vec![slot])),
+                    }
                     next.push((child, None, child_final));
                 }
             }
 
-            let wave: Vec<Schedule> = pending.iter().map(|&slot| next[slot].2.clone()).collect();
-            let scores = evaluator.speedup_batch(program, &wave);
-            for (slot, score) in pending.into_iter().zip(scores) {
-                next[slot].1 = Some(score);
+            let batch: Vec<Schedule> = wave.iter().map(|(_, s, _)| s.clone()).collect();
+            let scores = evaluator.speedup_batch(program, &batch);
+            for ((key, _, slots), score) in wave.into_iter().zip(scores) {
+                seen.insert(key, score);
+                for slot in slots {
+                    next[slot].1 = Some(score);
+                }
             }
 
             let mut scored: Vec<(Candidate, f64, Schedule)> = next
@@ -185,6 +213,32 @@ mod tests {
         assert!(
             wide >= narrow * 0.999,
             "wider beam regressed: {narrow} -> {wide}"
+        );
+    }
+
+    #[test]
+    fn dedup_skips_reevaluations_without_changing_the_result() {
+        let p = mm(128);
+        let space = SearchSpace {
+            tile_sizes: vec![16, 32],
+            unroll_factors: vec![2, 4],
+            ..SearchSpace::default()
+        };
+        let mut ev = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
+        let result = BeamSearch::new(4, space.clone()).search(&p, &mut ev);
+        // Finalization funnels many decision prefixes onto shared
+        // schedules; the evaluator must have seen each unique one once.
+        let mut cached = dlcm_eval::CachedEvaluator::new(ExecutionEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+        ));
+        let cached_result = BeamSearch::new(4, space).search(&p, &mut cached);
+        assert_eq!(cached_result.schedule, result.schedule);
+        assert_eq!(cached_result.score, result.score);
+        assert_eq!(
+            cached.stats().cache_hits,
+            0,
+            "search-level dedup must leave nothing for the cache layer to catch within one run"
         );
     }
 

@@ -7,6 +7,8 @@
 //! two-step approach: the model prunes the space, and a small number of
 //! real executions corrects the model's error.
 
+use std::collections::HashMap;
+
 use dlcm_eval::Evaluator;
 use dlcm_ir::{Program, Schedule};
 use rand::seq::SliceRandom;
@@ -77,6 +79,9 @@ impl Mcts {
             visits: 0.0,
             total: 0.0,
         }];
+        // Rollouts revisit finalized schedules across iterations; the
+        // model is deterministic, so score each unique schedule once.
+        let mut rollout_scores: HashMap<u64, f64> = HashMap::new();
         // Best finalized schedules by model score.
         let mut best_set: Vec<(f64, Schedule)> = Vec::new();
         let record = |score: f64, schedule: Schedule, set: &mut Vec<(f64, Schedule)>| {
@@ -155,7 +160,15 @@ impl Mcts {
                 assert!(guard < 64, "rollout did not terminate");
             }
             let finalized = finalize(program, &self.space, &cand.schedule);
-            let score = model_eval.speedup(program, &finalized);
+            let key = finalized.cache_key();
+            let score = match rollout_scores.get(&key) {
+                Some(&known) => known,
+                None => {
+                    let fresh = model_eval.speedup(program, &finalized);
+                    rollout_scores.insert(key, fresh);
+                    fresh
+                }
+            };
             global_max = global_max.max(score);
             record(score, finalized, &mut best_set);
 
@@ -235,7 +248,11 @@ mod tests {
             "should at least match baseline: {}",
             result.score
         );
-        assert!(result.stats.num_evals >= 40);
+        // Rollout dedup: at most one model eval per iteration plus the
+        // executed top-k correction set, and at least one per distinct
+        // retained schedule.
+        assert!(result.stats.num_evals > 0);
+        assert!(result.stats.num_evals <= 40 + mcts.exec_top_k);
         assert!(result.stats.search_time > 0.0);
     }
 

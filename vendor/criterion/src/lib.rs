@@ -2,13 +2,32 @@
 //! `bench_function` / `iter` / `iter_batched` surface with a simple
 //! adaptive timer — enough to run `cargo bench` and read per-iteration
 //! times, without statistics, plots, or baselines.
+//!
+//! Two environment variables serve the CI bench pipeline:
+//!
+//! - `DLCM_BENCH_QUICK=1` shrinks the per-benchmark time budget from
+//!   ~100 ms to ~10 ms (for smoke/regression jobs, not for reporting);
+//! - `DLCM_BENCH_JSON=<path>` appends one JSON line per benchmark
+//!   (`{"name": …, "ns_per_iter": …, "iters": …}`) to `<path>`, which the
+//!   `bench_gate` binary aggregates and checks against a committed
+//!   baseline.
 
 use std::hint::black_box as std_black_box;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer value barrier.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
+}
+
+/// Per-benchmark time budget: ~100 ms, or ~10 ms under
+/// `DLCM_BENCH_QUICK`.
+fn time_budget() -> Duration {
+    match std::env::var("DLCM_BENCH_QUICK") {
+        Ok(v) if v != "0" && !v.is_empty() => Duration::from_millis(10),
+        _ => Duration::from_millis(100),
+    }
 }
 
 /// Batch sizing hint (accepted for API compatibility; the stand-in
@@ -29,15 +48,14 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `routine`, choosing an iteration count targeting ~100 ms of
-    /// total runtime (capped at 10k iterations).
+    /// Times `routine`, choosing an iteration count targeting the time
+    /// budget (capped at 10k iterations).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Calibrate on a single call.
         let start = Instant::now();
         std_black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(20));
-        let iters =
-            (Duration::from_millis(100).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let iters = (time_budget().as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
         let start = Instant::now();
         for _ in 0..iters {
             std_black_box(routine());
@@ -56,8 +74,7 @@ impl Bencher {
         let start = Instant::now();
         std_black_box(routine(input));
         let once = start.elapsed().max(Duration::from_nanos(20));
-        let iters =
-            (Duration::from_millis(100).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let iters = (time_budget().as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
         let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
         let start = Instant::now();
         for input in inputs {
@@ -72,7 +89,8 @@ impl Bencher {
 pub struct Criterion {}
 
 impl Criterion {
-    /// Runs one named benchmark and prints its per-iteration time.
+    /// Runs one named benchmark, prints its per-iteration time, and
+    /// appends a JSON record when `DLCM_BENCH_JSON` is set.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher { measured: None };
         f(&mut b);
@@ -80,10 +98,32 @@ impl Criterion {
             Some((iters, total)) => {
                 let per = total.as_nanos() as f64 / iters as f64;
                 println!("{name:<40} {:>12} /iter ({iters} iters)", fmt_ns(per));
+                if let Ok(path) = std::env::var("DLCM_BENCH_JSON") {
+                    if !path.is_empty() {
+                        append_json_line(&path, name, per, iters);
+                    }
+                }
             }
             None => println!("{name:<40}  (no measurement recorded)"),
         }
         self
+    }
+}
+
+fn append_json_line(path: &str, name: &str, ns_per_iter: f64, iters: u64) {
+    let line = format!(
+        "{{\"name\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}}}\n",
+        name.replace('"', "'"),
+        ns_per_iter,
+        iters
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: could not append bench record to {path}: {e}");
     }
 }
 
@@ -143,5 +183,19 @@ mod tests {
         let mut b = Bencher { measured: None };
         b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
         assert!(b.measured.is_some());
+    }
+
+    #[test]
+    fn json_lines_are_appended() {
+        let dir = std::env::temp_dir().join("dlcm_criterion_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_json_line(path.to_str().unwrap(), "a_bench", 123.4, 10);
+        append_json_line(path.to_str().unwrap(), "b_bench", 5.0, 99);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.contains("\"name\":\"a_bench\""));
+        assert!(content.contains("\"ns_per_iter\":123.4"));
     }
 }

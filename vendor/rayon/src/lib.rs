@@ -1,8 +1,10 @@
 //! In-tree stand-in for `rayon` (see `vendor/README.md`): the parallel
 //! iterator entry points this workspace calls, implemented as their
 //! sequential `std` equivalents. Results (and result *order*) are
-//! identical to rayon's; only wall-clock parallelism is absent, which is
-//! a future-PR concern once a real thread pool is available.
+//! identical to rayon's. Real parallelism lives in
+//! `dlcm_eval::pool::parallel_map`, a scoped work-stealing fan-out over
+//! `std::thread` — that is the substrate heavy batched evaluation uses,
+//! keeping this stand-in limited to exactly the API the workspace calls.
 
 /// Sequential stand-ins for rayon's prelude traits.
 pub mod prelude {
