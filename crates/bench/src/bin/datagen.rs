@@ -1,0 +1,82 @@
+//! Corpus generation CLI: the §3 data-generation pipeline, sharded.
+//!
+//! Generates the canonical training corpus (six scenario families,
+//! paper-protocol labeling) as JSONL shards plus a manifest under
+//! `results/corpus/`, fanning work across `--threads` workers and
+//! deduplicating samples by content fingerprint. Thread count never
+//! changes the output: the manifest and every shard are byte-identical
+//! for any `--threads` value (the same guarantee `exp_search` makes for
+//! its CSVs).
+//!
+//! ```text
+//! cargo run --release -p dlcm-bench --bin datagen -- \
+//!     [--threads N] [--shards K] [--quick] [--force]
+//! ```
+//!
+//! `--force` regenerates even when a matching corpus already exists.
+
+use dlcm_bench::{corpus_config, corpus_dir, quick_mode, shards, threads, write_json};
+use dlcm_datagen::{ParallelDatasetBuilder, ShardedDataset};
+
+fn main() {
+    let quick = quick_mode();
+    let threads = threads();
+    let num_shards = shards();
+    let force = std::env::args().any(|a| a == "--force");
+    let dir = corpus_dir();
+
+    eprintln!(
+        "=== DATAGEN: sharded corpus (quick={quick}, threads={threads}, shards={num_shards}) ==="
+    );
+    let cfg = corpus_config(quick, threads, num_shards);
+    if !force {
+        if let Ok(existing) = ShardedDataset::open(&dir) {
+            // An explicit --shards request counts as a config change.
+            if existing.manifest().config == cfg.dataset
+                && existing.manifest().shards.len() == cfg.num_shards
+            {
+                existing.verify().expect("corpus shard fingerprints");
+                println!(
+                    "corpus up to date at {dir:?}: {} programs, {} points in {} shards (pass --force to regenerate)",
+                    existing.manifest().total_programs,
+                    existing.manifest().total_points,
+                    existing.manifest().shards.len()
+                );
+                return;
+            }
+            eprintln!("existing corpus has a different configuration; regenerating");
+        }
+    }
+
+    eprintln!(
+        "generating {} programs x {} schedules ...",
+        cfg.dataset.num_programs, cfg.dataset.schedules_per_program
+    );
+    let start = std::time::Instant::now();
+    let builder = ParallelDatasetBuilder::new(cfg);
+    let (manifest, stats) = builder
+        .write_corpus(&dlcm_bench::harness(), &dir)
+        .expect("write corpus");
+    let elapsed = start.elapsed().as_secs_f64();
+
+    ShardedDataset::open(&dir)
+        .and_then(|s| s.verify())
+        .expect("written corpus verifies");
+
+    println!("--- corpus written to {dir:?} in {elapsed:.1}s ---");
+    println!("programs            : {}", manifest.total_programs);
+    println!("labeled points      : {}", manifest.total_points);
+    println!("shards              : {}", manifest.shards.len());
+    println!("duplicates dropped  : {}", manifest.duplicates_dropped);
+    println!(
+        "measured candidates : {} ({} equivalent schedules served from cache)",
+        stats.eval.num_evals, stats.eval.cache_hits
+    );
+    for shard in &manifest.shards {
+        eprintln!(
+            "  {}  {:>4} programs  {:>5} points  fp {}",
+            shard.file, shard.num_programs, shard.num_points, shard.fingerprint
+        );
+    }
+    write_json("datagen_stats.json", &stats);
+}

@@ -6,10 +6,11 @@
 //! `cargo run --release -p dlcm-bench --bin exp_ablation [--quick] [epochs]`
 
 use dlcm_bench::{load_or_generate_dataset, quick_mode, write_json};
+use dlcm_datagen::prepare;
 use dlcm_model::ablation::{ConcatFfnModel, FlatLstmModel};
 use dlcm_model::{
-    evaluate, prepare, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig,
-    SpeedupPredictor, TrainConfig,
+    evaluate, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig, SpeedupPredictor,
+    TrainConfig,
 };
 use serde::Serialize;
 

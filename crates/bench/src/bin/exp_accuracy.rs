@@ -1,15 +1,22 @@
 //! EXP-ACC (§6, "Model Accuracy"): train the cost model and report the
 //! headline metrics — test MAPE (paper: 16%), Pearson r (0.90),
-//! Spearman's rho (0.95). Persists the dataset, split, and trained model
+//! Spearman's rho (0.95).
+//!
+//! Training streams minibatches from the sharded corpus (generated here
+//! through the parallel, deduplicating builder when the `datagen` binary
+//! has not already written it), featurizing each batch on demand across
+//! `--threads` workers. Persists the dataset, split, and trained model
 //! for the downstream figure/table experiments.
 //!
-//! `cargo run --release -p dlcm-bench --bin exp_accuracy [--quick] [epochs]`
+//! `cargo run --release -p dlcm-bench --bin exp_accuracy [--quick] [--threads N] [epochs]`
 
-use dlcm_bench::{dataset_config, harness, quick_mode, results_dir, write_json};
-use dlcm_datagen::Dataset;
+use std::collections::HashSet;
+
+use dlcm_bench::{corpus_dir, ensure_corpus, quick_mode, results_dir, shards, threads, write_json};
+use dlcm_datagen::{prepare, ShardBatches};
 use dlcm_model::{
-    evaluate, metrics, prepare, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig,
-    TrainConfig,
+    evaluate, metrics, train_stream, BatchSource, CostModel, CostModelConfig, Featurizer,
+    FeaturizerConfig, TrainConfig,
 };
 use serde::Serialize;
 
@@ -31,39 +38,67 @@ struct AccuracyReport {
 
 fn main() {
     let quick = quick_mode();
-    let epochs: usize = std::env::args()
-        .filter(|a| a != "--quick")
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(if quick { 8 } else { 60 });
+    let threads = threads();
+    let epochs: usize = {
+        // First bare positional (skipping `--threads N` / `--shards N`
+        // values) overrides the epoch count.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut epochs = None;
+        let mut skip_next = false;
+        for a in &args {
+            if std::mem::take(&mut skip_next) {
+                continue;
+            }
+            if a == "--threads" || a == "--shards" {
+                skip_next = true;
+            } else if !a.starts_with("--") {
+                if let Ok(n) = a.parse() {
+                    epochs = Some(n);
+                    break;
+                }
+            }
+        }
+        epochs.unwrap_or(if quick { 8 } else { 60 })
+    };
 
-    eprintln!("=== EXP-ACC: model accuracy (quick={quick}) ===");
-    let cfg = dataset_config(quick);
-    eprintln!(
-        "generating {} programs x {} schedules ...",
-        cfg.num_programs, cfg.schedules_per_program
-    );
-    let dataset = Dataset::generate(&cfg, &harness());
+    eprintln!("=== EXP-ACC: model accuracy (quick={quick}, threads={threads}) ===");
+    let (sharded, _build_stats) = ensure_corpus(quick, threads, shards());
+    let dataset = sharded.load_dataset().expect("load corpus");
     dataset
         .save_json(&results_dir().join("dataset.json"))
         .expect("persist dataset");
     let split = dataset.split(0);
 
     let featurizer = Featurizer::new(FeaturizerConfig::default());
-    eprintln!("featurizing {} points ...", dataset.len());
-    let train_set = prepare(&featurizer, &dataset, &split.train);
+    // Stream training minibatches from the shards (featurized on demand,
+    // in parallel); only the small val/test sets are featurized up front.
+    let train_programs: HashSet<usize> = split
+        .train
+        .iter()
+        .map(|&i| dataset.points[i].program)
+        .collect();
+    let source = ShardBatches::open_filtered(
+        &corpus_dir(),
+        featurizer.clone(),
+        TrainConfig::default().batch_size,
+        threads,
+        Some(&train_programs),
+    )
+    .expect("open corpus for streaming");
+    assert_eq!(source.num_points(), split.train.len());
     let val_set = prepare(&featurizer, &dataset, &split.val);
     let test_set = prepare(&featurizer, &dataset, &split.test);
 
     let mut model = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 0);
     eprintln!(
-        "training {} params for {epochs} epochs on {} samples ...",
+        "training {} params for {epochs} epochs on {} streamed samples ({} minibatches) ...",
         model.num_params(),
-        train_set.len()
+        source.num_points(),
+        source.num_batches()
     );
-    train(
+    train_stream(
         &mut model,
-        &train_set,
+        &source,
         &val_set,
         &TrainConfig {
             epochs,
@@ -79,7 +114,7 @@ fn main() {
         num_programs: dataset.programs.len(),
         num_points: dataset.len(),
         epochs,
-        train_points: train_set.len(),
+        train_points: source.num_points(),
         test_points: test_set.len(),
         test_mape,
         pearson: metrics::pearson(&targets, &preds),

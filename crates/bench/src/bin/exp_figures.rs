@@ -13,7 +13,8 @@
 use std::collections::BTreeMap;
 
 use dlcm_bench::{load_model, load_or_generate_dataset, quick_mode, write_csv};
-use dlcm_model::{metrics, prepare, Featurizer, FeaturizerConfig, LabeledFeatures};
+use dlcm_datagen::prepare;
+use dlcm_model::{metrics, Featurizer, FeaturizerConfig, LabeledFeatures};
 
 fn main() {
     let quick = quick_mode();

@@ -7,8 +7,9 @@
 
 use dlcm_baseline::{HalideModel, HalideTrainConfig};
 use dlcm_bench::{load_model, load_or_generate_dataset, quick_mode, write_json};
+use dlcm_datagen::prepare;
 use dlcm_machine::MachineConfig;
-use dlcm_model::{evaluate, metrics, prepare, Featurizer, FeaturizerConfig};
+use dlcm_model::{evaluate, metrics, Featurizer, FeaturizerConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]

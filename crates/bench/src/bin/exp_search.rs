@@ -52,7 +52,11 @@ fn main() {
             schedules_per_program: 12,
             seed: 99,
             progen: ProgramGenConfig {
-                pattern_weights: [3, 3, 0],
+                // Image-processing / DL flavour: assigns, stencils,
+                // and conv windows — no matmul-like reductions or
+                // reduction pipelines (the Halide model's §6
+                // training-domain gap).
+                pattern_weights: [3, 3, 0, 3, 0, 0],
                 ..ProgramGenConfig::default()
             },
             ..DatasetConfig::default()

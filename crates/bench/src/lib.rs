@@ -5,8 +5,11 @@
 //! experiment index. Artifacts are written to `results/` at the workspace
 //! root:
 //!
-//! - `exp_accuracy` → trains the model, writes `model.json`,
-//!   `dataset.json`, and `accuracy.json` (§6 headline metrics);
+//! - `datagen` → writes the sharded training corpus
+//!   (`corpus/manifest.json` + `corpus/shard-*.jsonl`);
+//! - `exp_accuracy` → streams training from the corpus, writes
+//!   `model.json`, `dataset.json`, and `accuracy.json` (§6 headline
+//!   metrics);
 //! - `exp_figures` → Figures 4, 5, 7, 8 CSVs from the trained model;
 //! - `exp_search` → Figure 6 + Table 2 (BSE / BSM / MCTS / Halide);
 //! - `exp_ablation` → §4.4 alternative-architecture comparison;
@@ -14,9 +17,14 @@
 //!
 //! Every binary accepts `--quick` for a scaled-down smoke run.
 
+#![warn(missing_docs)]
+
 use std::path::PathBuf;
 
-use dlcm_datagen::{Dataset, DatasetConfig};
+use dlcm_datagen::{
+    BuildConfig, BuildStats, Dataset, DatasetConfig, ParallelDatasetBuilder, ProgramGenConfig,
+    ShardedDataset,
+};
 use dlcm_machine::{Machine, Measurement};
 use dlcm_model::CostModel;
 
@@ -29,9 +37,46 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Directory holding the sharded training corpus (manifest + JSONL
+/// shards), written by the `datagen` binary and consumed by
+/// `exp_accuracy`'s streaming training path.
+pub fn corpus_dir() -> PathBuf {
+    results_dir().join("corpus")
+}
+
 /// `true` when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Parses `--<flag> N` / `--<flag>=N` from the command line, warning and
+/// falling back to `default` on a missing or non-positive value (don't
+/// silently run the wrong configuration).
+fn positive_flag(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let eq_prefix = format!("--{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == &format!("--{flag}") {
+            args.get(i + 1).cloned()
+        } else {
+            a.strip_prefix(&eq_prefix).map(str::to_string)
+        };
+        let Some(v) = value else { continue };
+        match v.parse() {
+            Ok(n) if n >= 1 => return n,
+            _ => {
+                eprintln!(
+                    "warning: --{flag} needs a positive integer (got {v:?}); using {default}"
+                );
+                return default;
+            }
+        }
+    }
+    // A trailing bare `--<flag>` has no value to look at.
+    if args.last().map(String::as_str) == Some(&format!("--{flag}")) {
+        eprintln!("warning: --{flag} needs a positive integer; using {default}");
+    }
+    default
 }
 
 /// Worker-thread count for parallel evaluation: `--threads N` (or
@@ -41,34 +86,14 @@ pub fn quick_mode() -> bool {
 /// bit-identical to sequential scoring — so experiment CSVs are byte-equal
 /// at any setting; only wall-clock changes.
 pub fn threads() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    for (i, a) in args.iter().enumerate() {
-        if a == "--threads" {
-            match args.get(i + 1).and_then(|v| v.parse().ok()) {
-                Some(n) => return std::cmp::max(n, 1),
-                // Don't silently benchmark the wrong configuration.
-                None => {
-                    eprintln!(
-                        "warning: --threads needs a positive integer (got {:?}); using 1 worker",
-                        args.get(i + 1)
-                    );
-                    return 1;
-                }
-            }
-        }
-        if let Some(v) = a.strip_prefix("--threads=") {
-            match v.parse() {
-                Ok(n) => return std::cmp::max(n, 1),
-                Err(_) => {
-                    eprintln!(
-                        "warning: --threads needs a positive integer (got {v:?}); using 1 worker"
-                    );
-                    return 1;
-                }
-            }
-        }
-    }
-    1
+    positive_flag("threads", 1)
+}
+
+/// Shard count for corpus generation: `--shards N` (or `--shards=N`) on
+/// the command line, defaulting to 4. Like `--threads`, this never
+/// changes the sample set — only how it is laid out across files.
+pub fn shards() -> usize {
+    positive_flag("shards", 4)
 }
 
 /// The shared measurement harness (paper protocol: median of 30 runs,
@@ -77,37 +102,90 @@ pub fn harness() -> Measurement {
     Measurement::new(Machine::default())
 }
 
-/// The canonical dataset configuration for the accuracy experiments.
-/// Scaled down from the paper's 56,250 x 32 to fit the simulated
-/// environment; `quick` shrinks it further for smoke tests.
+/// The canonical dataset configuration for the accuracy experiments:
+/// all six scenario families ([`ProgramGenConfig::wide`]). Scaled down
+/// from the paper's 56,250 x 32 to fit the simulated environment;
+/// `quick` shrinks it further for smoke tests.
 pub fn dataset_config(quick: bool) -> DatasetConfig {
-    if quick {
-        DatasetConfig {
-            num_programs: 48,
-            schedules_per_program: 8,
-            seed: 7,
-            ..DatasetConfig::default()
-        }
-    } else {
-        DatasetConfig {
-            num_programs: 128,
-            schedules_per_program: 32,
-            seed: 7,
-            ..DatasetConfig::default()
-        }
+    let (num_programs, schedules_per_program) = if quick { (48, 8) } else { (128, 32) };
+    DatasetConfig {
+        num_programs,
+        schedules_per_program,
+        seed: 7,
+        progen: ProgramGenConfig::wide(),
+        ..DatasetConfig::default()
     }
 }
 
-/// Loads the dataset written by `exp_accuracy`, or regenerates it
-/// deterministically when missing.
+/// The canonical corpus build configuration (`dataset_config` sharded
+/// and labeled through the parallel, deduplicating builder).
+pub fn corpus_config(quick: bool, threads: usize, num_shards: usize) -> BuildConfig {
+    BuildConfig {
+        threads,
+        num_shards,
+        ..BuildConfig::new(dataset_config(quick))
+    }
+}
+
+/// Opens the sharded corpus under [`corpus_dir`] if it exists and matches
+/// the canonical configuration, otherwise generates and writes it.
+/// Returns the opened corpus plus build stats when generation ran.
+pub fn ensure_corpus(
+    quick: bool,
+    threads: usize,
+    num_shards: usize,
+) -> (ShardedDataset, Option<BuildStats>) {
+    let dir = corpus_dir();
+    let cfg = corpus_config(quick, threads, num_shards);
+    if let Ok(sharded) = ShardedDataset::open(&dir) {
+        if sharded.manifest().config == cfg.dataset
+            && sharded.manifest().shards.len() == cfg.num_shards
+        {
+            eprintln!(
+                "reusing corpus at {dir:?} ({} programs, {} points)",
+                sharded.manifest().total_programs,
+                sharded.manifest().total_points
+            );
+            return (sharded, None);
+        }
+        eprintln!("corpus at {dir:?} has a stale configuration; regenerating");
+    }
+    let builder = ParallelDatasetBuilder::new(cfg);
+    let (manifest, stats) = builder
+        .write_corpus(&harness(), &dir)
+        .expect("write corpus shards");
+    eprintln!(
+        "generated corpus: {} programs, {} points, {} shards ({} duplicates dropped, {} equivalent schedules served from cache)",
+        manifest.total_programs,
+        manifest.total_points,
+        manifest.shards.len(),
+        stats.duplicates_dropped,
+        stats.eval.cache_hits
+    );
+    let sharded = ShardedDataset::open(&dir).expect("reopen written corpus");
+    (sharded, Some(stats))
+}
+
+/// Loads the dataset for the downstream figure/table experiments: the
+/// sharded corpus when present, then the `dataset.json` written by
+/// `exp_accuracy`, regenerating through the corpus pipeline as a last
+/// resort.
 pub fn load_or_generate_dataset(quick: bool) -> Dataset {
+    if let Ok(sharded) = ShardedDataset::open(&corpus_dir()) {
+        if sharded.manifest().config == dataset_config(quick) {
+            if let Ok(ds) = sharded.load_dataset() {
+                return ds;
+            }
+        }
+    }
     let path = results_dir().join("dataset.json");
     if path.exists() {
         if let Ok(ds) = Dataset::load_json(&path) {
             return ds;
         }
     }
-    let ds = Dataset::generate(&dataset_config(quick), &harness());
+    let (sharded, _) = ensure_corpus(quick, threads(), shards());
+    let ds = sharded.load_dataset().expect("load generated corpus");
     let _ = ds.save_json(&path);
     ds
 }

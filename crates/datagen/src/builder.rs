@@ -1,0 +1,326 @@
+//! Sharded, parallel, deduplicating corpus generation.
+//!
+//! The paper's corpus (§3: 56,250 algorithms x 32 schedules, labeled on a
+//! 16-node cluster over three weeks) is rebuilt here around the PR 2
+//! evaluation machinery:
+//!
+//! 1. **generate** — program/schedule generation fans out across the eval
+//!    worker pool (`dlcm_eval::pool::parallel_map`), one deterministic
+//!    RNG per program index;
+//! 2. **label** — every sample is scored through one shared
+//!    [`CachedEvaluator`] wrapping a [`ParallelEvaluator`]; the cache
+//!    keys on name-insensitive content, so re-drawn duplicate programs
+//!    and equivalent schedule spellings are *measured once* and every
+//!    later occurrence answers from cache;
+//! 3. **dedup** — corpus retention is keyed by exact content
+//!    fingerprints `(Program::content_fingerprint, schedule
+//!    fingerprint)`; a sample whose key already occurred would
+//!    contribute an identical (features, label) pair to training and is
+//!    dropped, across all shards;
+//! 4. **shard** — programs land in `index % num_shards`, each followed by
+//!    its points, and the manifest records counts + content fingerprints.
+//!
+//! The determinism contract of PR 2 composes through every stage: worker
+//! results return in index order, the evaluator is a pure function of
+//! `(seed, program, schedule)`, and dedup/labeling walk programs in index
+//! order — so the emitted shards and manifest are **byte-identical at any
+//! thread count**, and `BuildConfig::threads` changes wall-clock only
+//! (`tests/shard_pipeline.rs` enforces this).
+
+use std::collections::HashSet;
+use std::io;
+use std::path::Path;
+
+use dlcm_eval::{pool, CachedEvaluator, EvalStats, Evaluator, ParallelEvaluator};
+use dlcm_ir::fingerprint::stable_fingerprint;
+use dlcm_ir::{Program, Schedule};
+use dlcm_machine::Measurement;
+use dlcm_model::{Featurizer, FeaturizerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{DataPoint, Dataset, DatasetConfig};
+use crate::progen::ProgramGenerator;
+use crate::schedgen::ScheduleGenerator;
+use crate::shard::{
+    fingerprint_hex, ShardManifest, ShardRecord, ShardWriter, SHARD_FORMAT_VERSION,
+};
+
+/// Scale, parallelism, and sharding knobs of the corpus builder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuildConfig {
+    /// What to generate (counts, seed, generator configs).
+    pub dataset: DatasetConfig,
+    /// Worker threads for generation, labeling fan-out, and structure
+    /// featurization. Never changes results — only wall-clock.
+    pub threads: usize,
+    /// Number of shard files a written corpus is split into.
+    pub num_shards: usize,
+}
+
+impl BuildConfig {
+    /// A builder configuration over `dataset` with 1 thread and 4 shards.
+    pub fn new(dataset: DatasetConfig) -> Self {
+        Self {
+            dataset,
+            threads: 1,
+            num_shards: 4,
+        }
+    }
+}
+
+/// What a corpus build did, beyond the samples themselves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuildStats {
+    /// Programs generated.
+    pub num_programs: usize,
+    /// Labeled samples kept.
+    pub num_points: usize,
+    /// Samples dropped by exact-content cross-shard dedup.
+    pub duplicates_dropped: usize,
+    /// Evaluator accounting: `num_evals` counts actually-measured
+    /// candidates, `cache_hits` counts equivalent schedules answered
+    /// without re-measurement.
+    pub eval: EvalStats,
+}
+
+/// One labeled sample plus the metadata the shard format persists.
+struct BuiltPoint {
+    program: usize,
+    structure: u64,
+    speedup: f64,
+    schedule: Schedule,
+}
+
+/// Sharded, parallel, deduplicating dataset builder — the corpus-scale
+/// replacement for [`Dataset::generate`].
+///
+/// ```no_run
+/// use dlcm_datagen::{BuildConfig, DatasetConfig, ParallelDatasetBuilder};
+/// use dlcm_machine::{Machine, Measurement};
+///
+/// let builder = ParallelDatasetBuilder::new(BuildConfig {
+///     threads: 4,
+///     num_shards: 4,
+///     ..BuildConfig::new(DatasetConfig::default())
+/// });
+/// let harness = Measurement::new(Machine::default());
+/// let (manifest, stats) = builder
+///     .write_corpus(&harness, std::path::Path::new("results/corpus"))
+///     .unwrap();
+/// assert_eq!(manifest.total_points, stats.num_points);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelDatasetBuilder {
+    cfg: BuildConfig,
+}
+
+impl ParallelDatasetBuilder {
+    /// Creates a builder.
+    pub fn new(cfg: BuildConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The builder's configuration.
+    pub fn config(&self) -> &BuildConfig {
+        &self.cfg
+    }
+
+    /// Generation + labeling + dedup + structure keys; the shared core of
+    /// [`Self::generate`] and [`Self::write_corpus`]. Returns programs
+    /// (by global index), their content fingerprints, and the retained
+    /// points — ownership is moved out of the generation buffers, so the
+    /// corpus exists in memory once.
+    fn build(
+        &self,
+        measurement: &Measurement,
+    ) -> (Vec<Program>, Vec<u64>, Vec<BuiltPoint>, BuildStats) {
+        let ds = &self.cfg.dataset;
+        let threads = self.cfg.threads.max(1);
+        let progen = ProgramGenerator::new(ds.progen.clone());
+        let schedgen = ScheduleGenerator::new(ds.schedgen.clone());
+
+        // Phase 1: generation, fanned across the worker pool. Each program
+        // index seeds its own RNG (same derivation as `Dataset::generate`),
+        // and `parallel_map` returns results in index order, so the fan-out
+        // is invisible in the output.
+        let generated: Vec<(Program, Vec<Schedule>)> =
+            pool::parallel_map(threads, ds.num_programs, |pi| {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    ds.seed ^ (pi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let program = progen.generate(&mut rng, &format!("rand_{pi}"));
+                let schedules =
+                    schedgen.generate_distinct(&program, ds.schedules_per_program, &mut rng);
+                (program, schedules)
+            });
+        let fingerprints: Vec<u64> = generated
+            .iter()
+            .map(|(p, _)| p.content_fingerprint())
+            .collect();
+
+        // Phase 2: labeling through one shared cache. The parallel
+        // evaluator fans each program's batch across the pool, and the
+        // cache keys on name-insensitive content — so when the random
+        // generator re-draws a structurally identical program (or an
+        // equivalent schedule spelling), the duplicate is *measured
+        // once* and every later occurrence is answered from cache.
+        // Values are a pure function of `(seed, program, schedule)`, so
+        // this loop is bit-identical at any thread count.
+        let mut evaluator = CachedEvaluator::new(ParallelEvaluator::new(
+            measurement.clone(),
+            ds.seed,
+            threads,
+        ));
+        let labeled: Vec<Vec<f64>> = generated
+            .iter()
+            .map(|(program, schedules)| evaluator.speedup_batch(program, schedules))
+            .collect();
+
+        // Phase 3: cross-shard dedup on exact content. A sample is
+        // dropped when both the program structure (ignoring its
+        // generated name) and the literal transform sequence already
+        // occurred — it would contribute an identical (features, label)
+        // pair to training. Walked in program-index order, so "first
+        // occurrence wins" is well defined. Labeling already happened:
+        // thanks to the cache the dropped duplicates cost nothing extra
+        // to have labeled. Programs and retained schedules are *moved*
+        // out of the generation buffer here, not copied.
+        let mut seen: HashSet<(u64, u64)> = HashSet::new();
+        let mut duplicates_dropped = 0usize;
+        let mut programs: Vec<Program> = Vec::with_capacity(generated.len());
+        let mut points: Vec<BuiltPoint> = Vec::new();
+        for (pi, (program, schedules)) in generated.into_iter().enumerate() {
+            programs.push(program);
+            for (schedule, speedup) in schedules.into_iter().zip(&labeled[pi]) {
+                if seen.insert((fingerprints[pi], stable_fingerprint(&schedule))) {
+                    points.push(BuiltPoint {
+                        program: pi,
+                        structure: 0, // filled below
+                        speedup: *speedup,
+                        schedule,
+                    });
+                } else {
+                    duplicates_dropped += 1;
+                }
+            }
+        }
+
+        // Phase 4: feature-tree structure keys (config-independent), so
+        // streamed training can group structure-identical minibatches
+        // straight from shard records.
+        let featurizer = Featurizer::new(FeaturizerConfig::default());
+        let structures = pool::parallel_map(threads, points.len(), |k| {
+            let point = &points[k];
+            featurizer
+                .featurize(&programs[point.program], &point.schedule)
+                .structure_key()
+        });
+        for (point, structure) in points.iter_mut().zip(structures) {
+            point.structure = structure;
+        }
+
+        let stats = BuildStats {
+            num_programs: programs.len(),
+            num_points: points.len(),
+            duplicates_dropped,
+            eval: evaluator.stats(),
+        };
+        (programs, fingerprints, points, stats)
+    }
+
+    /// Builds the corpus in memory.
+    ///
+    /// The returned [`Dataset`] is ordered by `(program index,
+    /// within-program generation order)` and is identical — bit for bit,
+    /// at any [`BuildConfig::threads`] — to what [`Self::write_corpus`]
+    /// followed by [`crate::ShardedDataset::load_dataset`] produces.
+    pub fn generate(&self, measurement: &Measurement) -> (Dataset, BuildStats) {
+        let (programs, _, points, stats) = self.build(measurement);
+        let dataset = Dataset {
+            programs,
+            points: points
+                .into_iter()
+                .map(|p| DataPoint {
+                    program: p.program,
+                    schedule: p.schedule,
+                    speedup: p.speedup,
+                })
+                .collect(),
+        };
+        (dataset, stats)
+    }
+
+    /// Builds the corpus and writes it as shards + manifest into `dir`
+    /// (created if missing).
+    ///
+    /// Program `i` lands in shard `i % num_shards`, immediately followed
+    /// by its points, so every shard is self-contained for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures.
+    pub fn write_corpus(
+        &self,
+        measurement: &Measurement,
+        dir: &Path,
+    ) -> io::Result<(ShardManifest, BuildStats)> {
+        let (programs, fingerprints, points, stats) = self.build(measurement);
+        std::fs::create_dir_all(dir)?;
+        // Clear shard files from any previous corpus in this directory:
+        // a regeneration with fewer shards must not leave stale
+        // shard-NNNN.jsonl files next to the new manifest.
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("shard-") && name.ends_with(".jsonl") {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        let num_shards = self.cfg.num_shards.max(1);
+        let mut writers: Vec<ShardWriter> = (0..num_shards)
+            .map(|k| ShardWriter::create(dir, k))
+            .collect::<io::Result<_>>()?;
+
+        let mut next_point = 0usize;
+        for (pi, program) in programs.iter().enumerate() {
+            let writer = &mut writers[pi % num_shards];
+            // NB: ShardRecord owns its payload, so each record clones its
+            // program/schedule transiently (one record at a time) — peak
+            // memory stays one corpus plus one record.
+            writer.write(&ShardRecord::Program {
+                index: pi,
+                fingerprint: fingerprint_hex(fingerprints[pi]),
+                program: program.clone(),
+            })?;
+            while next_point < points.len() && points[next_point].program == pi {
+                let point = &points[next_point];
+                writer.write(&ShardRecord::Point {
+                    program: pi,
+                    structure: fingerprint_hex(point.structure),
+                    speedup: point.speedup,
+                    schedule: point.schedule.clone(),
+                })?;
+                next_point += 1;
+            }
+        }
+        debug_assert_eq!(next_point, points.len());
+
+        let shards: Vec<_> = writers
+            .into_iter()
+            .map(ShardWriter::finish)
+            .collect::<io::Result<_>>()?;
+        let manifest = ShardManifest {
+            version: SHARD_FORMAT_VERSION,
+            config: self.cfg.dataset.clone(),
+            total_programs: stats.num_programs,
+            total_points: stats.num_points,
+            duplicates_dropped: stats.duplicates_dropped,
+            shards,
+        };
+        manifest.save(dir)?;
+        Ok((manifest, stats))
+    }
+}

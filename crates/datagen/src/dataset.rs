@@ -1,11 +1,15 @@
-//! Dataset construction: (program, schedule, measured speedup) triplets.
+//! The in-memory dataset: (program, schedule, measured speedup) triplets.
 //!
 //! §3 of the paper: 56,250 random algorithms x 32 random transformation
 //! sequences = 1.8 M labeled programs, measured as the median of 30 runs
-//! on a 16-node cluster over three weeks. This module reproduces the
-//! pipeline at configurable scale: programs and labels are generated in
-//! parallel with rayon (our stand-in for the cluster) against the
-//! simulated machine of `dlcm-machine`.
+//! on a 16-node cluster over three weeks. [`Dataset`] is the in-memory
+//! representation of such a corpus plus [`Dataset::generate`], the
+//! small-scale generation path used by tests and examples. Corpus-scale
+//! generation goes through [`crate::ParallelDatasetBuilder`] instead,
+//! which writes the sharded JSONL format of [`crate::ShardWriter`] —
+//! deduplicated, labeled through a shared evaluation cache, and
+//! byte-reproducible at any thread count ([`crate::ShardedDataset`]
+//! loads it back into this type).
 
 use dlcm_ir::{Program, Schedule};
 use dlcm_machine::Measurement;
@@ -29,7 +33,7 @@ pub struct DataPoint {
 }
 
 /// Scale and randomness knobs for dataset generation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DatasetConfig {
     /// Number of random programs (the paper uses 56,250).
     pub num_programs: usize,
@@ -151,10 +155,27 @@ impl Dataset {
         &self.programs[point.program]
     }
 
-    /// 60/20/20 split by program (deterministic given `seed`).
+    /// 60/20/20 split by program *content* (deterministic given `seed`):
+    /// programs with identical [`Program::content_fingerprint`]s — random
+    /// corpora re-draw small programs under different names — travel
+    /// together, so no workload leaks between splits.
     pub fn split(&self, seed: u64) -> Split {
-        let n_prog = self.programs.len();
-        let mut order: Vec<usize> = (0..n_prog).collect();
+        // Group program indices by content; groups keep first-occurrence
+        // order, so for duplicate-free datasets this degenerates to the
+        // old per-program shuffle exactly.
+        let mut group_of: std::collections::HashMap<u64, usize> = Default::default();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (pi, program) in self.programs.iter().enumerate() {
+            let fp = program.content_fingerprint();
+            let g = *group_of.entry(fp).or_insert(groups.len());
+            if g == groups.len() {
+                groups.push(Vec::new());
+            }
+            groups[g].push(pi);
+        }
+
+        let n_groups = groups.len();
+        let mut order: Vec<usize> = (0..n_groups).collect();
         // Fisher–Yates with a splitmix-style generator.
         let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut next = move || {
@@ -164,14 +185,29 @@ impl Dataset {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        for i in (1..n_prog).rev() {
+        for i in (1..n_groups).rev() {
             let j = (next() % (i as u64 + 1)) as usize;
             order.swap(i, j);
         }
+        // Cut by cumulative *program* count so duplicate-heavy corpora
+        // still land near 60/20/20.
+        let n_prog = self.programs.len();
         let n_train = (n_prog * 6) / 10;
         let n_val = (n_prog * 2) / 10;
-        let train_prog: Vec<usize> = order[..n_train].to_vec();
-        let val_prog: Vec<usize> = order[n_train..n_train + n_val].to_vec();
+        let mut train_prog: Vec<usize> = Vec::new();
+        let mut val_prog: Vec<usize> = Vec::new();
+        let mut assigned = 0usize;
+        for &g in &order {
+            let dest = if assigned < n_train {
+                &mut train_prog
+            } else if assigned < n_train + n_val {
+                &mut val_prog
+            } else {
+                break;
+            };
+            assigned += groups[g].len();
+            dest.extend(&groups[g]);
+        }
 
         let bucket = |pi: usize| -> u8 {
             if train_prog.contains(&pi) {
@@ -197,7 +233,12 @@ impl Dataset {
         split
     }
 
-    /// Serializes the dataset to JSON.
+    /// Serializes the whole dataset as one JSON document.
+    ///
+    /// This is the legacy single-file interchange format (handy for small
+    /// artifacts like `results/dataset.json`); corpora meant to scale or
+    /// to stream into training should use the sharded format written by
+    /// [`crate::ParallelDatasetBuilder::write_corpus`] instead.
     ///
     /// # Errors
     ///
@@ -207,7 +248,9 @@ impl Dataset {
         serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
-    /// Loads a dataset from JSON.
+    /// Loads a dataset from the single-document JSON format of
+    /// [`Dataset::save_json`]. Sharded corpora load through
+    /// [`crate::ShardedDataset::load_dataset`].
     ///
     /// # Errors
     ///

@@ -2,12 +2,30 @@
 //!
 //! The data-generation pipeline of the DLCM reproduction of *"A Deep
 //! Learning Based Cost Model for Automatic Code Optimization"* (MLSys
-//! 2021), §3: random Tiramisu-like programs over the paper's three
-//! assignment patterns, random legal transformation sequences, and
+//! 2021), §3: random Tiramisu-like programs over six scenario families
+//! (the paper's assignments/stencils/reductions plus convs, reduction
+//! pipelines, and scans), random legal transformation sequences, and
 //! labeled `(program, schedule, speedup)` triplets measured on the
 //! simulated machine of `dlcm-machine`.
 //!
+//! Two generation paths share one determinism story:
+//!
+//! - [`Dataset::generate`] — the small-scale, in-memory path used by
+//!   tests and examples;
+//! - [`ParallelDatasetBuilder`] — the corpus path: generation fanned
+//!   across a worker pool, labeling through a shared, deduplicating
+//!   `dlcm_eval::CachedEvaluator`, and output as JSONL shards plus a
+//!   manifest ([`ShardWriter`]/[`ShardReader`]/[`ShardManifest`]) that
+//!   are **byte-identical at any thread count**.
+//!
+//! Training streams minibatches straight from shards through
+//! [`ShardBatches`] (a `dlcm_model::BatchSource`), featurizing each
+//! batch on demand; [`prepare`] is the in-memory equivalent. See
+//! DESIGN.md § "Dataset pipeline" for the on-disk format specification.
+//!
 //! # Examples
+//!
+//! In-memory generation:
 //!
 //! ```
 //! use dlcm_datagen::{Dataset, DatasetConfig};
@@ -19,13 +37,51 @@
 //! let split = dataset.split(0);
 //! assert!(!split.train.is_empty());
 //! ```
+//!
+//! Sharded corpus generation + streamed training:
+//!
+//! ```no_run
+//! use dlcm_datagen::{BuildConfig, DatasetConfig, ParallelDatasetBuilder, ShardBatches};
+//! use dlcm_machine::{Machine, Measurement};
+//! use dlcm_model::{Featurizer, FeaturizerConfig};
+//! use std::path::Path;
+//!
+//! let builder = ParallelDatasetBuilder::new(BuildConfig {
+//!     threads: 4,
+//!     num_shards: 4,
+//!     ..BuildConfig::new(DatasetConfig::default())
+//! });
+//! let dir = Path::new("results/corpus");
+//! let (manifest, stats) = builder
+//!     .write_corpus(&Measurement::new(Machine::default()), dir)
+//!     .unwrap();
+//! println!(
+//!     "{} points in {} shards ({} duplicates dropped, {} cache hits)",
+//!     manifest.total_points,
+//!     manifest.shards.len(),
+//!     stats.duplicates_dropped,
+//!     stats.eval.cache_hits
+//! );
+//! let source =
+//!     ShardBatches::open(dir, Featurizer::new(FeaturizerConfig::default()), 32, 4).unwrap();
+//! // … dlcm_model::train_stream(&mut model, &source, &val_set, &cfg)
+//! ```
 
 #![warn(missing_docs)]
 
+mod builder;
 mod dataset;
 mod progen;
 mod schedgen;
+mod shard;
+mod stream;
 
+pub use builder::{BuildConfig, BuildStats, ParallelDatasetBuilder};
 pub use dataset::{DataPoint, Dataset, DatasetConfig, Split};
 pub use progen::{Pattern, ProgramGenConfig, ProgramGenerator};
 pub use schedgen::{ScheduleGenConfig, ScheduleGenerator};
+pub use shard::{
+    fingerprint_hex, parse_fingerprint, ShardInfo, ShardManifest, ShardReader, ShardRecord,
+    ShardWriter, ShardedDataset, SHARD_FORMAT_VERSION,
+};
+pub use stream::{prepare, ShardBatches};

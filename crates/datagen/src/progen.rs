@@ -2,10 +2,15 @@
 //!
 //! "The random code generator generates sequences of computations where
 //! each computation is a variant (or a combination) of [three] patterns":
-//! simple assignments, stencils, and reductions. Generated programs are
-//! correct by construction — a computation consumes constants, input
-//! arrays, or values computed by previous computations, and stencil
-//! bounds are shrunk so every access stays in bounds.
+//! simple assignments, stencils, and reductions. Beyond the paper's
+//! three, this generator knows three more scenario families — sliding-
+//! window convolutions, multi-output reduction pipelines, and scans —
+//! enabled by [`ProgramGenConfig::wide`] for corpus generation (weights
+//! of 0 in [`ProgramGenConfig::default`] keep the paper's distribution
+//! reproducible seed-for-seed). Generated programs are correct by
+//! construction — a computation consumes constants, input arrays, or
+//! values computed by previous computations, and stencil/window bounds
+//! are shrunk or padded so every access stays in bounds.
 
 use dlcm_ir::{BinOp, BufferId, Expr, IterId, LinExpr, Program, ProgramBuilder};
 use rand::seq::SliceRandom;
@@ -13,7 +18,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the random program generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProgramGenConfig {
     /// Minimum computations per program.
     pub min_comps: usize,
@@ -28,11 +33,15 @@ pub struct ProgramGenConfig {
     /// Maximum natural loop depth (before tiling splits), ≤ 4 so that
     /// tiled nests stay within the paper's `n = 7` featurization budget.
     pub max_depth: usize,
-    /// Relative weights of the three §3 patterns
-    /// `[assign, stencil, reduction]`. Setting the reduction weight to 0
-    /// yields an image-processing/deep-learning-flavoured distribution —
-    /// used to reproduce the Halide baseline's training-domain gap (§6).
-    pub pattern_weights: [u32; 3],
+    /// Relative weights of the six scenario families, indexed like
+    /// [`Pattern`]: `[assign, stencil, reduction, conv, reduction
+    /// pipeline, scan]`. The default keeps the paper's three-family
+    /// distribution (weights `[2, 2, 2, 0, 0, 0]`, byte-identical
+    /// generation per seed); [`ProgramGenConfig::wide`] enables all six.
+    /// Setting the contraction weights to 0 yields an image-processing /
+    /// deep-learning-flavoured distribution — used to reproduce the
+    /// Halide baseline's training-domain gap (§6).
+    pub pattern_weights: [u32; 6],
 }
 
 impl Default for ProgramGenConfig {
@@ -43,12 +52,26 @@ impl Default for ProgramGenConfig {
             size_pool: vec![16, 32, 64, 128, 256, 512, 1024],
             max_points: 1 << 24,
             max_depth: 4,
-            pattern_weights: [2, 2, 2],
+            pattern_weights: [2, 2, 2, 0, 0, 0],
         }
     }
 }
 
-/// The three §3 assignment patterns.
+impl ProgramGenConfig {
+    /// All six scenario families, equally weighted — the corpus
+    /// configuration, covering more of the paper's program space than
+    /// the default three-family distribution.
+    pub fn wide() -> Self {
+        Self {
+            pattern_weights: [2, 2, 2, 2, 2, 2],
+            ..Self::default()
+        }
+    }
+}
+
+/// The scenario families: the paper's three §3 assignment patterns plus
+/// three families widening the corpus (conv-like windows, multi-output
+/// reduction pipelines, scans).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Pattern {
     /// Right-hand side is a pointwise function of inputs / prior buffers.
@@ -57,6 +80,20 @@ pub enum Pattern {
     Stencil,
     /// Contraction over one or more reduction loops.
     Reduction,
+    /// Sliding-window contraction: `out[x…] = Σ_k in[x+k…] · w[k…]` —
+    /// the conv/correlation shape of DL workloads (window loops are
+    /// reduction levels, the image input is padded so accesses stay in
+    /// bounds).
+    Conv,
+    /// A reduction whose lower-rank result is immediately consumed by a
+    /// broadcasting pointwise computation (softmax/normalization shape):
+    /// two computations, two outputs.
+    ReductionPipeline,
+    /// Recurrence along the innermost loop: `out[i, j] = out[i, j-1] ⊕
+    /// in[i, j]` — a prefix sum whose carried dependence makes the scan
+    /// loop illegal to parallelize, exercising the legality-constrained
+    /// corner of the schedule space.
+    Scan,
 }
 
 /// A buffer available for consumption by later computations.
@@ -64,6 +101,21 @@ pub enum Pattern {
 struct Produced {
     buffer: BufferId,
     dims: Vec<i64>,
+}
+
+/// Additive/multiplicative constants drawn by the assign pattern.
+const CONST_POOL: [f32; 5] = [0.5, 0.75, 1.0, 1.5, 2.0];
+/// Stencil tap weights.
+const WEIGHT_POOL: [f32; 5] = [0.05, 0.1, 0.125, 0.25, 0.5];
+
+/// Draws one pool element by consuming a single `f32` sample — the same
+/// RNG-stream footprint as the continuous `gen_range(a..b)` draw this
+/// replaced (one 32-bit word; an integer `choose` would eat a full
+/// `u64`), so programs generated from existing seeds keep their exact
+/// structure while constants land on a small discrete grid.
+fn pick_f32(pool: &[f32], rng: &mut impl Rng) -> f32 {
+    let f: f32 = rng.gen_range(0.0..1.0);
+    pool[((f * pool.len() as f32) as usize).min(pool.len() - 1)]
 }
 
 /// Random program generator.
@@ -103,22 +155,50 @@ impl ProgramGenerator {
         let n_comps = rng.gen_range(self.cfg.min_comps..=self.cfg.max_comps);
         let mut produced: Vec<Produced> = Vec::new();
 
-        let [wa, ws, wr] = self.cfg.pattern_weights;
-        let total_w = (wa + ws + wr).max(1);
-        for ci in 0..n_comps {
+        const PATTERNS: [Pattern; 6] = [
+            Pattern::Assign,
+            Pattern::Stencil,
+            Pattern::Reduction,
+            Pattern::Conv,
+            Pattern::ReductionPipeline,
+            Pattern::Scan,
+        ];
+        let weights = self.cfg.pattern_weights;
+        let total_w = weights.iter().sum::<u32>().max(1);
+        let mut ci = 0;
+        while ci < n_comps {
             let roll = rng.gen_range(0..total_w);
-            let pattern = if roll < wa {
-                Pattern::Assign
-            } else if roll < wa + ws {
-                Pattern::Stencil
-            } else {
-                Pattern::Reduction
-            };
+            let mut cumulative = 0;
+            let mut pattern = Pattern::Assign;
+            for (p, w) in PATTERNS.iter().zip(weights) {
+                cumulative += w;
+                if roll < cumulative {
+                    pattern = *p;
+                    break;
+                }
+            }
+            // A pipeline emits two computations; when only one slot is
+            // left it degrades to its first half, a plain reduction.
+            if pattern == Pattern::ReductionPipeline && ci + 2 > n_comps {
+                pattern = Pattern::Reduction;
+            }
+            let mut emitted = 1;
             match pattern {
                 Pattern::Assign => self.gen_assign(&mut b, rng, ci, &mut produced),
                 Pattern::Stencil => self.gen_stencil(&mut b, rng, ci, &mut produced),
                 Pattern::Reduction => self.gen_reduction(&mut b, rng, ci, &mut produced),
+                Pattern::Conv => self.gen_conv(&mut b, rng, ci, &mut produced),
+                Pattern::ReductionPipeline => {
+                    // The size fallback inside gen_pipeline emits a single
+                    // computation; advance by what was actually emitted or
+                    // programs could end up below min_comps.
+                    if self.gen_pipeline(&mut b, rng, ci, &mut produced) {
+                        emitted = 2;
+                    }
+                }
+                Pattern::Scan => self.gen_scan(&mut b, rng, ci, &mut produced),
             }
+            ci += emitted;
         }
         b.build().ok()
     }
@@ -168,7 +248,11 @@ impl ProgramGenerator {
         let idx: Vec<LinExpr> = iters.iter().map(|&it| LinExpr::from(it)).collect();
 
         let n_terms = rng.gen_range(1..=3);
-        let mut expr = Expr::Const(rng.gen_range(0.5..2.0));
+        // Constants come from a small discrete pool (one RNG draw, like the
+        // old continuous draw) so structurally identical programs recur
+        // across seeds — the recurrence corpus dedup and the labeling
+        // cache exploit.
+        let mut expr = Expr::Const(pick_f32(&CONST_POOL, rng));
         for t in 0..n_terms {
             let src = self.source_buffer(b, rng, produced, &dims, &format!("{ci}_{t}"));
             let load = Expr::Load(b.access(src, &idx, &iters));
@@ -214,7 +298,7 @@ impl ProgramGenerator {
                 .map(|(&it, &r)| LinExpr::from(it) + rng.gen_range(-r..=r))
                 .collect();
             let load = Expr::Load(b.access(src, &idx, &iters));
-            let term = Expr::binary(BinOp::Mul, Expr::Const(rng.gen_range(0.05..0.5)), load);
+            let term = Expr::binary(BinOp::Mul, Expr::Const(pick_f32(&WEIGHT_POOL, rng)), load);
             expr = Some(match expr {
                 None => term,
                 Some(e) => Expr::binary(BinOp::Add, e, term),
@@ -288,6 +372,168 @@ impl ProgramGenerator {
             buffer: out,
             dims: out_dims,
         });
+    }
+
+    /// Pattern 4: `out[x…] = Σ_k in[x+k…] · w[k…]` — a sliding-window
+    /// contraction over a padded image, the conv/correlation shape of
+    /// deep-learning workloads. Window loops are reduction levels.
+    fn gen_conv(
+        &self,
+        b: &mut ProgramBuilder,
+        rng: &mut impl Rng,
+        ci: usize,
+        produced: &mut Vec<Produced>,
+    ) {
+        if self.cfg.max_depth < 2 {
+            // A window needs one spatial and one reduction level.
+            return self.gen_assign(b, rng, ci, produced);
+        }
+        let spatial_rank = rng.gen_range(1..=(self.cfg.max_depth / 2).clamp(1, 2));
+        let window: Vec<i64> = (0..spatial_rank)
+            .map(|_| *[3i64, 5].choose(rng).expect("non-empty"))
+            .collect();
+        let spatial = self.random_dims(rng, spatial_rank);
+        if spatial.iter().product::<i64>() * window.iter().product::<i64>() > self.cfg.max_points {
+            return self.gen_assign(b, rng, ci, produced);
+        }
+        let out_iters: Vec<IterId> = spatial
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| b.iter(format!("v{ci}_{d}"), 0, n))
+            .collect();
+        let win_iters: Vec<IterId> = window
+            .iter()
+            .enumerate()
+            .map(|(d, &k)| b.iter(format!("v{ci}_k{d}"), 0, k))
+            .collect();
+        let iters: Vec<IterId> = out_iters.iter().chain(&win_iters).copied().collect();
+
+        // Padded image: index x+k sweeps 0 ..= (n-1) + (k-1).
+        let in_dims: Vec<i64> = spatial
+            .iter()
+            .zip(&window)
+            .map(|(&n, &k)| n + k - 1)
+            .collect();
+        let src = self.source_buffer(b, rng, produced, &in_dims, &format!("{ci}_img"));
+        let img_idx: Vec<LinExpr> = out_iters
+            .iter()
+            .zip(&win_iters)
+            .map(|(&x, &k)| LinExpr::from(x) + LinExpr::from(k))
+            .collect();
+        let img = Expr::Load(b.access(src, &img_idx, &iters));
+        let weights = b.input(format!("in_{ci}_w"), &window);
+        let w_idx: Vec<LinExpr> = win_iters.iter().map(|&k| LinExpr::from(k)).collect();
+        let w = Expr::Load(b.access(weights, &w_idx, &iters));
+
+        let out = b.buffer(format!("buf{ci}"), &spatial);
+        let out_idx: Vec<LinExpr> = out_iters.iter().map(|&x| LinExpr::from(x)).collect();
+        b.reduce(
+            format!("c{ci}"),
+            &iters,
+            BinOp::Add,
+            out,
+            &out_idx,
+            Expr::binary(BinOp::Mul, img, w),
+        );
+        produced.push(Produced {
+            buffer: out,
+            dims: spatial,
+        });
+    }
+
+    /// Pattern 5: a multi-output reduction pipeline — `red[i] = Σ_k
+    /// src[i,k]` immediately consumed by a broadcasting pointwise
+    /// computation `out[i,k] = src[i,k] · red[i]` (the softmax /
+    /// normalization shape). Emits two computations and two outputs.
+    /// Returns `true` when the full two-computation pipeline was emitted,
+    /// `false` when the size guard degraded it to a single assignment.
+    fn gen_pipeline(
+        &self,
+        b: &mut ProgramBuilder,
+        rng: &mut impl Rng,
+        ci: usize,
+        produced: &mut Vec<Produced>,
+    ) -> bool {
+        if self.cfg.max_depth < 2 {
+            // Both pipeline stages are 2-deep (i, k) nests.
+            self.gen_assign(b, rng, ci, produced);
+            return false;
+        }
+        let n = *self.cfg.size_pool.choose(rng).expect("non-empty pool");
+        let m = *self.cfg.size_pool.choose(rng).expect("non-empty pool");
+        if n * m > self.cfg.max_points {
+            self.gen_assign(b, rng, ci, produced);
+            return false;
+        }
+        let dims = vec![n, m];
+        let i1 = b.iter(format!("q{ci}_i"), 0, n);
+        let k1 = b.iter(format!("q{ci}_k"), 0, m);
+        let src = self.source_buffer(b, rng, produced, &dims, &format!("{ci}_src"));
+        let red = b.buffer(format!("buf{ci}"), &[n]);
+        let src_acc = b.access(src, &[i1.into(), k1.into()], &[i1, k1]);
+        b.reduce(
+            format!("c{ci}"),
+            &[i1, k1],
+            BinOp::Add,
+            red,
+            &[LinExpr::from(i1)],
+            Expr::Load(src_acc),
+        );
+
+        // Consumer with its own loop nest; `red` broadcasts along k.
+        let i2 = b.iter(format!("q{ci}_i2"), 0, n);
+        let k2 = b.iter(format!("q{ci}_k2"), 0, m);
+        let src2 = Expr::Load(b.access(src, &[i2.into(), k2.into()], &[i2, k2]));
+        let red2 = Expr::Load(b.access(red, &[LinExpr::from(i2)], &[i2, k2]));
+        let out = b.buffer(format!("buf{ci}b"), &dims);
+        b.assign(
+            format!("c{ci}b"),
+            &[i2, k2],
+            out,
+            &[i2.into(), k2.into()],
+            Expr::binary(BinOp::Mul, src2, red2),
+        );
+        produced.push(Produced {
+            buffer: red,
+            dims: vec![n],
+        });
+        produced.push(Produced { buffer: out, dims });
+        true
+    }
+
+    /// Pattern 6: `out[i, j] = out[i, j-1] + src[i, j]` — a row-wise
+    /// prefix sum. The loop-carried dependence keeps the scan loop
+    /// sequential, so this family populates the legality-constrained
+    /// corner of the schedule space.
+    fn gen_scan(
+        &self,
+        b: &mut ProgramBuilder,
+        rng: &mut impl Rng,
+        ci: usize,
+        produced: &mut Vec<Produced>,
+    ) {
+        if self.cfg.max_depth < 2 {
+            return self.gen_assign(b, rng, ci, produced);
+        }
+        let dims = self.random_dims(rng, 2);
+        let (n, m) = (dims[0], dims[1]);
+        if m < 2 {
+            return self.gen_assign(b, rng, ci, produced);
+        }
+        let i = b.iter(format!("w{ci}_i"), 0, n);
+        let j = b.iter(format!("w{ci}_j"), 1, m);
+        let src = self.source_buffer(b, rng, produced, &dims, &format!("{ci}_src"));
+        let out = b.buffer(format!("buf{ci}"), &dims);
+        let load = Expr::Load(b.access(src, &[i.into(), j.into()], &[i, j]));
+        let carry = Expr::Load(b.access(out, &[LinExpr::from(i), LinExpr::from(j) - 1], &[i, j]));
+        b.assign(
+            format!("c{ci}"),
+            &[i, j],
+            out,
+            &[i.into(), j.into()],
+            Expr::binary(BinOp::Add, carry, load),
+        );
+        produced.push(Produced { buffer: out, dims });
     }
 }
 
@@ -366,6 +612,113 @@ mod tests {
             }
         }
         assert!(saw_reduce && saw_stencil && saw_assign);
+    }
+
+    fn wide_cfg() -> ProgramGenConfig {
+        ProgramGenConfig {
+            size_pool: vec![4, 8, 16],
+            max_points: 1 << 12,
+            ..ProgramGenConfig::wide()
+        }
+    }
+
+    #[test]
+    fn default_weights_reproduce_the_three_family_distribution() {
+        // The widened weight array must not perturb generation for
+        // existing seeds: the paper's three families keep their exact
+        // positions in the cumulative walk.
+        let gen = ProgramGenerator::new(small_cfg());
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for i in 0..40 {
+            let p = gen.generate(&mut rng, &format!("p{i}"));
+            for c in p.comp_ids() {
+                // No scan (self-referential load) under default weights.
+                let comp = p.comp(c);
+                assert!(
+                    comp.expr
+                        .loads()
+                        .iter()
+                        .all(|a| a.buffer != comp.store.buffer),
+                    "scan family must be off by default"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_families_appear_and_are_valid() {
+        let gen = ProgramGenerator::new(wide_cfg());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut saw_conv = false;
+        let mut saw_pipeline = false;
+        let mut saw_scan = false;
+        for i in 0..120 {
+            let p = gen.generate(&mut rng, &format!("p{i}"));
+            assert!(p.validate().is_ok(), "program {i} invalid: {p}");
+            for c in p.comp_ids() {
+                let comp = p.comp(c);
+                // Conv: a reduction whose loads couple two iterators in
+                // one buffer dimension (x + k indexing).
+                if !comp.reduction_levels.is_empty()
+                    && comp.expr.loads().iter().any(|a| {
+                        (0..a.matrix.dims()).any(|r| {
+                            a.matrix.linear_row(r).iter().filter(|&&c| c != 0).count() >= 2
+                        })
+                    })
+                {
+                    saw_conv = true;
+                }
+                // Scan: a computation loading its own output buffer.
+                if comp
+                    .expr
+                    .loads()
+                    .iter()
+                    .any(|a| a.buffer == comp.store.buffer)
+                {
+                    saw_scan = true;
+                }
+            }
+            // Pipeline: some computation consumes a buffer written by a
+            // *reduction* computation of the same program.
+            let reduced: Vec<_> = p
+                .comp_ids()
+                .filter(|&c| !p.comp(c).reduction_levels.is_empty())
+                .map(|c| p.comp(c).store.buffer)
+                .collect();
+            for c in p.comp_ids() {
+                let comp = p.comp(c);
+                if comp.reduction_levels.is_empty()
+                    && comp
+                        .expr
+                        .loads()
+                        .iter()
+                        .any(|a| reduced.contains(&a.buffer))
+                {
+                    saw_pipeline = true;
+                }
+            }
+        }
+        assert!(saw_conv, "conv family never generated");
+        assert!(saw_pipeline, "reduction-pipeline family never generated");
+        assert!(saw_scan, "scan family never generated");
+    }
+
+    #[test]
+    fn wide_programs_are_executable() {
+        let gen = ProgramGenerator::new(wide_cfg());
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for i in 0..30 {
+            let p = gen.generate(&mut rng, &format!("p{i}"));
+            let inputs = synthetic_inputs(&p, i);
+            let out = interpret_baseline(&p, &inputs).expect("interpretable");
+            assert!(!out.is_empty());
+            for buf in out.values() {
+                assert!(
+                    buf.iter().all(|v| v.is_finite()),
+                    "non-finite output in program {i}: {p}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Probabilities and pools for random schedule generation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleGenConfig {
     /// Probability of attempting fusion when the program allows it.
     pub p_fuse: f64,

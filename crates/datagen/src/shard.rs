@@ -1,0 +1,463 @@
+//! The sharded on-disk corpus format: JSONL shards plus a manifest.
+//!
+//! A corpus directory holds `num_shards` line-oriented JSON files and one
+//! `manifest.json`:
+//!
+//! ```text
+//! corpus/
+//! ├── manifest.json      ShardManifest: version, generation config,
+//! │                      totals, per-shard counts + content fingerprints
+//! ├── shard-0000.jsonl   one ShardRecord per line
+//! ├── shard-0001.jsonl
+//! └── ...
+//! ```
+//!
+//! Each shard line is one externally-tagged [`ShardRecord`]: a
+//! `{"Program": …}` record declaring a generated program (with its global
+//! index and content fingerprint), or a `{"Point": …}` record holding one
+//! labeled sample that references a previously declared program by index.
+//! Programs are assigned to shards round-robin (`index % num_shards`) and
+//! every program's points live in the same shard as its `Program` record,
+//! so shards can be read — and training minibatches formed — one file at
+//! a time.
+//!
+//! All 64-bit fingerprints are serialized as 16-digit lower-case hex
+//! *strings* (JSON numbers are doubles; a `u64` would lose precision
+//! above 2^53). Shard fingerprints are a byte-level FNV-1a
+//! ([`dlcm_ir::fingerprint::fnv1a`]) over the exact file contents, which
+//! is what makes the generation parity guarantee checkable: the same
+//! [`crate::BuildConfig`] produces byte-identical shards and manifest at
+//! any `--threads` setting.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+
+use dlcm_ir::fingerprint::{fnv1a, FNV1A_INIT};
+use dlcm_ir::{Program, Schedule};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{DataPoint, Dataset, DatasetConfig};
+
+/// Version tag written into every manifest; bump on any change to the
+/// record or manifest layout.
+pub const SHARD_FORMAT_VERSION: u32 = 1;
+
+/// Renders a 64-bit fingerprint the way the shard format stores it:
+/// 16 lower-case hex digits.
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// Parses a [`fingerprint_hex`]-formatted fingerprint.
+pub fn parse_fingerprint(s: &str) -> Option<u64> {
+    (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok())?
+}
+
+/// One line of a shard file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShardRecord {
+    /// Declares a generated program; emitted before any of its points.
+    Program {
+        /// Global program index (stable across shards; `DataPoint::program`
+        /// and point records refer to it).
+        index: usize,
+        /// [`Program::content_fingerprint`] in hex (name-insensitive) —
+        /// lets readers detect corruption and lets dedup recognize
+        /// re-generated identical programs across shards.
+        fingerprint: String,
+        /// The program itself.
+        program: Program,
+    },
+    /// One labeled `(program, schedule, speedup)` sample.
+    Point {
+        /// Global index of the program this sample belongs to.
+        program: usize,
+        /// Feature-tree structure key in hex (see
+        /// `dlcm_model::ProgramFeatures::structure_key`), precomputed at
+        /// generation time so streamed minibatches can be grouped into
+        /// structure-identical batches without featurizing the corpus
+        /// up front.
+        structure: String,
+        /// Measured speedup over the unoptimized program.
+        speedup: f64,
+        /// The transformation sequence.
+        schedule: Schedule,
+    },
+}
+
+/// Per-shard entry of the [`ShardManifest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// File name relative to the corpus directory (`shard-0000.jsonl`).
+    pub file: String,
+    /// Number of `Program` records in the shard.
+    pub num_programs: usize,
+    /// Number of `Point` records in the shard.
+    pub num_points: usize,
+    /// Byte-level FNV-1a fingerprint of the file contents, in hex.
+    pub fingerprint: String,
+}
+
+/// `manifest.json`: everything needed to validate and reproduce a corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardManifest {
+    /// [`SHARD_FORMAT_VERSION`] at write time.
+    pub version: u32,
+    /// The generation configuration (including the master seed), so a
+    /// corpus can be regenerated — and checked byte-for-byte — from its
+    /// manifest alone.
+    pub config: DatasetConfig,
+    /// Total `Program` records across shards.
+    pub total_programs: usize,
+    /// Total `Point` records across shards.
+    pub total_points: usize,
+    /// Samples dropped by cross-shard content dedup during generation.
+    pub duplicates_dropped: usize,
+    /// Per-shard counts and content fingerprints.
+    pub shards: Vec<ShardInfo>,
+}
+
+impl ShardManifest {
+    /// Path of the manifest inside a corpus directory.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join("manifest.json")
+    }
+
+    /// Writes `manifest.json` into `dir` (pretty-printed, deterministic
+    /// field order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization/IO failures.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        let file = std::fs::File::create(Self::path(dir))?;
+        serde_json::to_writer_pretty(io::BufWriter::new(file), self).map_err(io::Error::other)
+    }
+
+    /// Loads `manifest.json` from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserialization/IO failures.
+    pub fn load(dir: &Path) -> io::Result<ShardManifest> {
+        let file = std::fs::File::open(Self::path(dir))?;
+        serde_json::from_reader(io::BufReader::new(file)).map_err(io::Error::other)
+    }
+}
+
+/// Streaming writer for one shard file.
+///
+/// Records are appended as JSON lines; the writer folds every byte into
+/// an FNV-1a state as it goes, so [`ShardWriter::finish`] returns the
+/// content fingerprint without re-reading the file.
+///
+/// # Examples
+///
+/// ```
+/// use dlcm_datagen::{ShardReader, ShardRecord, ShardWriter};
+/// use dlcm_ir::{Expr, ProgramBuilder, Schedule};
+///
+/// let mut b = ProgramBuilder::new("p");
+/// let i = b.iter("i", 0, 8);
+/// let inp = b.input("in", &[8]);
+/// let out = b.buffer("out", &[8]);
+/// let acc = b.access(inp, &[i.into()], &[i]);
+/// b.assign("c", &[i], out, &[i.into()], Expr::Load(acc));
+/// let program = b.build().unwrap();
+///
+/// let dir = std::env::temp_dir().join("dlcm_shard_writer_doc");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let mut writer = ShardWriter::create(&dir, 0).unwrap();
+/// writer
+///     .write(&ShardRecord::Program {
+///         index: 0,
+///         fingerprint: dlcm_datagen::fingerprint_hex(program.content_fingerprint()),
+///         program: program.clone(),
+///     })
+///     .unwrap();
+/// writer
+///     .write(&ShardRecord::Point {
+///         program: 0,
+///         structure: dlcm_datagen::fingerprint_hex(17),
+///         speedup: 1.5,
+///         schedule: Schedule::empty(),
+///     })
+///     .unwrap();
+/// let info = writer.finish().unwrap();
+/// assert_eq!((info.num_programs, info.num_points), (1, 1));
+///
+/// let records: Vec<ShardRecord> = ShardReader::open(&dir.join(&info.file))
+///     .unwrap()
+///     .collect::<std::io::Result<_>>()
+///     .unwrap();
+/// assert_eq!(records.len(), 2);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug)]
+pub struct ShardWriter {
+    file: String,
+    out: io::BufWriter<std::fs::File>,
+    hash: u64,
+    num_programs: usize,
+    num_points: usize,
+}
+
+impl ShardWriter {
+    /// Creates (truncating) `shard-{index:04}.jsonl` inside `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(dir: &Path, index: usize) -> io::Result<ShardWriter> {
+        let file = format!("shard-{index:04}.jsonl");
+        let out = io::BufWriter::new(std::fs::File::create(dir.join(&file))?);
+        Ok(ShardWriter {
+            file,
+            out,
+            hash: FNV1A_INIT,
+            num_programs: 0,
+            num_points: 0,
+        })
+    }
+
+    /// Appends one record as a JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization/IO failures.
+    pub fn write(&mut self, record: &ShardRecord) -> io::Result<()> {
+        let mut line = serde_json::to_string(record).map_err(io::Error::other)?;
+        line.push('\n');
+        self.hash = fnv1a(self.hash, line.as_bytes());
+        match record {
+            ShardRecord::Program { .. } => self.num_programs += 1,
+            ShardRecord::Point { .. } => self.num_points += 1,
+        }
+        self.out.write_all(line.as_bytes())
+    }
+
+    /// Flushes the file and returns its manifest entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures.
+    pub fn finish(mut self) -> io::Result<ShardInfo> {
+        self.out.flush()?;
+        Ok(ShardInfo {
+            file: self.file,
+            num_programs: self.num_programs,
+            num_points: self.num_points,
+            fingerprint: fingerprint_hex(self.hash),
+        })
+    }
+}
+
+/// Streaming reader over one shard file: an iterator of
+/// [`ShardRecord`]s, one per line.
+#[derive(Debug)]
+pub struct ShardReader {
+    lines: io::Lines<BufReader<std::fs::File>>,
+}
+
+impl ShardReader {
+    /// Opens a shard file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open failures.
+    pub fn open(path: &Path) -> io::Result<ShardReader> {
+        Ok(ShardReader {
+            lines: BufReader::new(std::fs::File::open(path)?).lines(),
+        })
+    }
+}
+
+impl Iterator for ShardReader {
+    type Item = io::Result<ShardRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let line = match self.lines.next()? {
+            Ok(line) => line,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(serde_json::from_str(&line).map_err(io::Error::other))
+    }
+}
+
+/// A corpus directory opened through its manifest.
+#[derive(Debug, Clone)]
+pub struct ShardedDataset {
+    dir: PathBuf,
+    manifest: ShardManifest,
+}
+
+impl ShardedDataset {
+    /// Opens a corpus directory, loading (but not yet verifying) its
+    /// manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest load failures and rejects unknown format
+    /// versions.
+    pub fn open(dir: &Path) -> io::Result<ShardedDataset> {
+        let manifest = ShardManifest::load(dir)?;
+        if manifest.version != SHARD_FORMAT_VERSION {
+            return Err(io::Error::other(format!(
+                "unsupported shard format version {} (this build reads {SHARD_FORMAT_VERSION})",
+                manifest.version
+            )));
+        }
+        Ok(ShardedDataset {
+            dir: dir.to_path_buf(),
+            manifest,
+        })
+    }
+
+    /// The loaded manifest.
+    pub fn manifest(&self) -> &ShardManifest {
+        &self.manifest
+    }
+
+    /// Absolute paths of the shard files, in manifest order.
+    pub fn shard_paths(&self) -> Vec<PathBuf> {
+        self.manifest
+            .shards
+            .iter()
+            .map(|s| self.dir.join(&s.file))
+            .collect()
+    }
+
+    /// Recomputes every shard's byte fingerprint and checks it against
+    /// the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Fails on IO errors or on any fingerprint mismatch.
+    pub fn verify(&self) -> io::Result<()> {
+        for info in &self.manifest.shards {
+            let mut file = std::fs::File::open(self.dir.join(&info.file))?;
+            let mut hash = FNV1A_INIT;
+            let mut buf = [0u8; 64 * 1024];
+            loop {
+                let n = file.read(&mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                hash = fnv1a(hash, &buf[..n]);
+            }
+            if fingerprint_hex(hash) != info.fingerprint {
+                return Err(io::Error::other(format!(
+                    "shard {} content fingerprint mismatch: manifest {}, file {}",
+                    info.file,
+                    info.fingerprint,
+                    fingerprint_hex(hash)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads every shard and reassembles the in-memory [`Dataset`]:
+    /// programs ordered by global index, points ordered by
+    /// `(program index, within-program generation order)` — exactly the
+    /// order the builder produced them in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO/parse errors and rejects corpora whose records
+    /// disagree with the manifest totals.
+    pub fn load_dataset(&self) -> io::Result<Dataset> {
+        let n = self.manifest.total_programs;
+        let mut programs: Vec<Option<Program>> = vec![None; n];
+        let mut points_by_program: Vec<Vec<DataPoint>> = vec![Vec::new(); n];
+        for path in self.shard_paths() {
+            for record in ShardReader::open(&path)? {
+                match record? {
+                    ShardRecord::Program {
+                        index,
+                        fingerprint,
+                        program,
+                    } => {
+                        if index >= n || programs[index].is_some() {
+                            return Err(io::Error::other(format!(
+                                "invalid or duplicate program index {index}"
+                            )));
+                        }
+                        if fingerprint != fingerprint_hex(program.content_fingerprint()) {
+                            return Err(io::Error::other(format!(
+                                "program {index} fingerprint mismatch"
+                            )));
+                        }
+                        programs[index] = Some(program);
+                    }
+                    ShardRecord::Point {
+                        program,
+                        speedup,
+                        schedule,
+                        ..
+                    } => {
+                        if program >= n {
+                            return Err(io::Error::other(format!(
+                                "point references unknown program {program}"
+                            )));
+                        }
+                        points_by_program[program].push(DataPoint {
+                            program,
+                            schedule,
+                            speedup,
+                        });
+                    }
+                }
+            }
+        }
+        let programs: Vec<Program> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| p.ok_or_else(|| io::Error::other(format!("missing program {i}"))))
+            .collect::<io::Result<_>>()?;
+        let points: Vec<DataPoint> = points_by_program.into_iter().flatten().collect();
+        if points.len() != self.manifest.total_points {
+            return Err(io::Error::other(format!(
+                "manifest claims {} points, shards hold {}",
+                self.manifest.total_points,
+                points.len()
+            )));
+        }
+        Ok(Dataset { programs, points })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_hex_roundtrip() {
+        for fp in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_fingerprint(&fingerprint_hex(fp)), Some(fp));
+        }
+        assert_eq!(parse_fingerprint("xyz"), None);
+        assert_eq!(parse_fingerprint("0123"), None);
+    }
+
+    #[test]
+    fn full_u64_fingerprints_survive_json() {
+        // JSON numbers are doubles; the format stores fingerprints as hex
+        // strings precisely so values above 2^53 stay exact.
+        let fp = 0xF0F1_F2F3_F4F5_F6F7u64;
+        let record = ShardRecord::Point {
+            program: 0,
+            structure: fingerprint_hex(fp),
+            speedup: 1.0,
+            schedule: Schedule::empty(),
+        };
+        let line = serde_json::to_string(&record).unwrap();
+        let back: ShardRecord = serde_json::from_str(&line).unwrap();
+        match back {
+            ShardRecord::Point { structure, .. } => {
+                assert_eq!(parse_fingerprint(&structure), Some(fp));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

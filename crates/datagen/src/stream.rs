@@ -1,0 +1,193 @@
+//! Streaming the corpus into training: featurize minibatches on demand.
+//!
+//! `dlcm_model::train_stream` pulls minibatches from a
+//! [`dlcm_model::BatchSource`]; [`ShardBatches`] implements that source
+//! over a shard directory. Raw records (programs, schedules, labels) are
+//! read once at open time, but *features* — the expensive, wide part —
+//! are computed per minibatch, in parallel, when the training loop asks
+//! for it. Batches are structure-identical by construction: the shard
+//! format stores each point's feature-tree structure key, so grouping
+//! needs no up-front featurization pass.
+
+use std::collections::HashSet;
+use std::io;
+use std::path::Path;
+
+use dlcm_eval::pool;
+use dlcm_ir::{Program, Schedule};
+use dlcm_model::{
+    featurize_samples, group_into_batches, BatchSource, Featurizer, LabeledFeatures, SampleRef,
+};
+
+use crate::dataset::Dataset;
+use crate::shard::{parse_fingerprint, ShardReader, ShardRecord, ShardedDataset};
+
+/// Featurizes a subset of a dataset (indices into [`Dataset::points`]),
+/// in parallel.
+///
+/// The in-memory convenience path; the streaming equivalent is
+/// [`ShardBatches`], which featurizes lazily per minibatch.
+pub fn prepare(
+    featurizer: &Featurizer,
+    dataset: &Dataset,
+    indices: &[usize],
+) -> Vec<LabeledFeatures> {
+    let samples: Vec<SampleRef<'_>> = indices
+        .iter()
+        .map(|&i| {
+            let point = &dataset.points[i];
+            SampleRef {
+                program: dataset.program_of(point),
+                schedule: &point.schedule,
+                speedup: point.speedup,
+                group: point.program as u64,
+            }
+        })
+        .collect();
+    featurize_samples(featurizer, &samples)
+}
+
+/// One raw point held by [`ShardBatches`] awaiting featurization.
+#[derive(Debug, Clone)]
+struct StreamPoint {
+    program: usize,
+    speedup: f64,
+    schedule: Schedule,
+}
+
+/// A [`BatchSource`] over a shard directory: minibatches of
+/// structure-identical samples, featurized on demand.
+///
+/// Memory stays proportional to the raw records plus **one** batch of
+/// features; the full `Vec<LabeledFeatures>` of the corpus is never
+/// materialized. Batch layout is deterministic (ordered grouping by
+/// `(program index, structure key)`, chunked to `batch_size`), so a
+/// training run over shards is reproducible given the usual seeds.
+#[derive(Debug)]
+pub struct ShardBatches {
+    featurizer: Featurizer,
+    threads: usize,
+    programs: Vec<Option<Program>>,
+    points: Vec<StreamPoint>,
+    batches: Vec<Vec<usize>>,
+}
+
+impl ShardBatches {
+    /// Opens every shard of `dir` for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest/shard IO and parse failures.
+    pub fn open(
+        dir: &Path,
+        featurizer: Featurizer,
+        batch_size: usize,
+        threads: usize,
+    ) -> io::Result<ShardBatches> {
+        Self::open_filtered(dir, featurizer, batch_size, threads, None)
+    }
+
+    /// Opens `dir`, keeping only points whose program index is in `keep`
+    /// (pass `None` for all). This is how a by-program train split
+    /// streams from a shared corpus: filter to the training programs and
+    /// the validation/test points never enter the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manifest/shard IO and parse failures.
+    pub fn open_filtered(
+        dir: &Path,
+        featurizer: Featurizer,
+        batch_size: usize,
+        threads: usize,
+        keep: Option<&HashSet<usize>>,
+    ) -> io::Result<ShardBatches> {
+        let sharded = ShardedDataset::open(dir)?;
+        let mut programs: Vec<Option<Program>> = vec![None; sharded.manifest().total_programs];
+        let mut points: Vec<StreamPoint> = Vec::new();
+        let mut structures: Vec<u64> = Vec::new();
+        for path in sharded.shard_paths() {
+            for record in ShardReader::open(&path)? {
+                match record? {
+                    ShardRecord::Program { index, program, .. } => {
+                        if index >= programs.len() {
+                            return Err(io::Error::other(format!(
+                                "program index {index} out of range for manifest"
+                            )));
+                        }
+                        if keep.is_none_or(|k| k.contains(&index)) {
+                            programs[index] = Some(program);
+                        }
+                    }
+                    ShardRecord::Point {
+                        program,
+                        structure,
+                        speedup,
+                        schedule,
+                    } => {
+                        if program >= programs.len() {
+                            return Err(io::Error::other(format!(
+                                "point references program {program} out of range for manifest"
+                            )));
+                        }
+                        if keep.is_none_or(|k| k.contains(&program)) {
+                            structures.push(parse_fingerprint(&structure).ok_or_else(|| {
+                                io::Error::other(format!("bad structure key `{structure}`"))
+                            })?);
+                            points.push(StreamPoint {
+                                program,
+                                speedup,
+                                schedule,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Group into structure-identical batches through the same helper
+        // the in-memory source uses, so streamed and in-memory training
+        // see identical batch layouts.
+        let batches = group_into_batches(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, point)| (point.program as u64, structures[i])),
+            batch_size,
+        );
+
+        Ok(ShardBatches {
+            featurizer,
+            threads: threads.max(1),
+            programs,
+            points,
+            batches,
+        })
+    }
+
+    /// Number of points that passed the filter.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+}
+
+impl BatchSource for ShardBatches {
+    fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    fn load_batch(&self, index: usize) -> Vec<LabeledFeatures> {
+        let idxs = &self.batches[index];
+        pool::parallel_map(self.threads.min(idxs.len()), idxs.len(), |k| {
+            let point = &self.points[idxs[k]];
+            let program = self.programs[point.program]
+                .as_ref()
+                .expect("points only reference kept programs");
+            LabeledFeatures {
+                feats: self.featurizer.featurize(program, &point.schedule),
+                target: point.speedup,
+                group: point.program as u64,
+            }
+        })
+    }
+}

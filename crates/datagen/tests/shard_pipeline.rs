@@ -1,0 +1,247 @@
+//! The corpus pipeline's contracts: byte-identical generation at any
+//! thread count, lossless shard round trips, and content dedup.
+
+use std::collections::HashSet;
+use std::path::Path;
+
+use dlcm_datagen::{
+    BuildConfig, Dataset, DatasetConfig, ParallelDatasetBuilder, ProgramGenConfig, ShardBatches,
+    ShardedDataset,
+};
+use dlcm_ir::fingerprint::stable_fingerprint;
+use dlcm_machine::{Machine, Measurement};
+use dlcm_model::{BatchSource, Featurizer, FeaturizerConfig};
+
+fn test_dataset_config(seed: u64) -> DatasetConfig {
+    DatasetConfig {
+        num_programs: 10,
+        schedules_per_program: 8,
+        progen: ProgramGenConfig {
+            size_pool: vec![16, 32, 64],
+            max_points: 1 << 16,
+            ..ProgramGenConfig::wide()
+        },
+        ..DatasetConfig::tiny(seed)
+    }
+}
+
+fn build_config(seed: u64, threads: usize, num_shards: usize) -> BuildConfig {
+    BuildConfig {
+        threads,
+        num_shards,
+        ..BuildConfig::new(test_dataset_config(seed))
+    }
+}
+
+fn harness() -> Measurement {
+    Measurement::new(Machine::default())
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dlcm_shard_test_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn corpus_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let sharded = ShardedDataset::open(dir).expect("open corpus");
+    let mut files = vec![("manifest.json".to_string(), {
+        std::fs::read(dir.join("manifest.json")).unwrap()
+    })];
+    for (info, path) in sharded.manifest().shards.iter().zip(sharded.shard_paths()) {
+        files.push((info.file.clone(), std::fs::read(path).unwrap()));
+    }
+    files
+}
+
+/// The acceptance-criterion parity: `--threads 4 --shards 4` emits a
+/// byte-identical manifest and shard set to sequential generation.
+#[test]
+fn threads_do_not_change_a_single_byte() {
+    let dir_seq = tmp_dir("parity_seq");
+    let dir_par = tmp_dir("parity_par");
+    let (m1, s1) = ParallelDatasetBuilder::new(build_config(3, 1, 4))
+        .write_corpus(&harness(), &dir_seq)
+        .unwrap();
+    let (m4, s4) = ParallelDatasetBuilder::new(build_config(3, 4, 4))
+        .write_corpus(&harness(), &dir_par)
+        .unwrap();
+    assert_eq!(m1, m4, "manifests differ between 1 and 4 threads");
+    assert_eq!(s1.num_points, s4.num_points);
+    assert_eq!(s1.duplicates_dropped, s4.duplicates_dropped);
+
+    let a = corpus_bytes(&dir_seq);
+    let b = corpus_bytes(&dir_par);
+    assert_eq!(a.len(), b.len());
+    for ((name_a, bytes_a), (name_b, bytes_b)) in a.iter().zip(&b) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(bytes_a, bytes_b, "{name_a} differs between thread counts");
+    }
+    let _ = std::fs::remove_dir_all(&dir_seq);
+    let _ = std::fs::remove_dir_all(&dir_par);
+}
+
+/// In-memory generation and the write→load round trip agree exactly.
+#[test]
+fn shard_roundtrip_matches_in_memory_build() {
+    let dir = tmp_dir("roundtrip");
+    let builder = ParallelDatasetBuilder::new(build_config(5, 2, 3));
+    let (in_memory, _) = builder.generate(&harness());
+    builder.write_corpus(&harness(), &dir).unwrap();
+
+    let sharded = ShardedDataset::open(&dir).unwrap();
+    sharded.verify().expect("shard fingerprints verify");
+    let reloaded = sharded.load_dataset().unwrap();
+
+    assert_eq!(in_memory.programs, reloaded.programs);
+    assert_eq!(in_memory.len(), reloaded.len());
+    for (a, b) in in_memory.points.iter().zip(&reloaded.points) {
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.schedule, b.schedule);
+        // serde_json's float path may be 1 ULP off.
+        assert!((a.speedup - b.speedup).abs() <= f64::EPSILON * a.speedup.abs());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corruption is detected: flipping one byte fails verification.
+#[test]
+fn verify_catches_corruption() {
+    let dir = tmp_dir("corrupt");
+    ParallelDatasetBuilder::new(build_config(6, 1, 2))
+        .write_corpus(&harness(), &dir)
+        .unwrap();
+    let sharded = ShardedDataset::open(&dir).unwrap();
+    sharded.verify().unwrap();
+
+    let shard = dir.join(&sharded.manifest().shards[0].file);
+    let mut bytes = std::fs::read(&shard).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] = bytes[mid].wrapping_add(1);
+    std::fs::write(&shard, bytes).unwrap();
+    assert!(sharded.verify().is_err(), "corruption went undetected");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// No two samples share an exact `(program content, schedule)` key, the
+/// builder reports what it dropped, and regenerated duplicate programs
+/// reuse each other's measurements through the shared cache.
+#[test]
+fn corpus_dedups_and_reuses_measurements() {
+    // Single-computation assigns over a one-size pool with the quantized
+    // constant pool: structurally identical programs recur across seeds,
+    // differing only in their generated names.
+    let cfg = BuildConfig {
+        threads: 2,
+        num_shards: 2,
+        ..BuildConfig::new(DatasetConfig {
+            num_programs: 64,
+            schedules_per_program: 6,
+            progen: ProgramGenConfig {
+                // NB: keep rank-3 shapes satisfiable (8^3 ≤ max_points),
+                // or the generator's rejection loop cannot terminate.
+                size_pool: vec![8],
+                max_points: 1 << 12,
+                max_comps: 1,
+                pattern_weights: [1, 0, 0, 0, 0, 0],
+                ..ProgramGenConfig::default()
+            },
+            ..DatasetConfig::tiny(1)
+        })
+    };
+    let (dataset, stats) = ParallelDatasetBuilder::new(cfg).generate(&harness());
+    let mut keys = HashSet::new();
+    for point in &dataset.points {
+        let key = (
+            dataset.programs[point.program].content_fingerprint(),
+            stable_fingerprint(&point.schedule),
+        );
+        assert!(keys.insert(key), "duplicate sample survived dedup");
+    }
+    assert_eq!(stats.num_points, dataset.len());
+    // 64 single-comp programs over a one-size pool: content collisions
+    // are effectively certain. If this ever flakes the config needs
+    // shrinking, not the assertion deleting.
+    assert!(
+        stats.duplicates_dropped > 0,
+        "expected the tiny config to produce droppable duplicates"
+    );
+    assert!(
+        stats.eval.cache_hits > 0,
+        "duplicate programs' remaining schedules should be served from cache"
+    );
+
+    // Splits are by *content*: a workload generated twice must never sit
+    // in train and test at the same time.
+    let split = dataset.split(0);
+    let fp_bucket = |idx: &[usize]| -> HashSet<u64> {
+        idx.iter()
+            .map(|&i| dataset.programs[dataset.points[i].program].content_fingerprint())
+            .collect()
+    };
+    let train = fp_bucket(&split.train);
+    let val = fp_bucket(&split.val);
+    let test = fp_bucket(&split.test);
+    assert!(
+        train.is_disjoint(&val) && train.is_disjoint(&test) && val.is_disjoint(&test),
+        "content-identical programs leaked across splits"
+    );
+}
+
+/// Streaming batches cover exactly the filtered points, structure-pure.
+#[test]
+fn shard_batches_filter_and_group() {
+    let dir = tmp_dir("stream");
+    let builder = ParallelDatasetBuilder::new(build_config(9, 2, 3));
+    let (dataset, _) = builder.generate(&harness());
+    builder.write_corpus(&harness(), &dir).unwrap();
+
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let keep: HashSet<usize> = (0..5).collect();
+    let expected: usize = dataset
+        .points
+        .iter()
+        .filter(|p| keep.contains(&p.program))
+        .count();
+    let source = ShardBatches::open_filtered(&dir, featurizer.clone(), 4, 2, Some(&keep)).unwrap();
+    assert_eq!(source.num_points(), expected);
+
+    let mut seen = 0;
+    for i in 0..source.num_batches() {
+        let batch = source.load_batch(i);
+        assert!(!batch.is_empty() && batch.len() <= 4);
+        let structure = batch[0].feats.structure_key();
+        for sample in &batch {
+            assert!(keep.contains(&(sample.group as usize)));
+            assert_eq!(sample.group, batch[0].group, "batch mixes programs");
+            assert_eq!(
+                sample.feats.structure_key(),
+                structure,
+                "batch mixes tree structures"
+            );
+        }
+        seen += batch.len();
+    }
+    assert_eq!(seen, expected);
+
+    // Unfiltered source covers everything.
+    let all = ShardBatches::open(&dir, featurizer, 4, 1).unwrap();
+    assert_eq!(all.num_points(), dataset.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `Dataset::generate` (the in-memory rayon path) and the builder agree
+/// on the *shape* of the corpus (programs and schedules come from the
+/// same seeded generators; only the labeling protocol differs).
+#[test]
+fn builder_generates_the_same_programs_as_dataset_generate() {
+    let cfg = test_dataset_config(4);
+    let legacy = Dataset::generate(&cfg, &harness());
+    let (built, _) = ParallelDatasetBuilder::new(BuildConfig {
+        threads: 2,
+        num_shards: 2,
+        ..BuildConfig::new(cfg)
+    })
+    .generate(&harness());
+    assert_eq!(legacy.programs, built.programs);
+}

@@ -23,11 +23,12 @@ use crate::{EvalStats, Evaluator};
 /// Memoizing decorator over any [`Evaluator`].
 ///
 /// Cache keys are content-derived: the program half is
-/// [`Program::fingerprint`] (names are not unique across generated and
-/// scaled programs), the schedule half is [`Schedule::cache_key`]
-/// (normalized, so equivalent tag orders share an entry). Hits and misses
-/// are surfaced through [`EvalStats::cache_hits`] /
-/// [`EvalStats::cache_misses`].
+/// [`Program::content_fingerprint`] (names are not unique across
+/// generated and scaled programs — and conversely, regenerated programs
+/// that differ *only* by name are the same workload and share an entry),
+/// the schedule half is [`Schedule::cache_key`] (normalized, so
+/// equivalent tag orders share an entry). Hits and misses are surfaced
+/// through [`EvalStats::cache_hits`] / [`EvalStats::cache_misses`].
 pub struct CachedEvaluator<E> {
     inner: E,
     entries: HashMap<(u64, u64), f64>,
@@ -85,7 +86,7 @@ impl<E: Evaluator> CachedEvaluator<E> {
         match &self.program_key {
             Some((cached, fp)) if cached == program => *fp,
             _ => {
-                let fp = program.fingerprint();
+                let fp = program.content_fingerprint();
                 self.program_key = Some((program.clone(), fp));
                 fp
             }
@@ -206,6 +207,24 @@ mod tests {
         assert_eq!(ev.misses(), 1);
         assert_eq!(ev.hits(), 1);
         assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn renamed_identical_programs_share_entries() {
+        // Random corpora re-draw small programs under fresh names; the
+        // content key must recognize them as one workload.
+        let a = program(256);
+        let mut b = a.clone();
+        b.name = "renamed".into();
+        let mut ev = CachedEvaluator::new(ExecutionEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+        ));
+        let sa = ev.speedup(&a, &Schedule::empty());
+        let sb = ev.speedup(&b, &Schedule::empty());
+        assert_eq!(sa, sb);
+        assert_eq!(ev.misses(), 1, "renamed duplicate must hit the cache");
+        assert_eq!(ev.hits(), 1);
     }
 
     #[test]

@@ -249,7 +249,7 @@ pub enum FusionCheck {
 /// alias the host's positionally, so the distance `donor - host` must be
 /// lexicographically non-negative for every aliased element.
 ///
-/// Loops below the fusion depth are handled by [`solve_distance`]'s
+/// Loops below the fusion depth are handled by the distance solver's
 /// uniformity rules: positionally-identical deep access patterns pair up
 /// one-to-one (both statements sweep them completely within each fused
 /// iteration), while mismatched or coupled patterns make the distance

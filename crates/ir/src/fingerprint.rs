@@ -38,6 +38,22 @@ pub fn stable_fingerprint<T: Debug>(value: &T) -> u64 {
     w.0
 }
 
+/// Raw byte-stream FNV-1a, for content-fingerprinting serialized data
+/// (e.g. dataset shard files). Start from [`FNV1A_INIT`] and fold each
+/// chunk: `h = fnv1a(h, chunk)`. Same constants as
+/// [`stable_fingerprint`], so a fingerprint over the bytes of a `Debug`
+/// rendering matches the streaming version.
+pub fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Initial state for the streaming [`fnv1a`] fold (the FNV offset basis).
+pub const FNV1A_INIT: u64 = FNV_OFFSET;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -217,13 +217,29 @@ impl Program {
         self.comps.iter().map(Computation::depth).max().unwrap_or(0)
     }
 
-    /// Stable structural fingerprint of the whole program, covering
-    /// buffers, iterators, computations, and the loop tree. Programs that
-    /// merely share a name (generated programs, scaled benchmark builders)
-    /// get distinct fingerprints, which is what lets evaluation caches be
-    /// keyed by content instead of identity.
+    /// Stable structural fingerprint of the whole program, covering the
+    /// name, buffers, iterators, computations, and the loop tree.
+    /// Programs that merely share a name (generated programs, scaled
+    /// benchmark builders) get distinct fingerprints. Evaluation caches
+    /// and corpus dedup key on the name-insensitive
+    /// [`Program::content_fingerprint`] instead.
     pub fn fingerprint(&self) -> u64 {
         crate::fingerprint::stable_fingerprint(self)
+    }
+
+    /// Like [`Program::fingerprint`], but ignoring [`Program::name`]: two
+    /// programs with identical buffers, iterators, computations, and loop
+    /// trees share one content fingerprint even when named apart. Random
+    /// corpora re-draw small programs under different generated names —
+    /// this is the key under which result caches and corpus dedup
+    /// recognize them as the same workload.
+    pub fn content_fingerprint(&self) -> u64 {
+        crate::fingerprint::stable_fingerprint(&(
+            &self.buffers,
+            &self.iters,
+            &self.comps,
+            &self.roots,
+        ))
     }
 
     /// Checks structural invariants, returning a description of the first

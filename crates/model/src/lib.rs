@@ -10,8 +10,10 @@
 //! - [`CostModel`] is the three-layer architecture of §4.4 / Figure 2:
 //!   computation-embedding MLP → recursive loop embedding (two LSTMs + a
 //!   merge layer per loop level) → regression head;
-//! - [`train`] implements appendix A.1: MAPE loss, AdamW (wd 0.0075),
-//!   One-Cycle LR (max 1e-3), structure-grouped batches of 32;
+//! - [`train`] / [`train_stream`] implement appendix A.1: MAPE loss,
+//!   AdamW (wd 0.0075), One-Cycle LR (max 1e-3), structure-grouped
+//!   batches of 32 — pulled from any [`BatchSource`], so shard-backed
+//!   corpora stream minibatches instead of materializing one `Vec`;
 //! - [`ablation`] holds the §4.4 alternatives (flat LSTM, concat FFN);
 //! - [`metrics`] computes MAPE, Pearson, Spearman, and R² (§6).
 //!
@@ -20,11 +22,10 @@
 //! Train a small model on a generated dataset and evaluate it:
 //!
 //! ```no_run
-//! use dlcm_datagen::{Dataset, DatasetConfig};
+//! use dlcm_datagen::{prepare, Dataset, DatasetConfig};
 //! use dlcm_machine::{Machine, Measurement};
 //! use dlcm_model::{
-//!     evaluate, prepare, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig,
-//!     TrainConfig,
+//!     evaluate, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig, TrainConfig,
 //! };
 //!
 //! let dataset = Dataset::generate(&DatasetConfig::tiny(0), &Measurement::exact(Machine::default()));
@@ -50,7 +51,10 @@ mod train;
 
 pub use costmodel::{train_rng, CostModel, CostModelConfig, SpeedupPredictor};
 pub use featurize::{FeatNode, Featurizer, FeaturizerConfig, ProgramFeatures, LOOP_FEATS};
-pub use train::{evaluate, prepare, train, EpochStats, LabeledFeatures, TrainConfig, TrainReport};
+pub use train::{
+    evaluate, featurize_samples, group_into_batches, train, train_stream, BatchSource, EpochStats,
+    LabeledFeatures, SampleRef, TrainConfig, TrainReport,
+};
 
 // Trained model state is shared (by reference) across evaluation worker
 // threads; keep that guaranteed at compile time.

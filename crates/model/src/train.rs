@@ -1,12 +1,14 @@
-//! Training loop (appendix A.1 of the paper).
+//! Training loop (appendix A.1 of the paper), batch-streaming.
 //!
 //! MAPE loss, AdamW with weight decay 0.0075, One-Cycle learning rate
-//! with max 1e-3, batches of structure-identical samples ("each batch is
-//! formed by code transformations belonging to the same algorithm"), and
-//! rayon data-parallel gradient computation standing in for the paper's
-//! GPU batching.
+//! with max 1e-3, and minibatches of structure-identical samples ("each
+//! batch is formed by code transformations belonging to the same
+//! algorithm"). The core loop [`train_stream`] pulls minibatches from a
+//! [`BatchSource`] — an in-memory slice ([`train`]) or a sharded on-disk
+//! corpus (`dlcm_datagen::ShardBatches`) — so the full featurized corpus
+//! never has to be materialized at once.
 
-use dlcm_datagen::Dataset;
+use dlcm_ir::{Program, Schedule};
 use dlcm_tensor::loss::mape as mape_loss;
 use dlcm_tensor::nn::GradAccumulator;
 use dlcm_tensor::optim::{AdamW, AdamWConfig, OneCycleLr};
@@ -33,26 +35,132 @@ pub struct LabeledFeatures {
     pub group: u64,
 }
 
-/// Featurizes a subset of a dataset (indices into `dataset.points`).
-pub fn prepare(
+/// A borrowed `(program, schedule, speedup)` triplet awaiting
+/// featurization.
+///
+/// This is the dataset-agnostic input of [`featurize_samples`]: any
+/// corpus representation — `dlcm_datagen::Dataset`, a shard file, a
+/// hand-built candidate list — lowers to a slice of these.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleRef<'a> {
+    /// The unoptimized program.
+    pub program: &'a Program,
+    /// The transformation sequence applied to it.
+    pub schedule: &'a Schedule,
+    /// Measured speedup of the schedule over the unoptimized program.
+    pub speedup: f64,
+    /// Batching group (samples of one source program share a group).
+    pub group: u64,
+}
+
+/// Featurizes a slice of samples in parallel.
+pub fn featurize_samples(
     featurizer: &Featurizer,
-    dataset: &Dataset,
-    indices: &[usize],
+    samples: &[SampleRef<'_>],
 ) -> Vec<LabeledFeatures> {
-    indices
+    samples
         .par_iter()
-        .map(|&i| {
-            let point = &dataset.points[i];
-            LabeledFeatures {
-                feats: featurizer.featurize(dataset.program_of(point), &point.schedule),
-                target: point.speedup,
-                group: point.program as u64,
-            }
+        .map(|s| LabeledFeatures {
+            feats: featurizer.featurize(s.program, s.schedule),
+            target: s.speedup,
+            group: s.group,
         })
         .collect()
 }
 
+/// Groups sample indices into minibatches: samples are bucketed by
+/// `key` in an *ordered* map (batch layout must never depend on hash
+/// seeds), then each bucket is chunked to `batch_size`. Both the
+/// in-memory source behind [`train`] and `dlcm_datagen::ShardBatches`
+/// build their layouts through this one function, which is what keeps
+/// streamed and in-memory training on identical trajectories.
+pub fn group_into_batches<K: Ord>(
+    keys: impl IntoIterator<Item = K>,
+    batch_size: usize,
+) -> Vec<Vec<usize>> {
+    let mut groups: std::collections::BTreeMap<K, Vec<usize>> = Default::default();
+    for (i, key) in keys.into_iter().enumerate() {
+        groups.entry(key).or_default().push(i);
+    }
+    groups
+        .into_values()
+        .flat_map(|group| {
+            group
+                .chunks(batch_size.max(1))
+                .map(<[usize]>::to_vec)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// A source of featurized minibatches for [`train_stream`].
+///
+/// Implementations decide where samples live (in memory, in shard files)
+/// and when featurization happens; the training loop only asks for one
+/// minibatch at a time, in a shuffled order that changes every epoch.
+/// Every batch must contain structure-identical samples (same feature
+/// tree), because the model runs one batched forward pass per minibatch.
+pub trait BatchSource {
+    /// Number of minibatches in one epoch.
+    fn num_batches(&self) -> usize;
+
+    /// Materializes minibatch `index` (`0..num_batches`). Called once per
+    /// epoch per batch; implementations are free to featurize on demand.
+    fn load_batch(&self, index: usize) -> Vec<LabeledFeatures>;
+}
+
+/// In-memory [`BatchSource`] over a slice of featurized samples, grouped
+/// the way appendix A.1 prescribes: by source program, then by feature
+/// tree structure (fusion changes the tree), then chunked to the batch
+/// size. Grouping uses ordered maps, so the batch layout is deterministic.
+///
+/// `load_batch` clones one batch's features per call (the owning
+/// signature is what lets shard-backed sources featurize on demand);
+/// that copy is a few KB per sample and is dwarfed by the batched
+/// forward/backward it feeds.
+struct SliceBatches<'a> {
+    set: &'a [LabeledFeatures],
+    batches: Vec<Vec<usize>>,
+}
+
+impl<'a> SliceBatches<'a> {
+    fn new(set: &'a [LabeledFeatures], batch_size: usize) -> Self {
+        let batches = group_into_batches(
+            set.iter().map(|s| (s.group, s.feats.structure_key())),
+            batch_size,
+        );
+        Self { set, batches }
+    }
+}
+
+impl BatchSource for SliceBatches<'_> {
+    fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    fn load_batch(&self, index: usize) -> Vec<LabeledFeatures> {
+        self.batches[index]
+            .iter()
+            .map(|&i| self.set[i].clone())
+            .collect()
+    }
+}
+
 /// Training hyper-parameters.
+///
+/// # Examples
+///
+/// ```
+/// use dlcm_model::TrainConfig;
+///
+/// let cfg = TrainConfig {
+///     epochs: 12,
+///     batch_size: 16,
+///     ..TrainConfig::default()
+/// };
+/// assert_eq!(cfg.max_lr, 1e-3); // paper appendix A.1
+/// assert_eq!(cfg.weight_decay, 0.0075);
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Number of passes over the training set (paper: ~700; this
@@ -107,7 +215,13 @@ pub struct TrainReport {
     pub final_val_mape: f64,
 }
 
-/// Trains `model` on `train_set`, tracking MAPE on `val_set`.
+/// Trains `model` on an in-memory sample set, tracking MAPE on `val_set`.
+///
+/// Thin wrapper over [`train_stream`]: the slice is grouped by
+/// `(program, tree structure)` — same-algorithm batches per appendix
+/// A.1, with the structure component keeping fused/unfused schedules of
+/// one program in separate (batchable) groups — and chunked to
+/// [`TrainConfig::batch_size`].
 pub fn train<M: SpeedupPredictor>(
     model: &mut M,
     train_set: &[LabeledFeatures],
@@ -115,6 +229,31 @@ pub fn train<M: SpeedupPredictor>(
     cfg: &TrainConfig,
 ) -> TrainReport {
     assert!(!train_set.is_empty(), "empty training set");
+    train_stream(
+        model,
+        &SliceBatches::new(train_set, cfg.batch_size),
+        val_set,
+        cfg,
+    )
+}
+
+/// Trains `model` on minibatches streamed from `source`, tracking MAPE on
+/// `val_set`.
+///
+/// Each epoch visits every batch of `source` once, in a freshly shuffled
+/// order (deterministic given [`TrainConfig::seed`]); the One-Cycle
+/// schedule spans `epochs * num_batches` optimizer steps. Featurization
+/// cost is wherever the source puts it — `dlcm_datagen::ShardBatches`
+/// featurizes each minibatch on demand, in parallel, so training memory
+/// stays proportional to one batch rather than the corpus.
+pub fn train_stream<M: SpeedupPredictor, B: BatchSource + ?Sized>(
+    model: &mut M,
+    source: &B,
+    val_set: &[LabeledFeatures],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let num_batches = source.num_batches();
+    assert!(num_batches > 0, "batch source is empty");
     let mut opt = AdamW::new(
         model.store(),
         AdamWConfig {
@@ -124,45 +263,25 @@ pub fn train<M: SpeedupPredictor>(
         },
     );
 
-    // Batches of structure-identical samples (paper A.1): group by tree
-    // shape, then chunk.
-    // Group by (program, tree structure): same-algorithm batches per the
-    // paper; the structure component keeps fused/unfused schedules of one
-    // program in separate (batchable) groups.
-    let mut by_structure: std::collections::HashMap<(u64, u64), Vec<usize>> = Default::default();
-    for (i, s) in train_set.iter().enumerate() {
-        by_structure
-            .entry((s.group, s.feats.structure_key()))
-            .or_default()
-            .push(i);
-    }
-    let base_batches: Vec<Vec<usize>> = by_structure
-        .into_values()
-        .flat_map(|group| {
-            group
-                .chunks(cfg.batch_size)
-                .map(<[usize]>::to_vec)
-                .collect::<Vec<_>>()
-        })
-        .collect();
-
-    let steps = cfg.epochs * base_batches.len();
+    let steps = cfg.epochs * num_batches;
     let sched = OneCycleLr::new(cfg.max_lr, steps.max(1));
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut step = 0usize;
     let mut epochs = Vec::with_capacity(cfg.epochs);
 
     for epoch in 0..cfg.epochs {
-        let mut batches = base_batches.clone();
-        batches.shuffle(&mut rng);
+        let mut order: Vec<usize> = (0..num_batches).collect();
+        order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
-        for batch in &batches {
+        for &bi in &order {
+            let batch = source.load_batch(bi);
+            debug_assert!(!batch.is_empty(), "batch source produced an empty batch");
             let lr = sched.lr_at(step);
             step += 1;
             // One batched forward/backward over structure-identical
             // samples (paper A.1).
-            let refs: Vec<&ProgramFeatures> = batch.iter().map(|&i| &train_set[i].feats).collect();
-            let targets: Vec<f32> = batch.iter().map(|&i| train_set[i].target as f32).collect();
+            let refs: Vec<&ProgramFeatures> = batch.iter().map(|s| &s.feats).collect();
+            let targets: Vec<f32> = batch.iter().map(|s| s.target as f32).collect();
             let mut tape = Tape::for_training();
             let mut srng = train_rng(cfg.seed ^ ((step as u64) << 20), step);
             let pred = model.forward_batch(&mut tape, &refs, &mut srng);
@@ -174,7 +293,7 @@ pub fn train<M: SpeedupPredictor>(
             acc.add(grads.params());
             opt.step(model.store_mut(), &acc, lr);
         }
-        let train_mape = epoch_loss / batches.len() as f64;
+        let train_mape = epoch_loss / num_batches as f64;
         let val_mape = if val_set.is_empty() {
             f64::NAN
         } else if epoch % cfg.eval_every.max(1) == 0 || epoch + 1 == cfg.epochs {
@@ -205,7 +324,7 @@ pub fn train<M: SpeedupPredictor>(
 /// Evaluates a model: returns `(MAPE, predictions)` over a sample set.
 /// Samples are grouped by structure and predicted in batches.
 pub fn evaluate<M: SpeedupPredictor>(model: &M, set: &[LabeledFeatures]) -> (f64, Vec<f64>) {
-    let mut by_structure: std::collections::HashMap<u64, Vec<usize>> = Default::default();
+    let mut by_structure: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
     for (i, s) in set.iter().enumerate() {
         by_structure
             .entry(s.feats.structure_key())
@@ -245,8 +364,28 @@ mod tests {
     use super::*;
     use crate::costmodel::{CostModel, CostModelConfig};
     use crate::featurize::FeaturizerConfig;
-    use dlcm_datagen::DatasetConfig;
+    use dlcm_datagen::{Dataset, DatasetConfig};
     use dlcm_machine::{Machine, Measurement};
+
+    // NOTE: datagen's `prepare` cannot be used here — inside dlcm-model's
+    // own tests the dev-dependency on dlcm-datagen links a *second* copy
+    // of this crate, whose `LabeledFeatures` is a distinct type. The
+    // crate-local `featurize_samples` is the same code path.
+    fn featurize(f: &Featurizer, ds: &Dataset, idx: &[usize]) -> Vec<LabeledFeatures> {
+        let samples: Vec<SampleRef<'_>> = idx
+            .iter()
+            .map(|&i| {
+                let p = &ds.points[i];
+                SampleRef {
+                    program: ds.program_of(p),
+                    schedule: &p.schedule,
+                    speedup: p.speedup,
+                    group: p.program as u64,
+                }
+            })
+            .collect();
+        featurize_samples(f, &samples)
+    }
 
     fn tiny_setup() -> (Vec<LabeledFeatures>, Vec<LabeledFeatures>) {
         let ds = Dataset::generate(
@@ -255,12 +394,13 @@ mod tests {
         );
         let split = ds.split(0);
         let f = Featurizer::new(FeaturizerConfig::default());
-        (prepare(&f, &ds, &split.train), prepare(&f, &ds, &split.val))
+        (
+            featurize(&f, &ds, &split.train),
+            featurize(&f, &ds, &split.val),
+        )
     }
 
-    #[test]
-    fn training_reduces_loss() {
-        let (train_set, _val) = tiny_setup();
+    fn tiny_model() -> CostModel {
         let cfg = CostModelConfig {
             input_dim: FeaturizerConfig::default().vector_width(),
             embed_widths: vec![48, 24],
@@ -268,7 +408,13 @@ mod tests {
             regress_widths: vec![24],
             dropout: 0.0,
         };
-        let mut model = CostModel::new(cfg, 3);
+        CostModel::new(cfg, 3)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (train_set, _val) = tiny_setup();
+        let mut model = tiny_model();
         let before = evaluate(&model, &train_set).0;
         let report = train(
             &mut model,
@@ -290,15 +436,69 @@ mod tests {
     }
 
     #[test]
-    fn prepare_featurizes_all_indices() {
+    fn featurize_samples_covers_all_inputs() {
         let ds = Dataset::generate(
             &DatasetConfig::tiny(12),
             &Measurement::exact(Machine::default()),
         );
         let f = Featurizer::new(FeaturizerConfig::default());
-        let idx: Vec<usize> = (0..ds.len()).collect();
-        let set = prepare(&f, &ds, &idx);
+        let samples: Vec<SampleRef<'_>> = ds
+            .points
+            .iter()
+            .map(|p| SampleRef {
+                program: ds.program_of(p),
+                schedule: &p.schedule,
+                speedup: p.speedup,
+                group: p.program as u64,
+            })
+            .collect();
+        let set = featurize_samples(&f, &samples);
         assert_eq!(set.len(), ds.len());
         assert!(set.iter().all(|s| s.target > 0.0));
+    }
+
+    #[test]
+    fn stream_and_slice_paths_train_identically() {
+        // `train` is `train_stream` over `SliceBatches`; driving the
+        // streaming entry point with the same batches must reproduce the
+        // exact same trajectory.
+        let (train_set, _val) = tiny_setup();
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            seed: 9,
+            ..TrainConfig::default()
+        };
+        let mut a = tiny_model();
+        let ra = train(&mut a, &train_set, &[], &cfg);
+        let mut b = tiny_model();
+        let rb = train_stream(
+            &mut b,
+            &SliceBatches::new(&train_set, cfg.batch_size),
+            &[],
+            &cfg,
+        );
+        for (ea, eb) in ra.epochs.iter().zip(&rb.epochs) {
+            assert_eq!(ea.train_mape, eb.train_mape);
+        }
+        let probe = &train_set[..train_set.len().min(8)];
+        assert_eq!(evaluate(&a, probe).1, evaluate(&b, probe).1);
+    }
+
+    #[test]
+    fn slice_batches_are_structure_pure_and_complete() {
+        let (train_set, _val) = tiny_setup();
+        let source = SliceBatches::new(&train_set, 8);
+        let mut seen = 0;
+        for i in 0..source.num_batches() {
+            let batch = source.load_batch(i);
+            assert!(!batch.is_empty() && batch.len() <= 8);
+            let key = (batch[0].group, batch[0].feats.structure_key());
+            for s in &batch {
+                assert_eq!((s.group, s.feats.structure_key()), key);
+            }
+            seen += batch.len();
+        }
+        assert_eq!(seen, train_set.len());
     }
 }

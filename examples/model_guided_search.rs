@@ -6,12 +6,11 @@
 //! Run with: `cargo run --release --example model_guided_search`
 
 use dlcm::benchsuite;
+use dlcm::datagen::prepare;
 use dlcm::datagen::{Dataset, DatasetConfig};
 use dlcm::eval::{ExecutionEvaluator, ModelEvaluator};
 use dlcm::machine::{parallel_baseline, Machine, Measurement};
-use dlcm::model::{
-    prepare, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig, TrainConfig,
-};
+use dlcm::model::{train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig, TrainConfig};
 use dlcm::search::{BeamSearch, Mcts, SearchSpace};
 
 fn main() {

@@ -1,30 +1,60 @@
 //! Train the recursive cost model end to end on a freshly generated
-//! dataset and report the paper's accuracy metrics (§6): MAPE, Pearson
-//! correlation, and Spearman's rank correlation.
+//! *sharded* corpus — the §3 pipeline at example scale: parallel
+//! program/schedule generation, content-fingerprint dedup, labeling
+//! through a shared evaluation cache, JSONL shards + manifest on disk,
+//! and minibatches streamed (with on-demand parallel featurization) into
+//! the appendix A.1 training loop. Reports the paper's accuracy metrics
+//! (§6): MAPE, Pearson correlation, and Spearman's rank correlation.
 //!
-//! Run with: `cargo run --release --example train_cost_model [programs] [epochs]`
+//! Run with: `cargo run --release --example train_cost_model [programs] [epochs] [threads]`
 
-use dlcm::datagen::{Dataset, DatasetConfig};
+use std::collections::HashSet;
+
+use dlcm::datagen::{
+    prepare, BuildConfig, DatasetConfig, ParallelDatasetBuilder, ProgramGenConfig, ShardBatches,
+    ShardedDataset,
+};
 use dlcm::machine::{Machine, Measurement};
 use dlcm::model::{
-    evaluate, metrics, prepare, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig,
-    TrainConfig,
+    evaluate, metrics, train_stream, BatchSource, CostModel, CostModelConfig, Featurizer,
+    FeaturizerConfig, TrainConfig,
 };
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let num_programs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(96);
     let epochs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(25);
+    let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
 
-    // --- §3: dataset generation -------------------------------------------
-    println!("generating {num_programs} random programs x 32 schedules ...");
-    let cfg = DatasetConfig {
-        num_programs,
-        schedules_per_program: 32,
-        seed: 7,
-        ..DatasetConfig::default()
-    };
-    let dataset = Dataset::generate(&cfg, &Measurement::new(Machine::default()));
+    // --- §3: sharded corpus generation ------------------------------------
+    println!("generating {num_programs} random programs x 32 schedules ({threads} workers) ...");
+    let builder = ParallelDatasetBuilder::new(BuildConfig {
+        threads,
+        num_shards: 4,
+        ..BuildConfig::new(DatasetConfig {
+            num_programs,
+            schedules_per_program: 32,
+            seed: 7,
+            progen: ProgramGenConfig::wide(), // all six scenario families
+            ..DatasetConfig::default()
+        })
+    });
+    let corpus = std::env::temp_dir().join("dlcm_example_corpus");
+    let harness = Measurement::new(Machine::default());
+    let (manifest, stats) = builder
+        .write_corpus(&harness, &corpus)
+        .expect("write corpus");
+    println!(
+        "corpus: {} points in {} shards ({} duplicates dropped, {} equivalent schedules from cache)",
+        manifest.total_points,
+        manifest.shards.len(),
+        stats.duplicates_dropped,
+        stats.eval.cache_hits
+    );
+
+    // --- split + streamed featurization -----------------------------------
+    let sharded = ShardedDataset::open(&corpus).expect("open corpus");
+    let dataset = sharded.load_dataset().expect("load corpus");
     let split = dataset.split(0);
     println!(
         "dataset: {} points (train {} / val {} / test {})",
@@ -34,27 +64,37 @@ fn main() {
         split.test.len()
     );
 
-    // --- §4: featurization + model ----------------------------------------
     let featurizer = Featurizer::new(FeaturizerConfig::default());
-    let train_set = prepare(&featurizer, &dataset, &split.train);
+    let train_programs: HashSet<usize> = split
+        .train
+        .iter()
+        .map(|&i| dataset.points[i].program)
+        .collect();
+    let cfg = TrainConfig {
+        epochs,
+        verbose: true,
+        ..TrainConfig::default()
+    };
+    let source = ShardBatches::open_filtered(
+        &corpus,
+        featurizer.clone(),
+        cfg.batch_size,
+        threads,
+        Some(&train_programs),
+    )
+    .expect("stream corpus");
     let val_set = prepare(&featurizer, &dataset, &split.val);
     let test_set = prepare(&featurizer, &dataset, &split.test);
 
+    // --- §4 + A.1: model, trained on streamed minibatches -----------------
     let model_cfg = CostModelConfig::fast(featurizer.config().vector_width());
     let mut model = CostModel::new(model_cfg, 0);
-    println!("model: {} parameters", model.num_params());
-
-    // --- A.1: training ------------------------------------------------------
-    let report = train(
-        &mut model,
-        &train_set,
-        &val_set,
-        &TrainConfig {
-            epochs,
-            verbose: true,
-            ..TrainConfig::default()
-        },
+    println!(
+        "model: {} parameters; streaming {} minibatches/epoch",
+        model.num_params(),
+        source.num_batches()
     );
+    let report = train_stream(&mut model, &source, &val_set, &cfg);
     println!("final validation MAPE: {:.3}", report.final_val_mape);
 
     // --- §6: test metrics ----------------------------------------------------
@@ -77,4 +117,5 @@ fn main() {
         "R^2               : {:.3}   (paper: 0.89 with MSE loss)",
         metrics::r2(&targets, &preds)
     );
+    let _ = std::fs::remove_dir_all(&corpus);
 }

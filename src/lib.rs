@@ -10,8 +10,12 @@
 //!   dependence analysis, legality, and a reference interpreter;
 //! - [`machine`] — the simulated CPU (analytical performance model) and
 //!   the median-of-30 measurement harness;
-//! - [`datagen`] — random programs, random schedules, labeled datasets;
-//! - [`model`] — featurization + the recursive LSTM cost model + training;
+//! - [`datagen`] — random programs (six scenario families), random
+//!   schedules, and the sharded, parallel, deduplicating corpus pipeline
+//!   (JSONL shards + manifest, streamed into training);
+//! - [`model`] — featurization + the recursive LSTM cost model + the
+//!   streaming training loop ([`model::BatchSource`] /
+//!   [`model::train_stream`]);
 //! - [`eval`] — the unified batch-first candidate evaluation API: the
 //!   object-safe [`eval::Evaluator`] trait (`speedup_batch` + a defaulted
 //!   single-candidate wrapper), [`eval::EvalStats`] accounting, and the
@@ -25,6 +29,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and DESIGN.md for
 //! the crate map, the evaluation-API diagram, and the experiment index.
+
+#![warn(missing_docs)]
 
 pub use dlcm_baseline as baseline;
 pub use dlcm_benchsuite as benchsuite;

@@ -1,12 +1,11 @@
 //! End-to-end integration: dataset generation → featurization → training
 //! → model-guided search, spanning every crate in the workspace.
 
-use dlcm::datagen::{Dataset, DatasetConfig};
+use dlcm::datagen::{prepare, Dataset, DatasetConfig};
 use dlcm::eval::{ExecutionEvaluator, ModelEvaluator};
 use dlcm::machine::{Machine, Measurement};
 use dlcm::model::{
-    evaluate, metrics, prepare, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig,
-    TrainConfig,
+    evaluate, metrics, train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig, TrainConfig,
 };
 use dlcm::search::{BeamSearch, SearchSpace};
 
@@ -165,6 +164,65 @@ fn halide_baseline_drives_beam_search_through_unified_api() {
     assert!(dlcm::ir::apply_schedule(&program, &result.schedule).is_ok());
     assert!(result.stats.num_evals > 0);
     assert_eq!(result.stats.num_evals, ev.stats().num_evals);
+}
+
+#[test]
+fn sharded_corpus_streams_into_training() {
+    // The corpus-scale path end to end: parallel sharded generation →
+    // manifest-verified reload → streamed minibatch training — and the
+    // streamed model must match training from the equivalent in-memory
+    // dataset exactly (same batches, same seeds, same trajectory).
+    use dlcm::datagen::{BuildConfig, ParallelDatasetBuilder, ShardBatches, ShardedDataset};
+    use dlcm::model::train_stream;
+
+    let dir = std::env::temp_dir().join("dlcm_e2e_corpus");
+    let _ = std::fs::remove_dir_all(&dir);
+    let builder = ParallelDatasetBuilder::new(BuildConfig {
+        threads: 2,
+        num_shards: 3,
+        ..BuildConfig::new(DatasetConfig {
+            num_programs: 12,
+            schedules_per_program: 10,
+            ..DatasetConfig::tiny(8)
+        })
+    });
+    let harness = Measurement::exact(Machine::default());
+    let (manifest, stats) = builder.write_corpus(&harness, &dir).unwrap();
+    assert_eq!(manifest.total_programs, 12);
+    assert_eq!(manifest.total_points, stats.num_points);
+
+    let sharded = ShardedDataset::open(&dir).unwrap();
+    sharded.verify().unwrap();
+    let dataset = sharded.load_dataset().unwrap();
+    assert_eq!(dataset.programs.len(), 12);
+    assert_eq!(dataset.len(), manifest.total_points);
+
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        seed: 4,
+        ..TrainConfig::default()
+    };
+    let source = ShardBatches::open(&dir, featurizer.clone(), cfg.batch_size, 2).unwrap();
+    assert_eq!(source.num_points(), dataset.len());
+
+    let mut streamed = CostModel::new(tiny_model_cfg(), 2);
+    let report = train_stream(&mut streamed, &source, &[], &cfg);
+    assert!(report.epochs.len() == 3 && report.epochs[2].train_mape.is_finite());
+
+    let idx: Vec<usize> = (0..dataset.len()).collect();
+    let in_memory_set = prepare(&featurizer, &dataset, &idx);
+    let mut in_memory = CostModel::new(tiny_model_cfg(), 2);
+    let report2 = train(&mut in_memory, &in_memory_set, &[], &cfg);
+    for (a, b) in report.epochs.iter().zip(&report2.epochs) {
+        assert_eq!(
+            a.train_mape, b.train_mape,
+            "streamed != in-memory trajectory"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

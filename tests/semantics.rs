@@ -48,6 +48,41 @@ fn random_legal_schedules_preserve_semantics() {
     assert!(checked >= 100, "exercised {checked} schedules");
 }
 
+/// The same oracle over the widened corpus distribution: convolutions,
+/// multi-output reduction pipelines, and scans must survive every legal
+/// schedule too (scans in particular force the legality checker to keep
+/// their carried dependence sequential).
+#[test]
+fn wide_family_schedules_preserve_semantics() {
+    let progen = ProgramGenerator::new(ProgramGenConfig {
+        size_pool: vec![8, 12, 16],
+        max_points: 1 << 12,
+        ..ProgramGenConfig::wide()
+    });
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let mut checked = 0;
+    for seed in 100..116u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let program = progen.generate(&mut rng, &format!("wide{seed}"));
+        let inputs = synthetic_inputs(&program, seed);
+        let baseline = interpret_baseline(&program, &inputs).expect("baseline interpretable");
+        for s in 0..6 {
+            let schedule = schedgen.generate(&program, &mut rng);
+            let sp = apply_schedule(&program, &schedule)
+                .unwrap_or_else(|e| panic!("generated schedule illegal: {e}"));
+            let out = interpret(&sp, &inputs).expect("scheduled program interpretable");
+            let err = max_relative_error(&baseline, &out);
+            assert!(
+                err < 1e-3,
+                "semantics broken (err {err:.2e}) on seed {seed}/{s}\nprogram: {program}\nschedule: {}",
+                schedule.describe()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 90, "exercised {checked} schedules");
+}
+
 /// Tiling with non-dividing sizes (partial edge tiles) is exact.
 #[test]
 fn partial_tiles_preserve_semantics() {
