@@ -6,11 +6,12 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
 use dlcm_eval::{
     CachedEvaluator, Evaluator, ExecutionEvaluator, ModelEvaluator, ParallelEvaluator,
+    SharedCachedEvaluator,
 };
 use dlcm_ir::{apply_schedule, interpret, synthetic_inputs, CompId, Schedule, Transform};
 use dlcm_machine::{analyze_program, Machine, Measurement};
 use dlcm_model::{CostModel, CostModelConfig, Featurizer, FeaturizerConfig, SpeedupPredictor};
-use dlcm_search::{BeamSearch, SearchSpace};
+use dlcm_search::{BeamSearch, SearchDriver, SearchJob, SearchSpace, SearchSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -244,6 +245,49 @@ fn search(c: &mut Criterion) {
     });
 }
 
+/// Suite-scale concurrent search: four benchmarks, each a beam search
+/// with execution evaluation, fanned across the driver with one shared
+/// cache — the throughput lever of the concurrent search tier.
+/// `..._seq` is the deterministic reference cost (one search thread);
+/// `..._par4`'s ratio to it depends on the runner's core count and is
+/// reported but not gated (like the parallel-eval pair above).
+fn suite_search(c: &mut Criterion) {
+    let space = SearchSpace {
+        tile_sizes: vec![32],
+        unroll_factors: vec![4],
+        ..SearchSpace::default()
+    };
+    let jobs: Vec<SearchJob> = ["box blur", "mvt", "heat2d", "cvtcolor"]
+        .iter()
+        .map(|name| {
+            let bench = dlcm_benchsuite::suite()
+                .into_iter()
+                .find(|b| b.name == *name)
+                .expect("known benchmark");
+            SearchJob {
+                program: (bench.build)(0.05),
+                specs: vec![SearchSpec::BeamExec(BeamSearch::new(2, space.clone()))],
+            }
+        })
+        .collect();
+    fn exec_model(_role: usize) -> Box<dyn Evaluator> {
+        Box::new(ExecutionEvaluator::new(Measurement::default(), 0))
+    }
+    let mut run = |name: &str, threads: usize| {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                // Fresh shared cache per iteration: this measures real
+                // search throughput, not warm-cache replay.
+                || SharedCachedEvaluator::new(ParallelEvaluator::new(Measurement::default(), 0, 1)),
+                |shared| SearchDriver::new(threads).run_suite(&jobs, &shared, &exec_model),
+                BatchSize::SmallInput,
+            );
+        });
+    };
+    run("suite_search_driver_seq", 1);
+    run("suite_search_driver_par4", 4);
+}
+
 criterion_group!(
     benches,
     featurization,
@@ -253,6 +297,7 @@ criterion_group!(
     interpreter,
     generation,
     parallel_eval,
-    search
+    search,
+    suite_search
 );
 criterion_main!(benches);

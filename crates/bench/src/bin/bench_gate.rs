@@ -49,6 +49,15 @@ struct BenchSummary {
     parallel_speedup_x: f64,
     /// Per-candidate cost of re-scoring a warm cached batch.
     cache_hit_ns_per_candidate: f64,
+    /// Per-search cost of a 4-benchmark suite sweep through the
+    /// concurrent driver at 1 search thread (the deterministic
+    /// reference).
+    suite_search_seq_ns_per_search: f64,
+    /// The same sweep at 4 search threads.
+    suite_search_par_ns_per_search: f64,
+    /// Driver-level sequential / parallel throughput ratio
+    /// (hardware-dependent).
+    suite_search_speedup_x: f64,
 }
 
 const BASELINE_PATH: &str = "ci/bench_baseline.json";
@@ -67,6 +76,8 @@ fn lookup(records: &[BenchRecord], name: &str) -> f64 {
 fn summarize(records: &[BenchRecord]) -> BenchSummary {
     let seq = lookup(records, "exec_speedup_batch_16_seq") / 16.0;
     let par = lookup(records, "exec_speedup_batch_16_par4") / 16.0;
+    let suite_seq = lookup(records, "suite_search_driver_seq") / 4.0;
+    let suite_par = lookup(records, "suite_search_driver_par4") / 4.0;
     BenchSummary {
         featurize_ns: lookup(records, "featurize_program"),
         infer_ns: lookup(records, "model_predict"),
@@ -77,6 +88,13 @@ fn summarize(records: &[BenchRecord]) -> BenchSummary {
         exec_eval_par_ns_per_candidate: par,
         parallel_speedup_x: if par > 0.0 { seq / par } else { 0.0 },
         cache_hit_ns_per_candidate: lookup(records, "cached_exec_rescore_16") / 16.0,
+        suite_search_seq_ns_per_search: suite_seq,
+        suite_search_par_ns_per_search: suite_par,
+        suite_search_speedup_x: if suite_par > 0.0 {
+            suite_seq / suite_par
+        } else {
+            0.0
+        },
     }
 }
 
@@ -101,6 +119,11 @@ fn gated(current: &BenchSummary, baseline: &BenchSummary) -> Vec<(&'static str, 
             "cache_hit_ns_per_candidate",
             current.cache_hit_ns_per_candidate,
             baseline.cache_hit_ns_per_candidate,
+        ),
+        (
+            "suite_search_seq_ns_per_search",
+            current.suite_search_seq_ns_per_search,
+            baseline.suite_search_seq_ns_per_search,
         ),
     ]
 }
@@ -175,6 +198,10 @@ fn main() {
     println!(
         "parallel_speedup_x                 {:>12.2} (not gated: depends on runner cores)",
         current.parallel_speedup_x
+    );
+    println!(
+        "suite_search_speedup_x             {:>12.2} (not gated: depends on runner cores)",
+        current.suite_search_speedup_x
     );
     if failed {
         eprintln!(

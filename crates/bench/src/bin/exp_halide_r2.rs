@@ -3,14 +3,36 @@
 //! randomly generated programs. The paper reports Halide 0.96 vs
 //! Tiramisu 0.89 — comparable, but Halide needs 54 engineered features.
 //!
-//! `cargo run --release -p dlcm-bench --bin exp_halide_r2 [--quick]`
+//! Beyond the pointwise R², the binary compares the models **as search
+//! drivers**: beam search over every §6 benchmark with each model, fanned
+//! across the concurrent suite driver (`--search-threads N`), reporting
+//! the measured speedup of each model's chosen schedule. Model-driven
+//! searches are deterministic per seed and the driver gathers in input
+//! order, so `halide_r2.json` is byte-identical at any `--search-threads`
+//! setting.
+//!
+//! `cargo run --release -p dlcm-bench --bin exp_halide_r2 [--quick]
+//! [--search-threads N]`
 
 use dlcm_baseline::{HalideModel, HalideTrainConfig};
-use dlcm_bench::{load_model, load_or_generate_dataset, quick_mode, write_json};
+use dlcm_bench::{
+    harness, load_model, load_or_generate_dataset, quick_mode, search_threads, write_json,
+};
 use dlcm_datagen::prepare;
+use dlcm_eval::{Evaluator, ModelEvaluator};
 use dlcm_machine::MachineConfig;
-use dlcm_model::{evaluate, metrics, Featurizer, FeaturizerConfig};
+use dlcm_model::{evaluate, metrics, CostModel, Featurizer, FeaturizerConfig};
+use dlcm_search::{BeamSearch, SearchDriver, SearchJob, SearchSpace, SearchSpec};
 use serde::Serialize;
+
+/// Measured end-to-end speedup of each model's chosen schedule on one
+/// benchmark (beam search, width 4, identical spaces).
+#[derive(Serialize)]
+struct SearchQualityRow {
+    benchmark: String,
+    ours_speedup: f64,
+    halide_speedup: f64,
+}
 
 #[derive(Serialize)]
 struct R2Report {
@@ -20,10 +42,19 @@ struct R2Report {
     ours_spearman: f64,
     paper_halide_r2: f64,
     paper_ours_r2: f64,
+    /// Mean measured speedup across the suite when each model drives the
+    /// same beam search (the end-to-end complement of the pointwise R²).
+    search_ours_mean_speedup: f64,
+    search_halide_mean_speedup: f64,
+    search: Vec<SearchQualityRow>,
 }
+
+const ROLE_OURS: usize = 0;
+const ROLE_HALIDE: usize = 1;
 
 fn main() {
     let quick = quick_mode();
+    let search_threads = search_threads();
     eprintln!("=== EXP-R2: Halide-style baseline vs our model (quick={quick}) ===");
     let dataset = load_or_generate_dataset(quick);
     let split = dataset.split(0);
@@ -43,6 +74,58 @@ fn main() {
     let test_set = prepare(&featurizer, &dataset, &split.test);
     let (_, our_preds) = evaluate(&model, &test_set);
 
+    // End-to-end: both models drive the same beam search on every §6
+    // benchmark, concurrently across the suite driver; what matters is
+    // how the chosen schedules *measure*.
+    eprintln!("running suite searches with both models (search-threads={search_threads}) ...");
+    let scale = if quick { 0.15 } else { 1.0 };
+    let harness = harness();
+    let space = SearchSpace::default();
+    let suite = dlcm_benchsuite::suite();
+    let jobs: Vec<SearchJob> = suite
+        .iter()
+        .map(|bench| SearchJob {
+            program: (bench.build)(scale),
+            specs: vec![
+                SearchSpec::BeamModel {
+                    search: BeamSearch::new(4, space.clone()),
+                    role: ROLE_OURS,
+                },
+                SearchSpec::BeamModel {
+                    search: BeamSearch::new(4, space.clone()),
+                    role: ROLE_HALIDE,
+                },
+            ],
+        })
+        .collect();
+    let factory = model_factory(&model, &featurizer, &halide);
+    let results = SearchDriver::new(search_threads).run_model_suite(&jobs, &factory);
+
+    let search: Vec<SearchQualityRow> = suite
+        .iter()
+        .zip(&jobs)
+        .zip(&results)
+        .map(|((bench, job), searches)| {
+            let baseline = dlcm_machine::parallel_baseline(&job.program);
+            let t_base = harness
+                .measure_schedule(&job.program, &baseline, 1)
+                .expect("baseline legal");
+            let measured = |s: &dlcm_ir::Schedule| {
+                t_base
+                    / harness
+                        .measure_schedule(&job.program, s, 1)
+                        .expect("legal schedule")
+            };
+            SearchQualityRow {
+                benchmark: bench.name.to_string(),
+                ours_speedup: measured(&searches[0].schedule),
+                halide_speedup: measured(&searches[1].schedule),
+            }
+        })
+        .collect();
+    let mean =
+        |f: fn(&SearchQualityRow) -> f64| search.iter().map(f).sum::<f64>() / search.len() as f64;
+
     let report = R2Report {
         halide_r2: metrics::r2(&y, &halide_preds),
         ours_r2: metrics::r2(&y, &our_preds),
@@ -50,6 +133,9 @@ fn main() {
         ours_spearman: metrics::spearman(&y, &our_preds),
         paper_halide_r2: 0.96,
         paper_ours_r2: 0.89,
+        search_ours_mean_speedup: mean(|r| r.ours_speedup),
+        search_halide_mean_speedup: mean(|r| r.halide_speedup),
+        search,
     };
     println!(
         "Halide-style: R^2 {:.3}, Spearman {:.3}  (paper R^2: 0.96, with 54 engineered features)",
@@ -59,5 +145,23 @@ fn main() {
         "ours        : R^2 {:.3}, Spearman {:.3}  (paper R^2: 0.89, no feature engineering)",
         report.ours_r2, report.ours_spearman
     );
+    println!(
+        "as search drivers (mean measured speedup over {} benchmarks): ours {:.2}x, Halide-style {:.2}x",
+        report.search.len(),
+        report.search_ours_mean_speedup,
+        report.search_halide_mean_speedup
+    );
     write_json("halide_r2.json", &report);
+}
+
+/// Fresh model evaluator per search, borrowing the shared trained models.
+fn model_factory<'m>(
+    model: &'m CostModel,
+    featurizer: &'m Featurizer,
+    halide: &'m HalideModel,
+) -> impl Fn(usize) -> Box<dyn Evaluator + 'm> + Sync {
+    move |role| match role {
+        ROLE_HALIDE => Box::new(halide.clone()),
+        _ => Box::new(ModelEvaluator::new(model, featurizer.clone())),
+    }
 }

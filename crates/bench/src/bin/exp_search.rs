@@ -10,23 +10,29 @@
 //! Outputs `fig6.csv` (speedups over the §6 parallel baseline) and
 //! `table2.csv` (search-time improvement vs performance degradation).
 //!
-//! Execution-backed evaluation runs through the cached + parallel stack:
-//! `--threads N` fans candidate batches across N workers, and the
-//! schedule-keyed result cache answers re-derived candidates for free.
-//! Both layers are bit-identical to sequential scoring, and the model
-//! evaluators charge a *simulated* per-candidate inference cost, so the
-//! CSVs are byte-identical at any `--threads` setting.
+//! The whole sweep runs through the concurrent suite driver
+//! (`dlcm_search::driver`): `--search-threads N` fans the per-benchmark
+//! jobs across N workers, `--threads N` additionally fans each execution
+//! candidate batch, and every execution-backed search borrows one shared
+//! schedule-keyed result cache. Scores are pure per `(seed, program,
+//! schedule)`, per-search stats are scoped deltas, benchmarks are
+//! distinct programs, and each benchmark's four searches run in a fixed
+//! order on one worker — so the CSVs are byte-identical at any
+//! `--threads` / `--search-threads` setting (CI diffs them).
 //!
-//! `cargo run --release -p dlcm-bench --bin exp_search [--quick] [--threads N]`
+//! `cargo run --release -p dlcm-bench --bin exp_search [--quick]
+//! [--threads N] [--search-threads N]`
 
 use dlcm_baseline::{HalideModel, HalideTrainConfig};
-use dlcm_bench::{harness, load_model, quick_mode, threads, write_csv};
+use dlcm_bench::{harness, load_model, quick_mode, search_threads, threads, write_csv};
 use dlcm_datagen::{Dataset, DatasetConfig, ProgramGenConfig};
-use dlcm_eval::{CachedEvaluator, Evaluator, ModelEvaluator, ParallelEvaluator};
+use dlcm_eval::{
+    Evaluator, ModelEvaluator, ParallelEvaluator, SharedCachedEvaluator, SyncEvaluator,
+};
 use dlcm_ir::Schedule;
 use dlcm_machine::{parallel_baseline, MachineConfig};
-use dlcm_model::{Featurizer, FeaturizerConfig};
-use dlcm_search::{BeamSearch, Mcts, SearchSpace};
+use dlcm_model::{CostModel, Featurizer, FeaturizerConfig};
+use dlcm_search::{BeamSearch, Mcts, SearchDriver, SearchJob, SearchSpace, SearchSpec};
 
 /// Simulated seconds of model inference per candidate (the paper's LSTM
 /// forward pass runs in a few milliseconds). Charged instead of measured
@@ -34,10 +40,33 @@ use dlcm_search::{BeamSearch, Mcts, SearchSpace};
 /// search trace — see `ModelEvaluator::with_simulated_cost`.
 const SIM_INFER_COST: f64 = 0.004;
 
+/// Evaluator-factory roles for the driver's model-driven searches.
+const ROLE_COST_MODEL: usize = 0;
+const ROLE_HALIDE: usize = 1;
+
+/// Builds the per-spec model evaluators the driver asks for: fresh per
+/// search (standalone stats), borrowing the shared trained models.
+fn model_factory<'m>(
+    model: &'m CostModel,
+    featurizer: &'m Featurizer,
+    halide: &'m HalideModel,
+) -> impl Fn(usize) -> Box<dyn Evaluator + 'm> + Sync {
+    move |role| match role {
+        ROLE_HALIDE => Box::new(halide.clone()),
+        _ => Box::new(
+            ModelEvaluator::new(model, featurizer.clone()).with_simulated_cost(SIM_INFER_COST),
+        ),
+    }
+}
+
 fn main() {
     let quick = quick_mode();
     let threads = threads();
-    eprintln!("=== FIG-6 / TAB-2: benchmark search (quick={quick}, threads={threads}) ===");
+    let search_threads = search_threads();
+    eprintln!(
+        "=== FIG-6 / TAB-2: benchmark search (quick={quick}, threads={threads}, \
+         search-threads={search_threads}) ==="
+    );
     let scale = if quick { 0.15 } else { 1.0 };
     let model = load_model();
     let featurizer = Featurizer::new(FeaturizerConfig::default());
@@ -69,61 +98,75 @@ fn main() {
 
     let space = SearchSpace::default();
     let beam_width = 4;
-    let mut fig6 = Vec::new();
-    let mut table2 = Vec::new();
-    // One execution evaluator for every search that pays (simulated)
-    // compile+run: batches fan out across `threads` workers, and the
-    // schedule-keyed cache lets BSE reuse any measurement the (earlier)
-    // MCTS correction step already made on the same benchmark (keys
-    // include the program fingerprint, so benchmarks never
-    // cross-contaminate).
-    let mut exec_ev = CachedEvaluator::new(ParallelEvaluator::new(harness.clone(), 0, threads));
+
+    // One benchmark = one driver job running its four searches in fixed
+    // order on one worker. MCTS goes first (model rollouts + top-3
+    // executed) so its Table 2 accounting is standalone, like the
+    // paper's; BSE afterwards reuses any measurement MCTS already paid
+    // for through the shared cache — a few hits that only make the
+    // reference denominator slightly cheaper (the conservative direction
+    // for both ratios). Keys embed the program's content fingerprint, so
+    // benchmarks never cross-contaminate however the jobs interleave.
+    let suite = dlcm_benchsuite::suite();
+    let jobs: Vec<SearchJob> = suite
+        .iter()
+        .map(|bench| SearchJob {
+            program: (bench.build)(scale),
+            specs: vec![
+                SearchSpec::Mcts {
+                    search: Mcts {
+                        iterations: if quick { 40 } else { 150 },
+                        space: space.clone(),
+                        ..Mcts::default()
+                    },
+                    role: ROLE_COST_MODEL,
+                },
+                SearchSpec::BeamExec(BeamSearch::new(beam_width, space.clone())),
+                SearchSpec::BeamModel {
+                    search: BeamSearch::new(beam_width, space.clone()),
+                    role: ROLE_COST_MODEL,
+                },
+                SearchSpec::BeamModel {
+                    search: BeamSearch::new(beam_width, space.clone()),
+                    role: ROLE_HALIDE,
+                },
+            ],
+        })
+        .collect();
+
+    // The one execution evaluator every search that pays (simulated)
+    // compile+run shares: candidate batches fan out across `threads`
+    // workers, concurrent searches across `search_threads`.
+    let shared_exec =
+        SharedCachedEvaluator::new(ParallelEvaluator::new(harness.clone(), 0, threads));
+    let factory = model_factory(&model, &featurizer, &halide);
+    let results = SearchDriver::new(search_threads).run_suite(&jobs, &shared_exec, &factory);
+
     println!(
         "{:<13} {:>7} {:>7} {:>7} {:>8} | {:>9} {:>9} | {:>7} {:>7}",
         "benchmark", "BSE", "BSM", "MCTS", "Halide", "BSM tAcc", "MCTS tAcc", "BSM dg%", "MCTS dg%"
     );
 
-    for bench in dlcm_benchsuite::suite() {
-        let program = (bench.build)(scale);
-        let baseline = parallel_baseline(&program);
+    let mut fig6 = Vec::new();
+    let mut table2 = Vec::new();
+    for ((bench, job), searches) in suite.iter().zip(&jobs).zip(&results) {
+        let program = &job.program;
+        let [mcts, bse, bsm, hal] = searches.as_slice() else {
+            unreachable!("four specs per job")
+        };
+        let baseline = parallel_baseline(program);
         let t_base = harness
-            .measure_schedule(&program, &baseline, 1)
+            .measure_schedule(program, &baseline, 1)
             .expect("baseline legal");
         let measured = |s: &Schedule| {
             t_base
                 / harness
-                    .measure_schedule(&program, s, 1)
+                    .measure_schedule(program, s, 1)
                     .expect("legal schedule")
         };
-
-        // MCTS first (model rollouts + top-3 executed): it runs on a cold
-        // cache so its Table 2 accounting is standalone, like the paper's.
-        // BSE afterwards reuses any measurement MCTS already paid for —
-        // a few cache hits that only make the reference denominator
-        // slightly cheaper (the conservative direction for both ratios).
-        let mut ev_m =
-            ModelEvaluator::new(&model, featurizer.clone()).with_simulated_cost(SIM_INFER_COST);
-        let mcts = Mcts {
-            iterations: if quick { 40 } else { 150 },
-            space: space.clone(),
-            ..Mcts::default()
-        }
-        .search(&program, &mut ev_m, &mut exec_ev);
         let mcts_speedup = measured(&mcts.schedule);
-
-        // BSE: execution evaluation behind the same cached+parallel stack.
-        let bse = BeamSearch::new(beam_width, space.clone()).search(&program, &mut exec_ev);
         let bse_speedup = measured(&bse.schedule);
-
-        // BSM.
-        let mut ev_bsm =
-            ModelEvaluator::new(&model, featurizer.clone()).with_simulated_cost(SIM_INFER_COST);
-        let bsm = BeamSearch::new(beam_width, space.clone()).search(&program, &mut ev_bsm);
         let bsm_speedup = measured(&bsm.schedule);
-
-        // Halide autoscheduler: the trained baseline model *is* an
-        // Evaluator, no adapter needed.
-        let hal = BeamSearch::new(beam_width, space.clone()).search(&program, &mut halide);
         let hal_speedup = measured(&hal.schedule);
 
         // Table 2 quantities.
@@ -181,14 +224,18 @@ fn main() {
         avg(3),
         avg(4)
     );
-    let exec_stats = exec_ev.stats();
+    // Suite-wide totals: the integer counters are exact and deterministic
+    // (intra-job order is fixed, cross-job keys are disjoint); only these
+    // are printed, never the shared float sums.
+    let exec_stats = shared_exec.total_stats();
     match exec_stats.cache_hit_rate() {
         Some(rate) => eprintln!(
-            "execution evals: {} performed, {} answered from cache ({:.0}% hit rate), {} threads",
+            "execution evals: {} performed, {} answered from cache ({:.0}% hit rate), {} eval threads × {} search threads",
             exec_stats.num_evals,
             exec_stats.cache_hits,
             100.0 * rate,
-            threads
+            threads,
+            search_threads
         ),
         None => eprintln!("execution evals: {}", exec_stats.num_evals),
     }

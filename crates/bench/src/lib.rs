@@ -96,6 +96,19 @@ pub fn shards() -> usize {
     positive_flag("shards", 4)
 }
 
+/// Concurrent-search count for the suite driver: `--search-threads N`
+/// (or `--search-threads=N`), defaulting to 1.
+///
+/// Orthogonal to `--threads` (workers *within* one candidate batch):
+/// this fans whole searches across benchmarks. Like `--threads` it never
+/// changes results — suite benchmarks are distinct programs and each
+/// search keeps standalone scoped stats, so `fig6.csv`/`table2.csv` are
+/// byte-identical at any setting (enforced by a test and the CI diff
+/// job).
+pub fn search_threads() -> usize {
+    positive_flag("search-threads", 1)
+}
+
 /// The shared measurement harness (paper protocol: median of 30 runs,
 /// 2% noise, simulated Xeon E5-2680v3).
 pub fn harness() -> Measurement {

@@ -14,11 +14,95 @@
 //! is indistinguishable from re-evaluating — `tests/cache_props.rs`
 //! asserts this over randomized schedule sequences.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dlcm_ir::{Program, Schedule};
 
 use crate::{EvalStats, Evaluator};
+
+/// Cap on the per-program memos (fingerprints here and in
+/// [`crate::SharedCachedEvaluator`], baseline times in
+/// [`crate::ParallelEvaluator`]): entries hold whole programs, and a
+/// corpus-scale run labels thousands of distinct programs exactly once
+/// each — the memo must stay a small recent window, not a second copy of
+/// the corpus.
+pub(crate) const PROGRAM_MEMO_CAP: usize = 64;
+
+/// Looks up `program` in a FIFO-bounded `(program, value)` memo,
+/// computing and inserting via `compute` on a miss (evicting the oldest
+/// entry at [`PROGRAM_MEMO_CAP`]). Shared by the fingerprint memos of
+/// both cache tiers and the baseline-time memo of the parallel
+/// evaluator.
+pub(crate) fn memoized<T: Copy>(
+    memo: &mut Vec<(Program, T)>,
+    program: &Program,
+    compute: impl FnOnce() -> T,
+) -> (T, bool) {
+    if let Some((_, value)) = memo.iter().find(|(p, _)| p == program) {
+        return (*value, true);
+    }
+    let value = compute();
+    if memo.len() == PROGRAM_MEMO_CAP {
+        memo.remove(0);
+    }
+    memo.push((program.clone(), value));
+    (value, false)
+}
+
+/// Splits a keyed batch into cache hits and the first occurrence of each
+/// missing key, preserving batch order: the wrapped evaluator must see a
+/// deduplicated sub-batch. The ordered `Vec` carries the batch order; the
+/// `HashSet` answers the "already queued?" probe in O(1) (a linear
+/// `fresh.contains` made large batches quadratic). Shared by both cache
+/// tiers; `lookup` is called exactly once per batch position, and hit
+/// values come back in `cached`, so the sharded tier pays one lock
+/// round-trip per candidate, not two.
+pub(crate) struct FreshSplit {
+    /// Per batch position: the cached value, or `None` for candidates the
+    /// wrapped evaluator must score (first occurrences *and* their
+    /// in-batch duplicates — resolve the latter from the fresh values).
+    pub cached: Vec<Option<f64>>,
+    /// Unique missing keys, in first-occurrence batch order.
+    pub fresh: Vec<(u64, u64)>,
+    /// The schedules behind `fresh`, index-aligned.
+    pub fresh_schedules: Vec<Schedule>,
+    /// Candidates answered without touching the wrapped evaluator.
+    pub hits: usize,
+}
+
+pub(crate) fn split_fresh(
+    keys: &[(u64, u64)],
+    schedules: &[Schedule],
+    mut lookup: impl FnMut(&(u64, u64)) -> Option<f64>,
+) -> FreshSplit {
+    let mut cached: Vec<Option<f64>> = Vec::with_capacity(keys.len());
+    let mut fresh: Vec<(u64, u64)> = Vec::new();
+    let mut fresh_set: HashSet<(u64, u64)> = HashSet::new();
+    let mut fresh_schedules: Vec<Schedule> = Vec::new();
+    let mut hits = 0;
+    for (key, schedule) in keys.iter().zip(schedules) {
+        if fresh_set.contains(key) {
+            hits += 1;
+            cached.push(None);
+            continue;
+        }
+        let known = lookup(key);
+        if known.is_some() {
+            hits += 1;
+        } else {
+            fresh.push(*key);
+            fresh_set.insert(*key);
+            fresh_schedules.push(schedule.clone());
+        }
+        cached.push(known);
+    }
+    FreshSplit {
+        cached,
+        fresh,
+        fresh_schedules,
+        hits,
+    }
+}
 
 /// Memoizing decorator over any [`Evaluator`].
 ///
@@ -32,9 +116,11 @@ use crate::{EvalStats, Evaluator};
 pub struct CachedEvaluator<E> {
     inner: E,
     entries: HashMap<(u64, u64), f64>,
-    /// Fingerprint of the last program seen, keyed by the program itself
-    /// so repeated waves over one program hash it once.
-    program_key: Option<(Program, u64)>,
+    /// Fingerprint memo keyed by the program itself, so repeated waves
+    /// over any already-seen program hash it once. A map rather than a
+    /// last-seen slot: interleaving programs (what the concurrent suite
+    /// driver does) must not evict the memo on every alternation.
+    programs: Vec<(Program, u64)>,
     hits: usize,
     misses: usize,
 }
@@ -45,7 +131,7 @@ impl<E: Evaluator> CachedEvaluator<E> {
         Self {
             inner,
             entries: HashMap::new(),
-            program_key: None,
+            programs: Vec::new(),
             hits: 0,
             misses: 0,
         }
@@ -83,14 +169,15 @@ impl<E: Evaluator> CachedEvaluator<E> {
     }
 
     fn program_fingerprint(&mut self, program: &Program) -> u64 {
-        match &self.program_key {
-            Some((cached, fp)) if cached == program => *fp,
-            _ => {
-                let fp = program.content_fingerprint();
-                self.program_key = Some((program.clone(), fp));
-                fp
-            }
-        }
+        memoized(&mut self.programs, program, || {
+            program.content_fingerprint()
+        })
+        .0
+    }
+
+    /// Number of programs whose fingerprint is currently memoized.
+    pub fn memoized_programs(&self) -> usize {
+        self.programs.len()
     }
 }
 
@@ -99,19 +186,14 @@ impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
         let pfp = self.program_fingerprint(program);
         let keys: Vec<(u64, u64)> = schedules.iter().map(|s| (pfp, s.cache_key())).collect();
 
-        // Forward only the first occurrence of each missing key, in batch
-        // order, so the wrapped evaluator sees a deduplicated sub-batch.
-        let mut fresh: Vec<(u64, u64)> = Vec::new();
-        let mut fresh_schedules: Vec<Schedule> = Vec::new();
-        for (key, schedule) in keys.iter().zip(schedules) {
-            if self.entries.contains_key(key) || fresh.contains(key) {
-                self.hits += 1;
-            } else {
-                self.misses += 1;
-                fresh.push(*key);
-                fresh_schedules.push(schedule.clone());
-            }
-        }
+        let FreshSplit {
+            cached,
+            fresh,
+            fresh_schedules,
+            hits,
+        } = split_fresh(&keys, schedules, |key| self.entries.get(key).copied());
+        self.hits += hits;
+        self.misses += fresh.len();
         if !fresh_schedules.is_empty() {
             let values = self.inner.speedup_batch(program, &fresh_schedules);
             debug_assert_eq!(values.len(), fresh.len());
@@ -119,7 +201,10 @@ impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
                 self.entries.insert(key, value);
             }
         }
-        keys.iter().map(|key| self.entries[key]).collect()
+        keys.iter()
+            .zip(cached)
+            .map(|(key, known)| known.unwrap_or_else(|| self.entries[key]))
+            .collect()
     }
 
     fn stats(&self) -> EvalStats {
@@ -225,6 +310,50 @@ mod tests {
         assert_eq!(sa, sb);
         assert_eq!(ev.misses(), 1, "renamed duplicate must hit the cache");
         assert_eq!(ev.hits(), 1);
+    }
+
+    #[test]
+    fn interleaved_programs_keep_both_fingerprints_memoized() {
+        // The concurrent driver interleaves batches for different
+        // programs through one cache; the old single-entry memo
+        // recomputed a content fingerprint on every alternation.
+        let a = program(128);
+        let b = program(256);
+        let mut ev = CachedEvaluator::new(ExecutionEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+        ));
+        for _ in 0..4 {
+            ev.speedup(&a, &Schedule::empty());
+            ev.speedup(&b, &Schedule::empty());
+        }
+        assert_eq!(
+            ev.memoized_programs(),
+            2,
+            "alternation must memoize both programs, not thrash one slot"
+        );
+        assert_eq!(ev.misses(), 2, "one real evaluation per program");
+        assert_eq!(ev.hits(), 6);
+    }
+
+    #[test]
+    fn batch_with_many_duplicates_dedups_each_unique_key_once() {
+        // 120 candidates, 3 unique: the HashSet-backed probe must forward
+        // exactly the unique sub-batch (same semantics the linear scan
+        // had, minus the O(n²)).
+        let p = program(128);
+        let mut ev = CachedEvaluator::new(ExecutionEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+        ));
+        let batch: Vec<Schedule> = (0..120).map(|i| tile(16 << (i % 3))).collect();
+        let scores = ev.speedup_batch(&p, &batch);
+        assert_eq!(ev.misses(), 3);
+        assert_eq!(ev.hits(), 117);
+        assert_eq!(ev.stats().num_evals, 3, "inner saw only unique candidates");
+        for (i, s) in scores.iter().enumerate() {
+            assert_eq!(*s, scores[i % 3], "duplicates share their key's value");
+        }
     }
 
     #[test]

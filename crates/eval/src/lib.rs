@@ -36,9 +36,25 @@
 //!   CachedEvaluator<ParallelEvaluator>   // dedup first, fan out misses
 //! ```
 //!
+//! On top of the exclusive tier sits the **shared** tier for concurrent
+//! search (see the [`mod@shared`] module docs): [`SyncEvaluator`] is the
+//! `&self` counterpart of [`Evaluator`] whose calls return their own
+//! [`EvalStats`] deltas, [`SharedCachedEvaluator`] is the sharded-lock
+//! result cache several searches can borrow at once, and
+//! [`ScopedEvaluator`] gives each such search standalone accounting.
+//! A blanket adapter makes `&E` an [`Evaluator`] for every
+//! `E: SyncEvaluator`, so existing call-sites take shared evaluators
+//! unchanged:
+//!
+//! ```text
+//!   SharedCachedEvaluator<ParallelEvaluator>   // one cache, N searches
+//!        ↑ ScopedEvaluator per search          // standalone EvalStats
+//! ```
+//!
 //! Determinism contract: every evaluator is a pure function of
-//! `(construction seed, program, schedule)` — batching, caching, and
-//! parallel fan-out are throughput seams, never semantic ones.
+//! `(construction seed, program, schedule)` — batching, caching,
+//! parallel fan-out, and cross-search sharing are throughput seams,
+//! never semantic ones.
 //!
 //! # Examples
 //!
@@ -71,6 +87,7 @@ mod exec;
 mod model;
 mod parallel;
 pub mod pool;
+pub mod shared;
 mod stats;
 
 use dlcm_ir::{Program, Schedule};
@@ -79,6 +96,7 @@ pub use cache::CachedEvaluator;
 pub use exec::ExecutionEvaluator;
 pub use model::ModelEvaluator;
 pub use parallel::ParallelEvaluator;
+pub use shared::{ScopedEvaluator, SharedCachedEvaluator, SyncEvaluator};
 pub use stats::EvalStats;
 
 /// Scores `(program, schedule)` candidates during search and evaluation.

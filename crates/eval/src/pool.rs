@@ -1,6 +1,7 @@
-//! A small deterministic fan-out pool for batched evaluation.
+//! A persistent, deterministic work-stealing pool for batched evaluation
+//! and concurrent search.
 //!
-//! [`parallel_map`] distributes `0..len` across `threads` scoped workers
+//! [`parallel_map`] distributes `0..len` across up to `threads` workers
 //! through a shared atomic cursor (work stealing: a worker that draws a
 //! cheap candidate simply comes back for the next index sooner), and
 //! returns results **in index order** regardless of which thread computed
@@ -8,22 +9,42 @@
 //! evaluation bit-identical to sequential evaluation: same values, same
 //! order, same floating-point reduction order for any stats folded over
 //! the returned vector.
+//!
+//! Workers are **persistent**: the first call spawns OS threads into a
+//! process-wide pool and later calls reuse them, so the per-batch cost is
+//! an enqueue + wakeup rather than a `thread::spawn` per worker. That
+//! matters now that whole searches fan out through the same pool (see
+//! `dlcm_search::driver`): a suite run issues thousands of small waves,
+//! and it lets nested parallelism compose — a pooled search task that
+//! itself calls [`parallel_map`] for a candidate batch simply enqueues
+//! more work on the same pool.
+//!
+//! The caller of [`parallel_map`] always participates in its own batch
+//! (it drains the same cursor the helpers do), so progress never depends
+//! on pool capacity: if every worker is busy with other batches, the
+//! caller computes everything inline and the stale helper requests are
+//! cancelled before they start. This is what makes nested use
+//! deadlock-free by construction — a blocked "wait for my batch" never
+//! exists; waiting is always "help until the cursor is drained".
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Maps `f` over `0..len` using up to `threads` OS threads, returning
-/// `f(0), f(1), …` in index order.
+/// Maps `f` over `0..len` using up to `threads` concurrent workers (the
+/// caller plus `threads - 1` pool helpers), returning `f(0), f(1), …` in
+/// index order.
 ///
 /// `f` must be pure with respect to ordering: it is called at most once
 /// per index, but from arbitrary threads in arbitrary order. With
 /// `threads <= 1` (or a single-element batch) everything runs inline on
-/// the caller's thread — no spawn cost, identical results.
+/// the caller's thread — no pool traffic, identical results.
 ///
-/// Threads are spawned per call (scoped, so `f` may borrow the batch):
-/// tens of µs of overhead, amortized over the waves the search loops
-/// produce (benchmark-scale candidates cost ~ms each to measure). If a
-/// workload ever needs parallelism on µs-scale batches, the next step is
-/// a persistent pool behind the same signature — callers won't change.
+/// If `f` panics on any thread, the batch is aborted (no new indices are
+/// claimed) and the panic is re-raised on the caller's thread once every
+/// enlisted helper has stopped touching the batch.
 pub fn parallel_map<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -34,35 +55,238 @@ where
         return (0..len).map(f).collect();
     }
 
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= len {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
+    let batch = Batch::<R, F> {
+        f: &f,
+        len,
+        cursor: AtomicUsize::new(0),
+        abort: AtomicBool::new(false),
+        results: Mutex::new(Vec::new()),
+        panic: Mutex::new(None),
+    };
+    let jobs: Vec<Arc<Job>> = (0..workers - 1)
+        .map(|_| {
+            Arc::new(Job {
+                state: Mutex::new(JobState::Queued),
+                run: helper_main::<R, F>,
+                batch: std::ptr::from_ref(&batch).cast(),
             })
-            .collect();
-        let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
-        for handle in handles {
-            for (i, r) in handle.join().expect("evaluation worker panicked") {
-                slots[i] = Some(r);
+        })
+        .collect();
+    // Armed before the jobs are visible to any worker: if the caller's
+    // inline drain below unwinds, the guard cancels every helper that has
+    // not started and waits out every helper that has, so no worker can
+    // touch `batch` (or `f`) after this frame dies.
+    let guard = HelperGuard {
+        jobs: &jobs,
+        abort: &batch.abort,
+    };
+    pool().submit(&jobs);
+
+    // The caller is always one of its own workers.
+    let mut local: Vec<(usize, R)> = Vec::new();
+    while !batch.abort.load(Ordering::SeqCst) {
+        let i = batch.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= len {
+            break;
+        }
+        local.push((i, f(i)));
+    }
+    drop(guard);
+
+    if let Some(payload) = batch.panic.lock().expect("panic slot").take() {
+        panic::resume_unwind(payload);
+    }
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for (i, r) in local {
+        slots[i] = Some(r);
+    }
+    for (i, r) in batch.results.into_inner().expect("result slot") {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Number of OS threads the persistent pool has spawned so far.
+///
+/// The pool grows on demand to the largest helper count any
+/// [`parallel_map`] call has requested (`threads - 1` per call) and never
+/// shrinks; repeated calls at the same width reuse the same workers.
+pub fn worker_count() -> usize {
+    *pool().spawned.lock().expect("pool size")
+}
+
+/// State shared between the caller of [`parallel_map`] and the pool
+/// helpers enlisted for one batch. Lives on the caller's stack; helpers
+/// reach it through the type-erased pointer in [`Job`]. Soundness
+/// contract: the caller does not leave (return *or* unwind past)
+/// [`HelperGuard`] until every enlisted helper has either finished
+/// running or been cancelled before it started.
+struct Batch<'a, R, F> {
+    f: &'a F,
+    len: usize,
+    cursor: AtomicUsize,
+    abort: AtomicBool,
+    results: Mutex<Vec<(usize, R)>>,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// The body a pool worker runs for one enlisted helper: drain the batch
+/// cursor alongside the caller, then deliver results (or the panic).
+///
+/// # Safety
+///
+/// `data` must point at a live `Batch<R, F>`; guaranteed by the
+/// [`HelperGuard`] protocol (a job is only run while its state lock is
+/// held, and the guard synchronizes on that same lock).
+unsafe fn helper_main<R, F>(data: *const ())
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let batch = unsafe { &*data.cast::<Batch<R, F>>() };
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        while !batch.abort.load(Ordering::SeqCst) {
+            let i = batch.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= batch.len {
+                break;
+            }
+            local.push((i, (batch.f)(i)));
+        }
+        local
+    }));
+    match outcome {
+        Ok(local) => batch.results.lock().expect("result slot").extend(local),
+        Err(payload) => {
+            // Payload first, abort second: whoever observes the abort flag
+            // is guaranteed to find the payload.
+            *batch.panic.lock().expect("panic slot") = Some(payload);
+            batch.abort.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    /// In the pool queue; may still be cancelled.
+    Queued,
+    /// A worker is executing it (and holds the state lock while doing so).
+    Running,
+    /// Finished normally.
+    Done,
+    /// Cancelled before any worker started it; must never touch its batch.
+    Cancelled,
+}
+
+/// One enlisted helper: a type-erased "drain this batch" request that a
+/// persistent worker can pick up. The state lock doubles as the
+/// completion barrier — it is held for the whole run, so locking it from
+/// [`HelperGuard::drop`] *is* waiting for the helper to finish.
+struct Job {
+    state: Mutex<JobState>,
+    run: unsafe fn(*const ()),
+    batch: *const (),
+}
+
+// SAFETY: the raw batch pointer is only dereferenced while the job state
+// is `Running`, which the HelperGuard protocol keeps within the lifetime
+// of the pointee; all mutation goes through the state mutex.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// Cancels this batch's queued helpers and waits out its running ones.
+/// Runs on both the normal and the unwinding exit path of
+/// [`parallel_map`], which is what makes lending stack references to the
+/// persistent pool sound.
+struct HelperGuard<'a> {
+    jobs: &'a [Arc<Job>],
+    abort: &'a AtomicBool,
+}
+
+impl Drop for HelperGuard<'_> {
+    fn drop(&mut self) {
+        // On the normal path the cursor is already drained and this is a
+        // no-op for helpers mid-flight; on the unwinding path it stops
+        // them from claiming further indices.
+        self.abort.store(true, Ordering::SeqCst);
+        for job in self.jobs {
+            // Blocks while a worker runs the job (it holds this lock),
+            // i.e. this loop is also the "wait for running helpers" step.
+            let mut state = job.state.lock().expect("job state");
+            if *state == JobState::Queued {
+                *state = JobState::Cancelled;
             }
         }
-        slots
-    });
-    slots
-        .iter_mut()
-        .map(|s| s.take().expect("every index computed exactly once"))
-        .collect()
+    }
+}
+
+/// The process-wide persistent pool: a queue of pending helper jobs and
+/// the count of spawned workers.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    fn submit(&self, jobs: &[Arc<Job>]) {
+        self.ensure_workers(jobs.len());
+        let mut queue = self.queue.lock().expect("pool queue");
+        queue.extend(jobs.iter().cloned());
+        drop(queue);
+        self.available.notify_all();
+    }
+
+    /// Grows the pool to at least `want` workers (never shrinks — workers
+    /// park on the queue condvar between batches and live for the
+    /// process).
+    fn ensure_workers(&self, want: usize) {
+        let mut spawned = self.spawned.lock().expect("pool size");
+        while *spawned < want {
+            *spawned += 1;
+            std::thread::Builder::new()
+                .name(format!("dlcm-eval-{}", *spawned))
+                .spawn(worker_loop)
+                .expect("spawn evaluation pool worker");
+        }
+    }
+}
+
+fn worker_loop() {
+    let pool = pool();
+    loop {
+        let job = {
+            let mut queue = pool.queue.lock().expect("pool queue");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = pool.available.wait(queue).expect("pool queue");
+            }
+        };
+        let mut state = job.state.lock().expect("job state");
+        if *state == JobState::Cancelled {
+            continue;
+        }
+        *state = JobState::Running;
+        // Run while holding the state lock: cancellation needs the same
+        // lock, so acquiring it doubles as waiting for this helper.
+        // `helper_main` catches panics, so the lock is never poisoned.
+        unsafe { (job.run)(job.batch) };
+        *state = JobState::Done;
+    }
 }
 
 #[cfg(test)]
@@ -89,5 +313,48 @@ mod tests {
         let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
         parallel_map(8, 100, |i| counts[i].fetch_add(1, Ordering::SeqCst));
         assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn pool_workers_persist_across_batches() {
+        // The pool never spawns more workers than the largest helper
+        // request: repeated batches reuse parked threads instead of
+        // spawning per call. (Other tests share the process-wide pool, so
+        // assert the bound, not an exact count: no test here asks for
+        // more than 9 threads = 8 helpers.)
+        for _ in 0..5 {
+            let out = parallel_map(4, 32, |i| i + 1);
+            assert_eq!(out.len(), 32);
+        }
+        assert!(worker_count() >= 3, "first batch must have grown the pool");
+        assert!(
+            worker_count() <= 8,
+            "pool grew past the largest request: {} workers",
+            worker_count()
+        );
+    }
+
+    #[test]
+    fn nested_parallel_maps_share_the_pool_without_deadlock() {
+        let out = parallel_map(4, 8, |i| {
+            parallel_map(2, 4, |j| i * 10 + j)
+                .into_iter()
+                .sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let result = panic::catch_unwind(|| {
+            parallel_map(4, 64, |i| {
+                assert!(i != 17, "candidate 17 is poisoned");
+                i
+            })
+        });
+        assert!(result.is_err(), "panic in f must reach the caller");
+        // The pool stays usable after a panicked batch.
+        assert_eq!(parallel_map(4, 3, |i| i), vec![0, 1, 2]);
     }
 }

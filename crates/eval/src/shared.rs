@@ -1,0 +1,484 @@
+//! Shareable evaluation: the `&self` tier of the evaluation API.
+//!
+//! [`crate::Evaluator`] takes `&mut self`, which is the right shape for a
+//! single search loop but makes an evaluator impossible to share across
+//! concurrent searches — the suite driver (`dlcm_search::driver`) runs
+//! whole searches in parallel and wants them all answering from **one**
+//! schedule-keyed result cache. [`SyncEvaluator`] is the concurrent
+//! counterpart: `&self` methods that return, alongside the scores, the
+//! [`EvalStats`] delta charged *by that call*, so each caller can keep its
+//! own standalone accounting (Table 2 needs per-search numbers, and diffing
+//! a shared evaluator's global counters would interleave other searches'
+//! work).
+//!
+//! Three adapters tie the tiers together:
+//!
+//! - `impl Evaluator for &E where E: SyncEvaluator` — a shared reference
+//!   to any sync evaluator *is* an ordinary evaluator, so every existing
+//!   `&mut dyn Evaluator` call-site (beam search, MCTS, the experiment
+//!   binaries) accepts a shared evaluator unchanged;
+//! - [`ScopedEvaluator`] — the same adapter with standalone stats: it
+//!   accumulates only the deltas of its own calls, which is what a search
+//!   running concurrently with others must report;
+//! - `impl SyncEvaluator for Mutex<E> where E: Evaluator` — the cheap way
+//!   to lift any exclusive evaluator into the shared tier (serialized, but
+//!   correct; fine for model evaluators whose batches are microseconds).
+//!
+//! [`SharedCachedEvaluator`] is the centerpiece: the concurrent analogue
+//! of [`crate::CachedEvaluator`], memoizing speedups under the same
+//! `(program content fingerprint, normalized schedule)` keys behind
+//! sharded locks so concurrent searches share measurements without
+//! serializing on one table.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dlcm_ir::{Program, Schedule};
+
+use crate::{EvalStats, Evaluator};
+
+/// Scores `(program, schedule)` candidates through a shared reference, so
+/// one evaluator can serve many concurrent searches.
+///
+/// The determinism contract of [`Evaluator`] carries over unchanged:
+/// scores are a pure function of `(construction seed, program, schedule)`
+/// regardless of which thread asks, in which order, or what else runs
+/// concurrently. Stats are returned per call instead of diffed from a
+/// global counter precisely because the global counter is shared.
+pub trait SyncEvaluator: Send + Sync {
+    /// Scores each candidate schedule (input order), returning the scores
+    /// plus the [`EvalStats`] delta this call charged — the concurrent
+    /// replacement for snapshotting [`Evaluator::stats`] before and after.
+    fn speedup_batch_shared(
+        &self,
+        program: &Program,
+        schedules: &[Schedule],
+    ) -> (Vec<f64>, EvalStats);
+
+    /// Single-candidate convenience wrapper over
+    /// [`SyncEvaluator::speedup_batch_shared`].
+    fn speedup_shared(&self, program: &Program, schedule: &Schedule) -> (f64, EvalStats) {
+        let (mut values, delta) =
+            self.speedup_batch_shared(program, std::slice::from_ref(schedule));
+        (
+            values.pop().expect("one candidate in, one score out"),
+            delta,
+        )
+    }
+
+    /// Accounting accumulated across *all* callers of this evaluator.
+    ///
+    /// Integer counters are exact; the floating-point time fields are
+    /// folded in completion order when callers run concurrently, so
+    /// deterministic output must be derived from per-call deltas (or from
+    /// the integer fields), never from differences of this total.
+    fn total_stats(&self) -> EvalStats;
+}
+
+/// A shared reference to a [`SyncEvaluator`] is an ordinary [`Evaluator`]:
+/// pass `&mut &shared` anywhere a `&mut dyn Evaluator` is expected.
+///
+/// [`Evaluator::stats`] reports the evaluator-wide totals; a search that
+/// needs standalone accounting while others run concurrently should use a
+/// [`ScopedEvaluator`] instead.
+impl<E: SyncEvaluator + ?Sized> Evaluator for &E {
+    fn speedup_batch(&mut self, program: &Program, schedules: &[Schedule]) -> Vec<f64> {
+        (**self).speedup_batch_shared(program, schedules).0
+    }
+
+    fn stats(&self) -> EvalStats {
+        (**self).total_stats()
+    }
+}
+
+/// Any exclusive [`Evaluator`] becomes a (serialized) [`SyncEvaluator`]
+/// behind a mutex: calls take the lock, run the batch, and report the
+/// stats delta the batch produced.
+///
+/// This is the adapter of last resort — it shares correctness, not
+/// throughput. Evaluators with real per-candidate cost should implement
+/// [`SyncEvaluator`] natively (as [`crate::ParallelEvaluator`] does) so
+/// scoring runs outside any lock.
+impl<E: Evaluator + Send> SyncEvaluator for Mutex<E> {
+    fn speedup_batch_shared(
+        &self,
+        program: &Program,
+        schedules: &[Schedule],
+    ) -> (Vec<f64>, EvalStats) {
+        let mut inner = self.lock().expect("shared evaluator");
+        let before = inner.stats();
+        let values = inner.speedup_batch(program, schedules);
+        let delta = inner.stats().since(&before);
+        (values, delta)
+    }
+
+    fn total_stats(&self) -> EvalStats {
+        self.lock().expect("shared evaluator").stats()
+    }
+}
+
+/// Per-search adapter over a shared evaluator: forwards scoring to the
+/// shared instance but accumulates only the stats deltas of **its own**
+/// calls, so [`Evaluator::stats`] (and the before/after snapshots the
+/// searches take) see this search's accounting alone — unpolluted by
+/// whatever other searches charge to the same shared evaluator
+/// concurrently.
+///
+/// # Examples
+///
+/// ```
+/// # use dlcm_ir::*;
+/// use dlcm_eval::{
+///     Evaluator, ParallelEvaluator, ScopedEvaluator, SharedCachedEvaluator,
+/// };
+/// use dlcm_machine::{Machine, Measurement};
+/// # let mut b = ProgramBuilder::new("p");
+/// # let i = b.iter("i", 0, 64);
+/// # let inp = b.input("in", &[64]);
+/// # let out = b.buffer("out", &[64]);
+/// # let acc = b.access(inp, &[i.into()], &[i]);
+/// # b.assign("c", &[i], out, &[i.into()], Expr::Load(acc));
+/// # let program = b.build().unwrap();
+/// let shared = SharedCachedEvaluator::new(ParallelEvaluator::new(
+///     Measurement::exact(Machine::default()),
+///     0,
+///     1,
+/// ));
+/// // Each concurrent search would hold its own scope onto the one cache.
+/// let mut scope = ScopedEvaluator::new(&shared);
+/// scope.speedup(&program, &Schedule::empty());
+/// assert_eq!(scope.stats().num_evals, 1);
+/// ```
+pub struct ScopedEvaluator<'a, E: ?Sized> {
+    shared: &'a E,
+    local: EvalStats,
+}
+
+impl<'a, E: SyncEvaluator + ?Sized> ScopedEvaluator<'a, E> {
+    /// Opens a fresh scope (zero accumulated stats) onto `shared`.
+    pub fn new(shared: &'a E) -> Self {
+        Self {
+            shared,
+            local: EvalStats::default(),
+        }
+    }
+
+    /// The shared evaluator behind this scope.
+    pub fn shared(&self) -> &'a E {
+        self.shared
+    }
+
+    /// Stats accumulated by this scope's calls alone.
+    pub fn local_stats(&self) -> EvalStats {
+        self.local
+    }
+}
+
+impl<E: SyncEvaluator + ?Sized> Evaluator for ScopedEvaluator<'_, E> {
+    fn speedup_batch(&mut self, program: &Program, schedules: &[Schedule]) -> Vec<f64> {
+        let (values, delta) = self.shared.speedup_batch_shared(program, schedules);
+        self.local += delta;
+        values
+    }
+
+    fn stats(&self) -> EvalStats {
+        self.local
+    }
+}
+
+/// Number of independently locked cache shards. Keys are fingerprint
+/// hashes, so any power of two spreads them evenly; 16 keeps lock
+/// contention negligible at suite-level concurrency (≤ a few dozen
+/// searches) without bloating the struct.
+const CACHE_SHARDS: usize = 16;
+
+/// Thread-safe memoizing decorator over any [`SyncEvaluator`]: the
+/// concurrent counterpart of [`crate::CachedEvaluator`].
+///
+/// Cache keys are the same content-derived pairs —
+/// ([`Program::content_fingerprint`], [`Schedule::cache_key`]) — held in
+/// 16 independently locked shards selected by key hash, so
+/// concurrent searches hit disjoint shards with high probability and
+/// never serialize on one table. Keys are never evicted, which is what
+/// makes replay sound: a key observed present stays present.
+///
+/// Determinism: **values** are deterministic unconditionally (the wrapped
+/// evaluator is pure per key, so even two racing misses on the same key
+/// insert the same value). **Per-call stats deltas** are deterministic
+/// whenever concurrent callers touch disjoint programs (the suite driver's
+/// situation — keys embed the program fingerprint, so distinct benchmarks
+/// never interact) or are ordered (searches of one program run
+/// sequentially within a driver job). Two racing searches of the *same*
+/// program may split hits and misses between them differently from run to
+/// run — totals stay exact, the split does not.
+pub struct SharedCachedEvaluator<E> {
+    inner: E,
+    shards: Vec<Mutex<HashMap<(u64, u64), f64>>>,
+    /// Content-fingerprint memo, keyed by the program itself (a map, not
+    /// a last-seen slot: concurrent searches interleave programs).
+    programs: Mutex<Vec<(Program, u64)>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<E: SyncEvaluator> SharedCachedEvaluator<E> {
+    /// Wraps `inner` with an empty sharded cache.
+    pub fn new(inner: E) -> Self {
+        Self {
+            inner,
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            programs: Mutex::new(Vec::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Number of cached `(program, schedule)` entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Candidates answered from the cache so far, across all callers
+    /// (duplicates within one batch count as hits: the wrapped evaluator
+    /// never saw them).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Candidates forwarded to the wrapped evaluator so far, across all
+    /// callers.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), f64>> {
+        &self.shards[((key.0 ^ key.1) as usize) % CACHE_SHARDS]
+    }
+
+    fn program_fingerprint(&self, program: &Program) -> u64 {
+        let mut memo = self.programs.lock().expect("fingerprint memo");
+        crate::cache::memoized(&mut memo, program, || program.content_fingerprint()).0
+    }
+}
+
+impl<E: SyncEvaluator> SyncEvaluator for SharedCachedEvaluator<E> {
+    fn speedup_batch_shared(
+        &self,
+        program: &Program,
+        schedules: &[Schedule],
+    ) -> (Vec<f64>, EvalStats) {
+        let pfp = self.program_fingerprint(program);
+        let keys: Vec<(u64, u64)> = schedules.iter().map(|s| (pfp, s.cache_key())).collect();
+
+        // One shard-lock round-trip per candidate: the split probe brings
+        // hit values back, and the fresh values are kept locally below, so
+        // assembly touches no shard at all (and cannot depend on what
+        // concurrent callers insert meanwhile).
+        let crate::cache::FreshSplit {
+            cached,
+            fresh,
+            fresh_schedules,
+            hits: call_hits,
+        } = crate::cache::split_fresh(&keys, schedules, |key| {
+            self.shard(*key)
+                .lock()
+                .expect("cache shard")
+                .get(key)
+                .copied()
+        });
+        self.hits.fetch_add(call_hits, Ordering::Relaxed);
+        self.misses.fetch_add(fresh.len(), Ordering::Relaxed);
+
+        let mut delta = EvalStats {
+            cache_hits: call_hits,
+            cache_misses: fresh.len(),
+            ..EvalStats::default()
+        };
+        let mut fresh_values: HashMap<(u64, u64), f64> = HashMap::new();
+        if !fresh_schedules.is_empty() {
+            let (values, inner_delta) = self.inner.speedup_batch_shared(program, &fresh_schedules);
+            debug_assert_eq!(values.len(), fresh.len());
+            delta += inner_delta;
+            for (key, value) in fresh.into_iter().zip(values) {
+                self.shard(key)
+                    .lock()
+                    .expect("cache shard")
+                    .insert(key, value);
+                fresh_values.insert(key, value);
+            }
+        }
+
+        let out = keys
+            .iter()
+            .zip(cached)
+            .map(|(key, known)| known.unwrap_or_else(|| fresh_values[key]))
+            .collect();
+        (out, delta)
+    }
+
+    fn total_stats(&self) -> EvalStats {
+        let mut stats = self.inner.total_stats();
+        stats.cache_hits += self.hits();
+        stats.cache_misses += self.misses();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CachedEvaluator, ExecutionEvaluator, ParallelEvaluator};
+    use dlcm_ir::{CompId, Expr, ProgramBuilder, Transform};
+    use dlcm_machine::{Machine, Measurement};
+
+    fn program(name: &str, n: i64) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        let i = b.iter("i", 0, n);
+        let j = b.iter("j", 0, n);
+        let inp = b.input("in", &[n, n]);
+        let out = b.buffer("out", &[n, n]);
+        let acc = b.access(inp, &[i.into(), j.into()], &[i, j]);
+        b.assign("c", &[i, j], out, &[i.into(), j.into()], Expr::Load(acc));
+        b.build().unwrap()
+    }
+
+    fn tile(size: i64) -> Schedule {
+        Schedule::new(vec![Transform::Tile {
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
+            size_a: size,
+            size_b: size,
+        }])
+    }
+
+    fn wave() -> Vec<Schedule> {
+        vec![tile(16), tile(32), tile(64), tile(16)]
+    }
+
+    #[test]
+    fn shared_cache_matches_the_exclusive_cache_on_interleaved_programs() {
+        // Interleaved multi-program batches — exactly the access pattern
+        // the concurrent driver produces — must return the same values and
+        // the same hit/miss accounting as the exclusive CachedEvaluator.
+        let a = program("a", 96);
+        let b = program("b", 128);
+        let shared = SharedCachedEvaluator::new(ParallelEvaluator::new(
+            Measurement::new(Machine::default()),
+            7,
+            1,
+        ));
+        let mut exclusive = CachedEvaluator::new(ExecutionEvaluator::new(
+            Measurement::new(Machine::default()),
+            7,
+        ));
+        for round in 0..3 {
+            for p in [&a, &b] {
+                let (got, _) = shared.speedup_batch_shared(p, &wave());
+                let want = exclusive.speedup_batch(p, &wave());
+                assert_eq!(got, want, "round {round}, program {}", p.name);
+            }
+        }
+        assert_eq!(shared.hits(), exclusive.hits());
+        assert_eq!(shared.misses(), exclusive.misses());
+        assert_eq!(shared.len(), 6, "3 unique tiles per program");
+    }
+
+    #[test]
+    fn scoped_stats_stay_standalone() {
+        let p = program("p", 96);
+        let q = program("q", 128);
+        let shared = SharedCachedEvaluator::new(ParallelEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+            1,
+        ));
+        let mut scope_p = ScopedEvaluator::new(&shared);
+        let mut scope_q = ScopedEvaluator::new(&shared);
+        scope_p.speedup_batch(&p, &wave());
+        scope_q.speedup_batch(&q, &wave());
+        scope_p.speedup_batch(&p, &wave());
+
+        let sp = scope_p.stats();
+        let sq = scope_q.stats();
+        assert_eq!(sp.cache_misses, 3, "first wave pays 3 unique tiles");
+        assert_eq!(sp.cache_hits, 1 + 4, "in-batch dup + warm second wave");
+        assert_eq!(sq.cache_misses, 3);
+        assert_eq!(sq.cache_hits, 1);
+        // The global totals combine both scopes.
+        let total = shared.total_stats();
+        assert_eq!(total.cache_hits, sp.cache_hits + sq.cache_hits);
+        assert_eq!(total.cache_misses, sp.cache_misses + sq.cache_misses);
+        assert_eq!(total.num_evals, sp.num_evals + sq.num_evals);
+    }
+
+    #[test]
+    fn shared_reference_is_an_evaluator() {
+        // The blanket adapter: `&mut &shared` drives any Evaluator
+        // call-site without changes.
+        let p = program("p", 64);
+        let shared = SharedCachedEvaluator::new(ParallelEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+            1,
+        ));
+        let mut handle: &SharedCachedEvaluator<_> = &shared;
+        let ev: &mut dyn Evaluator = &mut handle;
+        let s = ev.speedup(&p, &Schedule::empty());
+        assert!((s - 1.0).abs() < 1e-9);
+        assert_eq!(ev.stats().num_evals, 1);
+    }
+
+    #[test]
+    fn mutex_lifts_exclusive_evaluators_into_the_shared_tier() {
+        let p = program("p", 64);
+        let shared = Mutex::new(ExecutionEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+        ));
+        let (s, delta) = shared.speedup_shared(&p, &Schedule::empty());
+        assert!((s - 1.0).abs() < 1e-9);
+        assert_eq!(delta.num_evals, 1);
+        assert!(delta.search_time > 0.0);
+        assert_eq!(shared.total_stats().num_evals, 1);
+    }
+
+    #[test]
+    fn concurrent_callers_share_measurements_deterministically() {
+        // N threads, each sweeping its own program through the one shared
+        // cache: per-thread deltas must equal a sequential run's (disjoint
+        // programs — the determinism contract's guaranteed regime).
+        let programs: Vec<Program> = (0..4).map(|i| program("p", 64 + 16 * i)).collect();
+        let run = |threads: usize| -> Vec<(Vec<f64>, EvalStats)> {
+            let shared = SharedCachedEvaluator::new(ParallelEvaluator::new(
+                Measurement::new(Machine::default()),
+                3,
+                1,
+            ));
+            crate::pool::parallel_map(threads, programs.len(), |i| {
+                let mut scope = ScopedEvaluator::new(&shared);
+                let first = scope.speedup_batch(&programs[i], &wave());
+                let again = scope.speedup_batch(&programs[i], &wave());
+                assert_eq!(first, again);
+                (first, scope.stats())
+            })
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

@@ -85,11 +85,16 @@ impl Sub for EvalStats {
     type Output = EvalStats;
 
     fn sub(self, rhs: EvalStats) -> EvalStats {
+        // Deltas are never negative in any quantity this struct accounts:
+        // the counters saturate, and the float fields clamp at zero so
+        // that rounding in accumulated wall-clock sums (snapshots taken
+        // around an empty interval can differ in the last ulp) cannot
+        // produce a negative search/compile/inference time.
         EvalStats {
             num_evals: self.num_evals.saturating_sub(rhs.num_evals),
-            search_time: self.search_time - rhs.search_time,
-            compile_time: self.compile_time - rhs.compile_time,
-            infer_time: self.infer_time - rhs.infer_time,
+            search_time: (self.search_time - rhs.search_time).max(0.0),
+            compile_time: (self.compile_time - rhs.compile_time).max(0.0),
+            infer_time: (self.infer_time - rhs.infer_time).max(0.0),
             cache_hits: self.cache_hits.saturating_sub(rhs.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(rhs.cache_misses),
         }
@@ -124,6 +129,34 @@ mod tests {
         assert!((d.search_time - 3.0).abs() < 1e-12);
         let s = a + d;
         assert_eq!(s, b);
+    }
+
+    #[test]
+    fn delta_floats_clamp_at_zero() {
+        // A snapshot pair whose float fields differ only by accumulated
+        // rounding (earlier marginally above later) must yield a zero
+        // delta, not a negative time.
+        let later = EvalStats {
+            num_evals: 4,
+            search_time: 0.1 + 0.2, // 0.30000000000000004…
+            compile_time: 1.0,
+            infer_time: 2.0,
+            ..EvalStats::default()
+        };
+        let earlier = EvalStats {
+            num_evals: 4,
+            search_time: 0.3,
+            compile_time: 1.0 + f64::EPSILON,
+            infer_time: 2.0 + f64::EPSILON,
+            ..EvalStats::default()
+        };
+        let d = later.since(&earlier);
+        assert!(d.search_time >= 0.0);
+        assert_eq!(d.compile_time, 0.0, "rounding must clamp, not go negative");
+        assert_eq!(d.infer_time, 0.0);
+        // And the reverse direction clamps too.
+        let r = earlier.since(&later);
+        assert_eq!(r.search_time, 0.0);
     }
 
     #[test]

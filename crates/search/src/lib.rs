@@ -9,8 +9,15 @@
 //!
 //! Candidate scoring is batch-first: beam search scores each expansion
 //! wave through one [`dlcm_eval::Evaluator::speedup_batch`] call, so
-//! evaluators can amortize per-call cost (batched model inference today,
-//! parallel/sharded evaluation later) without the search caring.
+//! evaluators can amortize per-call cost (batched model inference,
+//! parallel execution scoring) without the search caring.
+//!
+//! Above the single-search loops sits the concurrent tier: the
+//! [`driver`] module fans whole searches (algorithm × benchmark) across
+//! the persistent evaluation pool, every execution-backed search
+//! borrowing one shared [`dlcm_eval::SharedCachedEvaluator`], with
+//! results gathered in deterministic input order and per-search
+//! [`dlcm_eval::EvalStats`] kept standalone.
 //!
 //! # Examples
 //!
@@ -41,9 +48,11 @@
 #![warn(missing_docs)]
 
 mod beam;
+pub mod driver;
 mod mcts;
 mod space;
 
 pub use beam::{BeamSearch, SearchResult};
+pub use driver::{SearchDriver, SearchJob, SearchSpec};
 pub use mcts::Mcts;
 pub use space::{expand, finalize, Candidate, SearchSpace, Stage};
