@@ -6,12 +6,13 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
 use dlcm_eval::{
     CachedEvaluator, Evaluator, ExecutionEvaluator, ModelEvaluator, ParallelEvaluator,
-    SharedCachedEvaluator,
+    SharedCachedEvaluator, SyncEvaluator,
 };
 use dlcm_ir::{apply_schedule, interpret, synthetic_inputs, CompId, Schedule, Transform};
 use dlcm_machine::{analyze_program, Machine, Measurement};
 use dlcm_model::{CostModel, CostModelConfig, Featurizer, FeaturizerConfig, SpeedupPredictor};
 use dlcm_search::{BeamSearch, SearchDriver, SearchJob, SearchSpace, SearchSpec};
+use dlcm_serve::{InferenceService, ServeConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -228,6 +229,29 @@ fn parallel_eval(c: &mut Criterion) {
     });
 }
 
+/// Served inference: one 16-candidate client batch against a cold
+/// `InferenceService` (featurize + structure-grouped forward passes
+/// through the coalescing micro-batcher). Per-query cost is this
+/// divided by 16 — the served counterpart of `model_speedup_batch_8`,
+/// gated in CI as `serve_infer_ns_per_query`. A fresh service per
+/// iteration keeps the cache cold: warm traffic is just
+/// `cached_exec_rescore_16`-style hits.
+fn serve_inference(c: &mut Criterion) {
+    let programs = bench_programs();
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let model = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 0);
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let wave = schedgen.generate_distinct(&programs[0], 16, &mut rng);
+    c.bench_function("serve_speedup_batch_16", |b| {
+        b.iter_batched(
+            || InferenceService::new(model.clone(), featurizer.clone(), ServeConfig::default()),
+            |service| service.speedup_batch_shared(&programs[0], &wave),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
 /// Full beam-search run with the execution evaluator on a small benchmark.
 fn search(c: &mut Criterion) {
     let program = dlcm_benchsuite::heat2d(0.1);
@@ -297,6 +321,7 @@ criterion_group!(
     interpreter,
     generation,
     parallel_eval,
+    serve_inference,
     search,
     suite_search
 );

@@ -49,6 +49,10 @@ struct BenchSummary {
     parallel_speedup_x: f64,
     /// Per-candidate cost of re-scoring a warm cached batch.
     cache_hit_ns_per_candidate: f64,
+    /// Per-query cost of a cold 16-candidate client batch against the
+    /// `dlcm-serve` inference service (featurize + coalesced
+    /// structure-grouped forward passes).
+    serve_infer_ns_per_query: f64,
     /// Per-search cost of a 4-benchmark suite sweep through the
     /// concurrent driver at 1 search thread (the deterministic
     /// reference).
@@ -88,6 +92,7 @@ fn summarize(records: &[BenchRecord]) -> BenchSummary {
         exec_eval_par_ns_per_candidate: par,
         parallel_speedup_x: if par > 0.0 { seq / par } else { 0.0 },
         cache_hit_ns_per_candidate: lookup(records, "cached_exec_rescore_16") / 16.0,
+        serve_infer_ns_per_query: lookup(records, "serve_speedup_batch_16") / 16.0,
         suite_search_seq_ns_per_search: suite_seq,
         suite_search_par_ns_per_search: suite_par,
         suite_search_speedup_x: if suite_par > 0.0 {
@@ -119,6 +124,11 @@ fn gated(current: &BenchSummary, baseline: &BenchSummary) -> Vec<(&'static str, 
             "cache_hit_ns_per_candidate",
             current.cache_hit_ns_per_candidate,
             baseline.cache_hit_ns_per_candidate,
+        ),
+        (
+            "serve_infer_ns_per_query",
+            current.serve_infer_ns_per_query,
+            baseline.serve_infer_ns_per_query,
         ),
         (
             "suite_search_seq_ns_per_search",

@@ -5,19 +5,24 @@
 //! Training streams minibatches from the sharded corpus (generated here
 //! through the parallel, deduplicating builder when the `datagen` binary
 //! has not already written it), featurizing each batch on demand across
-//! `--threads` workers. Persists the dataset, split, and trained model
-//! for the downstream figure/table experiments.
+//! `--threads` workers. The trained model is persisted twice: as the
+//! legacy `model.json` the downstream figure/table experiments load, and
+//! as a versioned `ModelArtifact` directory (`results/model_artifact/`)
+//! that bundles the weights with the featurizer schema, the corpus
+//! content fingerprint, and the held-out metrics. Pass
+//! `--model-artifact DIR` to *reuse* a saved artifact instead of
+//! retraining: the run re-evaluates it on the held-out split and writes
+//! an `accuracy.json` byte-identical to the training run's (CI diffs
+//! them).
 //!
-//! `cargo run --release -p dlcm-bench --bin exp_accuracy [--quick] [--threads N] [epochs]`
+//! `cargo run --release -p dlcm-bench --bin exp_accuracy [--quick]
+//! [--threads N] [--model-artifact DIR] [epochs]`
 
-use std::collections::HashSet;
-
-use dlcm_bench::{corpus_dir, ensure_corpus, quick_mode, results_dir, shards, threads, write_json};
-use dlcm_datagen::{prepare, ShardBatches};
-use dlcm_model::{
-    evaluate, metrics, train_stream, BatchSource, CostModel, CostModelConfig, Featurizer,
-    FeaturizerConfig, TrainConfig,
+use dlcm_bench::{
+    evaluate_artifact, load_artifact, model_artifact_dir, model_artifact_flag, quick_mode,
+    results_dir, shards, threads, train_from_corpus, write_json,
 };
+use dlcm_model::{evaluate, HeldOutMetrics, ModelArtifact};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -36,12 +41,55 @@ struct AccuracyReport {
     paper_spearman: f64,
 }
 
+fn report(
+    dataset_programs: usize,
+    dataset_points: usize,
+    epochs: usize,
+    train_points: usize,
+    m: &HeldOutMetrics,
+) -> AccuracyReport {
+    AccuracyReport {
+        num_programs: dataset_programs,
+        num_points: dataset_points,
+        epochs,
+        train_points,
+        test_points: m.test_points,
+        test_mape: m.mape,
+        pearson: m.pearson,
+        spearman: m.spearman,
+        r2: m.r2,
+        paper_mape: 0.16,
+        paper_pearson: 0.90,
+        paper_spearman: 0.95,
+    }
+}
+
+fn print_metrics(report: &AccuracyReport, unseen_programs: usize) {
+    println!(
+        "--- test set ({} points, {unseen_programs} unseen programs) ---",
+        report.test_points
+    );
+    println!(
+        "MAPE         : {:.1}%   (paper: 16%)",
+        100.0 * report.test_mape
+    );
+    println!("Pearson r    : {:.3}   (paper: 0.90)", report.pearson);
+    println!("Spearman rho : {:.3}   (paper: 0.95)", report.spearman);
+    println!("R^2          : {:.3}", report.r2);
+}
+
+fn write_legacy_model(model: &dlcm_model::CostModel) {
+    let file = std::fs::File::create(results_dir().join("model.json")).expect("create model file");
+    serde_json::to_writer(std::io::BufWriter::new(file), model).expect("serialize model");
+    eprintln!("wrote model.json");
+}
+
 fn main() {
     let quick = quick_mode();
     let threads = threads();
     let epochs: usize = {
-        // First bare positional (skipping `--threads N` / `--shards N`
-        // values) overrides the epoch count.
+        // First bare positional (skipping flag values) overrides the
+        // epoch count.
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut epochs = None;
         let mut skip_next = false;
@@ -49,7 +97,7 @@ fn main() {
             if std::mem::take(&mut skip_next) {
                 continue;
             }
-            if a == "--threads" || a == "--shards" {
+            if a == "--threads" || a == "--shards" || a == "--model-artifact" {
                 skip_next = true;
             } else if !a.starts_with("--") {
                 if let Ok(n) = a.parse() {
@@ -60,91 +108,88 @@ fn main() {
         }
         epochs.unwrap_or(if quick { 8 } else { 60 })
     };
-
     eprintln!("=== EXP-ACC: model accuracy (quick={quick}, threads={threads}) ===");
-    let (sharded, _build_stats) = ensure_corpus(quick, threads, shards());
-    let dataset = sharded.load_dataset().expect("load corpus");
-    dataset
-        .save_json(&results_dir().join("dataset.json"))
-        .expect("persist dataset");
-    let split = dataset.split(0);
 
-    let featurizer = Featurizer::new(FeaturizerConfig::default());
-    // Stream training minibatches from the shards (featurized on demand,
-    // in parallel); only the small val/test sets are featurized up front.
-    let train_programs: HashSet<usize> = split
-        .train
-        .iter()
-        .map(|&i| dataset.points[i].program)
-        .collect();
-    let source = ShardBatches::open_filtered(
-        &corpus_dir(),
-        featurizer.clone(),
-        TrainConfig::default().batch_size,
-        threads,
-        Some(&train_programs),
-    )
-    .expect("open corpus for streaming");
-    assert_eq!(source.num_points(), split.train.len());
-    let val_set = prepare(&featurizer, &dataset, &split.val);
-    let test_set = prepare(&featurizer, &dataset, &split.test);
-
-    let mut model = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 0);
-    eprintln!(
-        "training {} params for {epochs} epochs on {} streamed samples ({} minibatches) ...",
-        model.num_params(),
-        source.num_points(),
-        source.num_batches()
-    );
-    train_stream(
-        &mut model,
-        &source,
-        &val_set,
-        &TrainConfig {
+    if let Some(dir) = model_artifact_flag() {
+        // Reuse path: no training. Validate the artifact, re-evaluate it
+        // on the held-out split, and require the stored metrics to
+        // reproduce exactly — evaluation is deterministic, so anything
+        // else means the artifact does not describe these weights.
+        let artifact = load_artifact(&dir);
+        eprintln!("reusing model artifact at {dir:?} (no training)");
+        let evaluation = evaluate_artifact(&artifact, quick, threads, shards());
+        let held_out = evaluation.metrics;
+        assert_eq!(
+            held_out,
+            artifact.manifest().metrics,
+            "re-evaluated held-out metrics must reproduce the manifest bit for bit"
+        );
+        let dataset = evaluation.dataset;
+        dataset
+            .save_json(&results_dir().join("dataset.json"))
+            .expect("persist dataset");
+        let split = dataset.split(0);
+        let epochs = artifact
+            .manifest()
+            .train
+            .as_ref()
+            .map_or(epochs, |t| t.epochs);
+        let rep = report(
+            dataset.programs.len(),
+            dataset.len(),
             epochs,
-            verbose: true,
-            eval_every: 5,
-            ..TrainConfig::default()
-        },
-    );
-
-    let (test_mape, preds) = evaluate(&model, &test_set);
-    let targets: Vec<f64> = test_set.iter().map(|s| s.target).collect();
-    let report = AccuracyReport {
-        num_programs: dataset.programs.len(),
-        num_points: dataset.len(),
-        epochs,
-        train_points: source.num_points(),
-        test_points: test_set.len(),
-        test_mape,
-        pearson: metrics::pearson(&targets, &preds),
-        spearman: metrics::spearman(&targets, &preds),
-        r2: metrics::r2(&targets, &preds),
-        paper_mape: 0.16,
-        paper_pearson: 0.90,
-        paper_spearman: 0.95,
-    };
-
-    println!(
-        "--- test set ({} points, {} unseen programs) ---",
-        report.test_points,
-        split
+            split.train.len(),
+            &held_out,
+        );
+        let unseen = split
             .test
             .iter()
             .map(|&i| dataset.points[i].program)
             .collect::<std::collections::HashSet<_>>()
-            .len()
-    );
-    println!(
-        "MAPE         : {:.1}%   (paper: 16%)",
-        100.0 * report.test_mape
-    );
-    println!("Pearson r    : {:.3}   (paper: 0.90)", report.pearson);
-    println!("Spearman rho : {:.3}   (paper: 0.95)", report.spearman);
-    println!("R^2          : {:.3}", report.r2);
+            .len();
+        print_metrics(&rep, unseen);
+        write_json("accuracy.json", &rep);
+        write_legacy_model(artifact.model());
+        return;
+    }
 
-    write_json("accuracy.json", &report);
-    let file = std::fs::File::create(results_dir().join("model.json")).expect("create model file");
-    serde_json::to_writer(std::io::BufWriter::new(file), &model).expect("serialize model");
-    eprintln!("wrote model.json");
+    let outcome = train_from_corpus(quick, threads, shards(), epochs);
+    outcome
+        .dataset
+        .save_json(&results_dir().join("dataset.json"))
+        .expect("persist dataset");
+
+    let rep = report(
+        outcome.dataset.programs.len(),
+        outcome.dataset.len(),
+        epochs,
+        outcome.dataset.split(0).train.len(),
+        &outcome.artifact.manifest().metrics,
+    );
+    let unseen = outcome
+        .test_indices
+        .iter()
+        .map(|&i| outcome.dataset.points[i].program)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    print_metrics(&rep, unseen);
+    write_json("accuracy.json", &rep);
+
+    write_legacy_model(outcome.artifact.model());
+    let artifact_dir = model_artifact_dir();
+    outcome
+        .artifact
+        .save(&artifact_dir)
+        .expect("save model artifact");
+    eprintln!("wrote model artifact to {artifact_dir:?}");
+
+    // The acceptance contract: a reloaded artifact reproduces the
+    // trained model's predictions bit for bit.
+    let reloaded = ModelArtifact::load(&artifact_dir).expect("reload saved artifact");
+    let (_mape, reload_preds) = evaluate(reloaded.model(), &outcome.test_set);
+    assert_eq!(
+        outcome.test_preds, reload_preds,
+        "reloaded artifact must reproduce in-memory predictions bit-identically"
+    );
+    eprintln!("artifact roundtrip verified: reloaded predictions are bit-identical");
 }

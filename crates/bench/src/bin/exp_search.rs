@@ -21,17 +21,23 @@
 //! `--threads` / `--search-threads` setting (CI diffs them).
 //!
 //! `cargo run --release -p dlcm-bench --bin exp_search [--quick]
-//! [--threads N] [--search-threads N]`
+//! [--threads N] [--search-threads N] [--model-artifact DIR]`
+//!
+//! `--model-artifact DIR` scores BSM/MCTS with a saved, validated
+//! `ModelArtifact` (its manifest supplies the featurizer schema) instead
+//! of the legacy `results/model.json`.
 
 use dlcm_baseline::{HalideModel, HalideTrainConfig};
-use dlcm_bench::{harness, load_model, quick_mode, search_threads, threads, write_csv};
+use dlcm_bench::{
+    harness, load_model_and_featurizer, quick_mode, search_threads, threads, write_csv,
+};
 use dlcm_datagen::{Dataset, DatasetConfig, ProgramGenConfig};
 use dlcm_eval::{
     Evaluator, ModelEvaluator, ParallelEvaluator, SharedCachedEvaluator, SyncEvaluator,
 };
 use dlcm_ir::Schedule;
 use dlcm_machine::{parallel_baseline, MachineConfig};
-use dlcm_model::{CostModel, Featurizer, FeaturizerConfig};
+use dlcm_model::{CostModel, Featurizer};
 use dlcm_search::{BeamSearch, Mcts, SearchDriver, SearchJob, SearchSpace, SearchSpec};
 
 /// Simulated seconds of model inference per candidate (the paper's LSTM
@@ -68,8 +74,10 @@ fn main() {
          search-threads={search_threads}) ==="
     );
     let scale = if quick { 0.15 } else { 1.0 };
-    let model = load_model();
-    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    // `--model-artifact DIR` loads a validated saved artifact (schema
+    // included) instead of the legacy model.json; either way the model
+    // is whatever exp_accuracy / modelctl train produced — no retraining.
+    let (model, featurizer) = load_model_and_featurizer();
     let harness = harness();
 
     // Halide-style baseline trained on image/DL-flavoured programs only

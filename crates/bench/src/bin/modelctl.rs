@@ -1,0 +1,225 @@
+//! Model-artifact lifecycle CLI: train → inspect → validate → serve.
+//!
+//! The trained cost model is a first-class, versioned on-disk artifact
+//! (`dlcm_model::ModelArtifact`); this binary manages it end to end:
+//!
+//! - `train` — run the canonical training pipeline (sharded corpus,
+//!   streamed minibatches) and save the artifact;
+//! - `info` — print a saved artifact's manifest (schema, provenance,
+//!   held-out metrics) without deserializing the weights into a model;
+//! - `eval` — reload a saved artifact, re-evaluate it on the held-out
+//!   split of its training corpus, and **fail unless the stored metrics
+//!   reproduce exactly** (evaluation is deterministic, so any drift
+//!   means the artifact does not describe these weights);
+//! - `serve --bench` — stand up a `dlcm_serve::InferenceService` over
+//!   the artifact and drive it with concurrent clients, reporting
+//!   ns/query throughput, mean latency, micro-batch coalescing, and
+//!   cache hit rate (written to `results/serve_bench.json`).
+//!
+//! ```text
+//! modelctl train [--quick] [--threads N] [--shards K] [--epochs N] [--out DIR]
+//! modelctl info  [--artifact DIR]
+//! modelctl eval  [--quick] [--threads N] [--artifact DIR]
+//! modelctl serve --bench [--quick] [--artifact DIR] [--clients N] [--threads N] [--rounds N]
+//! ```
+//!
+//! `DIR` defaults to `results/model_artifact` (what `train` and
+//! `exp_accuracy` write).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dlcm_bench::{
+    evaluate_artifact, load_artifact, model_artifact_dir, positive_flag, quick_mode, shards,
+    string_flag, threads, train_from_corpus, write_json,
+};
+use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
+use dlcm_eval::pool::parallel_map;
+use dlcm_eval::SyncEvaluator;
+use dlcm_serve::{InferenceService, ServeConfig, ServeStats};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+fn artifact_dir_arg() -> PathBuf {
+    string_flag("artifact")
+        .or_else(|| string_flag("out"))
+        .map_or_else(model_artifact_dir, PathBuf::from)
+}
+
+fn main() {
+    let command = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_default();
+    match command.as_str() {
+        "train" => train(),
+        "info" => info(),
+        "eval" => eval(),
+        "serve" => serve(),
+        other => {
+            eprintln!("unknown or missing subcommand {other:?}");
+            eprintln!(
+                "usage: modelctl <train|info|eval|serve> [options]  (see --bin modelctl docs)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn train() {
+    let quick = quick_mode();
+    let threads = threads();
+    let epochs = positive_flag("epochs", if quick { 8 } else { 60 });
+    let out = artifact_dir_arg();
+    eprintln!("=== modelctl train (quick={quick}, threads={threads}, epochs={epochs}) ===");
+    let outcome = train_from_corpus(quick, threads, shards(), epochs);
+    outcome.artifact.save(&out).expect("save model artifact");
+    let m = outcome.artifact.manifest();
+    println!(
+        "saved model artifact to {out:?}: corpus {}, test MAPE {:.3}, Pearson {:.3}, \
+         Spearman {:.3} over {} held-out points",
+        m.corpus_fingerprint,
+        m.metrics.mape,
+        m.metrics.pearson,
+        m.metrics.spearman,
+        m.metrics.test_points
+    );
+}
+
+fn info() {
+    let dir = artifact_dir_arg();
+    let artifact = load_artifact(&dir);
+    let m = artifact.manifest();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(m).expect("manifest serialization")
+    );
+    println!(
+        "weights: {} trainable scalars ({} -> embedding {} -> speedup)",
+        artifact.model().num_params(),
+        m.model_config.input_dim,
+        m.model_config.hidden(),
+    );
+}
+
+fn eval() {
+    let quick = quick_mode();
+    let threads = threads();
+    let dir = artifact_dir_arg();
+    eprintln!("=== modelctl eval (quick={quick}, threads={threads}, artifact={dir:?}) ===");
+    let artifact = load_artifact(&dir);
+    let held_out = evaluate_artifact(&artifact, quick, threads, shards()).metrics;
+    let stored = artifact.manifest().metrics;
+    println!("{:<12} {:>12} {:>12}", "metric", "manifest", "re-eval");
+    for (name, a, b) in [
+        ("MAPE", stored.mape, held_out.mape),
+        ("Pearson", stored.pearson, held_out.pearson),
+        ("Spearman", stored.spearman, held_out.spearman),
+        ("R^2", stored.r2, held_out.r2),
+    ] {
+        println!("{name:<12} {a:>12.6} {b:>12.6}");
+    }
+    if held_out != stored {
+        eprintln!(
+            "modelctl eval FAILED: re-evaluated metrics do not reproduce the manifest \
+             (the artifact does not describe these weights, or the corpus changed)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "artifact validated: {} held-out points reproduce the manifest metrics exactly",
+        held_out.test_points
+    );
+}
+
+/// What `serve --bench` writes to `results/serve_bench.json`.
+#[derive(Serialize)]
+struct ServeBenchReport {
+    clients: usize,
+    rounds_per_client: usize,
+    queries: usize,
+    wall_seconds: f64,
+    ns_per_query: f64,
+    queries_per_second: f64,
+    stats: ServeStats,
+}
+
+fn serve() {
+    if !std::env::args().any(|a| a == "--bench") {
+        eprintln!(
+            "modelctl serve currently supports the --bench throughput driver only \
+             (the service is an in-process library; see dlcm-serve)"
+        );
+        std::process::exit(2);
+    }
+    let quick = quick_mode();
+    let clients = positive_flag("clients", 4);
+    let threads = threads();
+    let rounds = positive_flag("rounds", if quick { 12 } else { 100 });
+    let dir = artifact_dir_arg();
+    eprintln!(
+        "=== modelctl serve --bench (artifact={dir:?}, clients={clients}, threads={threads}, \
+         rounds={rounds}) ==="
+    );
+    let artifact = load_artifact(&dir);
+    let service = InferenceService::from_artifact(
+        artifact,
+        ServeConfig {
+            threads,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Workload: a fixed pool of generated programs; every client round
+    // draws a (mostly fresh) wave of distinct schedules for one of them,
+    // so the drive mixes cold featurize+forward traffic with natural
+    // repeats that exercise the shared cache.
+    let generator = ProgramGenerator::new(ProgramGenConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let programs: Vec<dlcm_ir::Program> = (0..8)
+        .map(|i| generator.generate(&mut rng, &format!("serve{i}")))
+        .collect();
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let wave_len = 8;
+
+    let start = Instant::now();
+    let served: Vec<usize> = parallel_map(clients, clients, |c| {
+        let mut queries = 0;
+        for round in 0..rounds {
+            let p = &programs[(c + round) % programs.len()];
+            let mut rng = ChaCha8Rng::seed_from_u64((c as u64) << 32 | round as u64);
+            let wave = schedgen.generate_distinct(p, wave_len, &mut rng);
+            let (scores, _delta) = service.speedup_batch_shared(p, &wave);
+            assert_eq!(scores.len(), wave.len());
+            queries += wave.len();
+        }
+        queries
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let queries: usize = served.iter().sum();
+    let stats = service.stats();
+
+    let report = ServeBenchReport {
+        clients,
+        rounds_per_client: rounds,
+        queries,
+        wall_seconds: wall,
+        ns_per_query: 1e9 * wall / queries as f64,
+        queries_per_second: queries as f64 / wall,
+        stats,
+    };
+    println!(
+        "served {queries} queries from {clients} clients in {wall:.2}s: {:.0} ns/query \
+         ({:.0} q/s), {:.0}% cache hits, {} micro-batches ({} coalesced across clients, \
+         mean {:.1} rows), mean client-call latency {:.2}ms",
+        report.ns_per_query,
+        report.queries_per_second,
+        100.0 * stats.hit_rate,
+        stats.micro_batches,
+        stats.coalesced_batches,
+        stats.mean_batch_rows,
+        1e3 * stats.mean_latency,
+    );
+    write_json("serve_bench.json", &report);
+}

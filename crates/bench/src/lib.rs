@@ -19,14 +19,18 @@
 
 #![warn(missing_docs)]
 
-use std::path::PathBuf;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 
 use dlcm_datagen::{
-    BuildConfig, BuildStats, Dataset, DatasetConfig, ParallelDatasetBuilder, ProgramGenConfig,
-    ShardedDataset,
+    prepare, BuildConfig, BuildStats, Dataset, DatasetConfig, ParallelDatasetBuilder,
+    ProgramGenConfig, ShardBatches, ShardedDataset,
 };
 use dlcm_machine::{Machine, Measurement};
-use dlcm_model::CostModel;
+use dlcm_model::{
+    evaluate, metrics, train_stream, BatchSource, CostModel, CostModelConfig, Featurizer,
+    FeaturizerConfig, HeldOutMetrics, LabeledFeatures, ModelArtifact, TrainConfig,
+};
 
 /// Directory where experiment artifacts are written.
 pub fn results_dir() -> PathBuf {
@@ -44,15 +48,44 @@ pub fn corpus_dir() -> PathBuf {
     results_dir().join("corpus")
 }
 
+/// Directory where `exp_accuracy` (and `modelctl train` by default)
+/// writes the versioned trained-model artifact
+/// (`dlcm_model::ModelArtifact`: `manifest.json` + `weights.json`).
+pub fn model_artifact_dir() -> PathBuf {
+    results_dir().join("model_artifact")
+}
+
 /// `true` when `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Parses a string-valued `--<flag> VALUE` / `--<flag>=VALUE` from the
+/// command line.
+pub fn string_flag(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let eq_prefix = format!("--{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if a == &format!("--{flag}") {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&eq_prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// `--model-artifact DIR` (or `--model-artifact=DIR`): reuse a saved
+/// model artifact instead of retraining. `None` when the flag is absent.
+pub fn model_artifact_flag() -> Option<PathBuf> {
+    string_flag("model-artifact").map(PathBuf::from)
+}
+
 /// Parses `--<flag> N` / `--<flag>=N` from the command line, warning and
 /// falling back to `default` on a missing or non-positive value (don't
 /// silently run the wrong configuration).
-fn positive_flag(flag: &str, default: usize) -> usize {
+pub fn positive_flag(flag: &str, default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
     let eq_prefix = format!("--{flag}=");
     for (i, a) in args.iter().enumerate() {
@@ -216,6 +249,198 @@ pub fn load_model() -> CostModel {
         )
     });
     serde_json::from_reader(std::io::BufReader::new(file)).expect("valid model artifact")
+}
+
+/// Loads and validates a versioned model artifact, exiting with a
+/// pointer to the producer binaries on any [`dlcm_model::ArtifactError`].
+pub fn load_artifact(dir: &Path) -> ModelArtifact {
+    ModelArtifact::load(dir).unwrap_or_else(|e| {
+        eprintln!("cannot load model artifact at {dir:?}: {e}");
+        eprintln!(
+            "produce one with `cargo run --release -p dlcm-bench --bin modelctl -- train` \
+             (or `exp_accuracy`, which saves {:?})",
+            model_artifact_dir()
+        );
+        std::process::exit(2);
+    })
+}
+
+/// The trained model + featurizer the search/figure experiments score
+/// with: a validated artifact when `--model-artifact DIR` was passed
+/// (the featurizer comes from the artifact's schema), the legacy
+/// `results/model.json` + default schema otherwise.
+pub fn load_model_and_featurizer() -> (CostModel, Featurizer) {
+    match model_artifact_flag() {
+        Some(dir) => {
+            let artifact = load_artifact(&dir);
+            eprintln!(
+                "reusing model artifact at {dir:?} (corpus {}, test MAPE {:.3})",
+                artifact.manifest().corpus_fingerprint,
+                artifact.manifest().metrics.mape
+            );
+            let featurizer = artifact.featurizer();
+            (artifact.into_model(), featurizer)
+        }
+        None => (load_model(), Featurizer::new(FeaturizerConfig::default())),
+    }
+}
+
+/// Everything one training run over the canonical corpus produces: the
+/// packaged artifact plus the in-memory pieces the caller needs to
+/// report on it (dataset, held-out split, predictions).
+pub struct TrainOutcome {
+    /// The trained model, packaged with schema + provenance + metrics.
+    pub artifact: ModelArtifact,
+    /// The full dataset the corpus holds.
+    pub dataset: Dataset,
+    /// Dataset indices of the held-out test points.
+    pub test_indices: Vec<usize>,
+    /// Featurized held-out test set.
+    pub test_set: Vec<LabeledFeatures>,
+    /// Model predictions over [`TrainOutcome::test_set`], in order.
+    pub test_preds: Vec<f64>,
+}
+
+/// The one training pipeline behind `exp_accuracy` and `modelctl train`:
+/// ensure the canonical sharded corpus, stream-train the cost model on
+/// its training split (appendix A.1 loop), evaluate on the held-out
+/// test programs, and package the result as a versioned
+/// [`ModelArtifact`] carrying the corpus content fingerprint and the
+/// held-out metrics.
+///
+/// Deterministic end to end: the same `(quick, epochs)` pair yields
+/// byte-identical artifacts at any `threads`/`num_shards` setting.
+pub fn train_from_corpus(
+    quick: bool,
+    threads: usize,
+    num_shards: usize,
+    epochs: usize,
+) -> TrainOutcome {
+    let (sharded, _build_stats) = ensure_corpus(quick, threads, num_shards);
+    let corpus_fingerprint = sharded.manifest().content_fingerprint();
+    let dataset = sharded.load_dataset().expect("load corpus");
+    let split = dataset.split(0);
+
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    // Stream training minibatches from the shards (featurized on demand,
+    // in parallel); only the small val/test sets are featurized up front.
+    let train_programs: HashSet<usize> = split
+        .train
+        .iter()
+        .map(|&i| dataset.points[i].program)
+        .collect();
+    let train_cfg = TrainConfig {
+        epochs,
+        verbose: true,
+        eval_every: 5,
+        ..TrainConfig::default()
+    };
+    let source = ShardBatches::open_filtered(
+        &corpus_dir(),
+        featurizer.clone(),
+        train_cfg.batch_size,
+        threads,
+        Some(&train_programs),
+    )
+    .expect("open corpus for streaming");
+    assert_eq!(source.num_points(), split.train.len());
+    let val_set = prepare(&featurizer, &dataset, &split.val);
+    let test_set = prepare(&featurizer, &dataset, &split.test);
+
+    let mut model = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 0);
+    eprintln!(
+        "training {} params for {epochs} epochs on {} streamed samples ({} minibatches) ...",
+        model.num_params(),
+        source.num_points(),
+        source.num_batches()
+    );
+    train_stream(&mut model, &source, &val_set, &train_cfg);
+
+    let (mape, test_preds) = evaluate(&model, &test_set);
+    let targets: Vec<f64> = test_set.iter().map(|s| s.target).collect();
+    let held_out = HeldOutMetrics {
+        mape,
+        pearson: metrics::pearson(&targets, &test_preds),
+        spearman: metrics::spearman(&targets, &test_preds),
+        r2: metrics::r2(&targets, &test_preds),
+        test_points: test_set.len(),
+    };
+    let artifact = ModelArtifact::new(model, featurizer.config(), corpus_fingerprint, held_out)
+        .with_train_config(train_cfg);
+    TrainOutcome {
+        artifact,
+        dataset,
+        test_indices: split.test,
+        test_set,
+        test_preds,
+    }
+}
+
+/// What [`evaluate_artifact`] produces: the re-computed held-out
+/// metrics plus the corpus pieces it loaded along the way (so callers
+/// never re-parse the shards).
+pub struct ArtifactEvaluation {
+    /// Held-out metrics recomputed from the loaded weights.
+    pub metrics: HeldOutMetrics,
+    /// The full dataset reassembled from the corpus shards.
+    pub dataset: Dataset,
+    /// Featurized held-out test set.
+    pub test_set: Vec<LabeledFeatures>,
+    /// Model predictions over the test set, in order.
+    pub test_preds: Vec<f64>,
+}
+
+/// Re-evaluates a loaded artifact on the held-out test split of its
+/// training corpus. Exits with an explanation when the corpus on disk
+/// is not the corpus the artifact was trained on (its metrics would not
+/// be comparable) — an existing mismatched corpus is **never
+/// regenerated or overwritten**, only reported; the canonical corpus is
+/// generated only when none exists at all.
+pub fn evaluate_artifact(
+    artifact: &ModelArtifact,
+    quick: bool,
+    threads: usize,
+    num_shards: usize,
+) -> ArtifactEvaluation {
+    // Open whatever corpus is on disk first: if it exists but is not
+    // the artifact's training corpus, fail *without* touching it (a
+    // full training corpus must never be clobbered by e.g. a --quick
+    // eval run's canonical config).
+    let sharded = match ShardedDataset::open(&corpus_dir()) {
+        Ok(sharded) => sharded,
+        Err(_) => ensure_corpus(quick, threads, num_shards).0,
+    };
+    let corpus_fingerprint = sharded.manifest().content_fingerprint();
+    if artifact.corpus_fingerprint() != Some(corpus_fingerprint) {
+        eprintln!(
+            "corpus mismatch: artifact was trained on corpus {}, but the corpus at {:?} \
+             fingerprints to {} — held-out metrics are only meaningful against the training \
+             corpus (regenerate it, or retrain with `modelctl train`)",
+            artifact.manifest().corpus_fingerprint,
+            corpus_dir(),
+            dlcm_ir::fingerprint::to_hex(corpus_fingerprint),
+        );
+        std::process::exit(1);
+    }
+    let dataset = sharded.load_dataset().expect("load corpus");
+    let split = dataset.split(0);
+    let featurizer = artifact.featurizer();
+    let test_set = prepare(&featurizer, &dataset, &split.test);
+    let (mape, test_preds) = evaluate(artifact.model(), &test_set);
+    let targets: Vec<f64> = test_set.iter().map(|s| s.target).collect();
+    let metrics = HeldOutMetrics {
+        mape,
+        pearson: metrics::pearson(&targets, &test_preds),
+        spearman: metrics::spearman(&targets, &test_preds),
+        r2: metrics::r2(&targets, &test_preds),
+        test_points: test_set.len(),
+    };
+    ArtifactEvaluation {
+        metrics,
+        dataset,
+        test_set,
+        test_preds,
+    }
 }
 
 /// Writes a CSV file into the results directory.

@@ -43,14 +43,15 @@ use crate::dataset::{DataPoint, Dataset, DatasetConfig};
 pub const SHARD_FORMAT_VERSION: u32 = 1;
 
 /// Renders a 64-bit fingerprint the way the shard format stores it:
-/// 16 lower-case hex digits.
+/// 16 lower-case hex digits (re-exported workspace convention,
+/// [`dlcm_ir::fingerprint::to_hex`]).
 pub fn fingerprint_hex(fp: u64) -> String {
-    format!("{fp:016x}")
+    dlcm_ir::fingerprint::to_hex(fp)
 }
 
 /// Parses a [`fingerprint_hex`]-formatted fingerprint.
 pub fn parse_fingerprint(s: &str) -> Option<u64> {
-    (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok())?
+    dlcm_ir::fingerprint::parse_hex(s)
 }
 
 /// One line of a shard file.
@@ -121,6 +122,22 @@ impl ShardManifest {
     /// Path of the manifest inside a corpus directory.
     pub fn path(dir: &Path) -> PathBuf {
         dir.join("manifest.json")
+    }
+
+    /// Content fingerprint of the whole corpus: the FNV-1a fold of every
+    /// shard's byte-level fingerprint, in manifest (shard-index) order.
+    ///
+    /// Because shards are byte-identical for a given [`DatasetConfig`] at
+    /// any thread count, this is a stable identity for the *training
+    /// data*: the model-artifact manifest (`dlcm_model::ModelArtifact`)
+    /// records it so a saved model can be traced to — and re-evaluated
+    /// against — the exact corpus that trained it.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut state = FNV1A_INIT;
+        for shard in &self.shards {
+            state = fnv1a(state, shard.fingerprint.as_bytes());
+        }
+        state
     }
 
     /// Writes `manifest.json` into `dir` (pretty-printed, deterministic
@@ -430,6 +447,43 @@ impl ShardedDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corpus_fingerprint_covers_every_shard() {
+        let manifest = |fps: &[&str]| ShardManifest {
+            version: SHARD_FORMAT_VERSION,
+            config: DatasetConfig::tiny(0),
+            total_programs: 0,
+            total_points: 0,
+            duplicates_dropped: 0,
+            shards: fps
+                .iter()
+                .enumerate()
+                .map(|(i, fp)| ShardInfo {
+                    file: format!("shard-{i:04}.jsonl"),
+                    num_programs: 0,
+                    num_points: 0,
+                    fingerprint: (*fp).to_string(),
+                })
+                .collect(),
+        };
+        let a = manifest(&["00000000000000aa", "00000000000000bb"]);
+        assert_eq!(
+            a.content_fingerprint(),
+            manifest(&["00000000000000aa", "00000000000000bb"]).content_fingerprint(),
+            "same shard set, same corpus identity"
+        );
+        assert_ne!(
+            a.content_fingerprint(),
+            manifest(&["00000000000000aa", "00000000000000bc"]).content_fingerprint(),
+            "any shard change must change the corpus identity"
+        );
+        assert_ne!(
+            a.content_fingerprint(),
+            manifest(&["00000000000000bb", "00000000000000aa"]).content_fingerprint(),
+            "shard order is part of the identity"
+        );
+    }
 
     #[test]
     fn fingerprint_hex_roundtrip() {

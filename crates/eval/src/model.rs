@@ -13,9 +13,6 @@ use std::time::Instant;
 
 use dlcm_ir::{Program, Schedule};
 use dlcm_model::{Featurizer, ProgramFeatures, SpeedupPredictor};
-use dlcm_tensor::Tape;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 use crate::{EvalStats, Evaluator};
 
@@ -70,28 +67,16 @@ impl Evaluator for ModelEvaluator<'_> {
             .collect();
 
         // Group structure-identical candidates so each group is one
-        // batched forward pass. Transformations like fusion change the
-        // tree shape, so a wave of candidates can span several groups.
-        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
-        for (i, f) in feats.iter().enumerate() {
-            let key = f.structure_key();
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, idxs)) => idxs.push(i),
-                None => groups.push((key, vec![i])),
-            }
-        }
-
+        // batched forward pass (fusion changes the tree shape, so a wave
+        // can span several groups), scored through the shared inference
+        // kernel — the same one the serving tier uses.
+        let groups = dlcm_model::group_by_structure(feats.iter().map(|f| f.structure_key()));
         let mut out = vec![0.0; schedules.len()];
         for (_, idxs) in &groups {
             let batch: Vec<&ProgramFeatures> = idxs.iter().map(|&i| &feats[i]).collect();
-            // Inference tape: dropout is inactive, the RNG is inert; seed 0
-            // matches `SpeedupPredictor::predict` exactly.
-            let mut tape = Tape::new();
-            let mut rng = ChaCha8Rng::seed_from_u64(0);
-            let pred = self.model.forward_batch(&mut tape, &batch, &mut rng);
-            let values = tape.value(pred);
-            for (row, &i) in idxs.iter().enumerate() {
-                out[i] = f64::from(values.get(row, 0)).max(f64::MIN_POSITIVE);
+            let scores = dlcm_model::infer_scores(self.model, &batch);
+            for (&i, score) in idxs.iter().zip(scores) {
+                out[i] = score;
             }
         }
 

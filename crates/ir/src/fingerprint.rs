@@ -54,6 +54,21 @@ pub fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
 /// Initial state for the streaming [`fnv1a`] fold (the FNV offset basis).
 pub const FNV1A_INIT: u64 = FNV_OFFSET;
 
+/// Renders a 64-bit fingerprint the way every on-disk format in this
+/// workspace stores it: 16 lower-case hex digits. JSON numbers are
+/// doubles, so a raw `u64` field would silently lose precision above
+/// 2^53; both the corpus shard format and the model artifact manifest
+/// store fingerprints through this function instead.
+pub fn to_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// Parses a [`to_hex`]-formatted fingerprint. Returns `None` unless the
+/// input is exactly 16 hex digits.
+pub fn parse_hex(s: &str) -> Option<u64> {
+    (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok())?
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

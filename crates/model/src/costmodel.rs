@@ -320,6 +320,41 @@ pub fn train_rng(seed: u64, sample: usize) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed ^ (sample as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Inference-mode scores for one structure-identical batch: one forward
+/// pass on a fresh tape with the fixed seed of
+/// [`SpeedupPredictor::predict`] (dropout inert), outputs clamped
+/// positive.
+///
+/// This is *the* scoring kernel every inference surface shares — the
+/// in-process `dlcm_eval::ModelEvaluator` and the `dlcm-serve`
+/// micro-batcher both call it — so "served answers are bit-identical to
+/// in-process evaluation" is a structural fact, not two hand-kept
+/// copies of the same seed/clamp/tape recipe.
+pub fn infer_scores(model: &dyn SpeedupPredictor, rows: &[&ProgramFeatures]) -> Vec<f64> {
+    let mut tape = Tape::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let pred = model.forward_batch(&mut tape, rows, &mut rng);
+    let values = tape.value(pred);
+    (0..rows.len())
+        .map(|row| f64::from(values.get(row, 0)).max(f64::MIN_POSITIVE))
+        .collect()
+}
+
+/// Groups row indices by structure key in first-seen order — the
+/// batching precondition of [`SpeedupPredictor::forward_batch`]
+/// (appendix A.1: batches must be structure-identical). Shared by the
+/// same two surfaces as [`infer_scores`], for the same reason.
+pub fn group_by_structure(keys: impl IntoIterator<Item = u64>) -> Vec<(u64, Vec<usize>)> {
+    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    for (i, key) in keys.into_iter().enumerate() {
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

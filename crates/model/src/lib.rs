@@ -15,7 +15,11 @@
 //!   batches of 32 — pulled from any [`BatchSource`], so shard-backed
 //!   corpora stream minibatches instead of materializing one `Vec`;
 //! - [`ablation`] holds the §4.4 alternatives (flat LSTM, concat FFN);
-//! - [`metrics`] computes MAPE, Pearson, Spearman, and R² (§6).
+//! - [`metrics`] computes MAPE, Pearson, Spearman, and R² (§6);
+//! - [`ModelArtifact`] persists a trained model as a versioned on-disk
+//!   artifact (weights + config + featurizer schema + corpus
+//!   fingerprint + held-out metrics), so autoschedulers and the serving
+//!   tier reuse one training run instead of retraining per process.
 //!
 //! # Examples
 //!
@@ -44,12 +48,19 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+mod artifact;
 mod costmodel;
 mod featurize;
 pub mod metrics;
 mod train;
 
-pub use costmodel::{train_rng, CostModel, CostModelConfig, SpeedupPredictor};
+pub use artifact::{
+    ArtifactError, ArtifactManifest, HeldOutMetrics, ModelArtifact, ARTIFACT_FORMAT_VERSION,
+    MANIFEST_FILE, WEIGHTS_FILE,
+};
+pub use costmodel::{
+    group_by_structure, infer_scores, train_rng, CostModel, CostModelConfig, SpeedupPredictor,
+};
 pub use featurize::{FeatNode, Featurizer, FeaturizerConfig, ProgramFeatures, LOOP_FEATS};
 pub use train::{
     evaluate, featurize_samples, group_into_batches, train, train_stream, BatchSource, EpochStats,

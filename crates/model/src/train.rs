@@ -161,7 +161,7 @@ impl BatchSource for SliceBatches<'_> {
 /// assert_eq!(cfg.max_lr, 1e-3); // paper appendix A.1
 /// assert_eq!(cfg.weight_decay, 0.0075);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Number of passes over the training set (paper: ~700; this
     /// reproduction converges in far fewer on the simulated machine).

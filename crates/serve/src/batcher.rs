@@ -1,0 +1,207 @@
+//! The coalescing micro-batcher behind [`crate::InferenceService`].
+//!
+//! Clients hand in featurized query rows; the batcher queues them and
+//! lets client threads *lead*: any caller with unanswered rows drains up
+//! to `max_batch` rows from the front of the queue — possibly rows other
+//! clients submitted while a forward pass was in flight — groups them by
+//! feature-tree structure (batched inference requires structure-identical
+//! rows, appendix A.1), and fans one forward pass per group across the
+//! persistent evaluation pool (`dlcm_eval::pool`). Several leaders can
+//! run concurrently on disjoint drains, so service throughput scales
+//! with client threads instead of serializing on one inference lock.
+//!
+//! Determinism: each forward row is computed on an inference tape with
+//! the fixed seed used by `SpeedupPredictor::predict` and rows are
+//! independent inside a batch, so a query's score does not depend on
+//! which rows it was coalesced with, which thread led the batch, or how
+//! many clients were active — the service's bit-identical-at-any-client-
+//! count contract rests on exactly this. Batch *composition* (and the
+//! throughput counters that describe it) does depend on arrival timing;
+//! only the scores are part of the determinism contract.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use dlcm_eval::pool::parallel_map;
+use dlcm_model::{group_by_structure, infer_scores, ProgramFeatures, SpeedupPredictor};
+
+/// One queued query row: the encoded candidate plus the slot its score
+/// lands in.
+struct PendingRow {
+    feats: ProgramFeatures,
+    caller: usize,
+    slot: Arc<RowSlot>,
+}
+
+/// Write-once result slot shared between the submitting client and
+/// whichever leader thread computes the row.
+struct RowSlot {
+    value: Mutex<Option<f64>>,
+}
+
+/// Coalesces concurrently submitted query rows into structure-pure
+/// micro-batches. See the module docs for the leading protocol.
+pub(crate) struct MicroBatcher {
+    queue: Mutex<VecDeque<PendingRow>>,
+    /// Signals both "new rows arrived" (a waiter may lead) and "a batch
+    /// finished" (a waiter's slots may be filled).
+    work: Condvar,
+    max_batch: usize,
+    threads: usize,
+    next_caller: AtomicUsize,
+    micro_batches: AtomicUsize,
+    coalesced_batches: AtomicUsize,
+    forward_rows: AtomicUsize,
+    /// Set when a leader's forward pass panicked: every subsequent or
+    /// waiting client panics too instead of hanging on rows that will
+    /// never be answered (model purity means their pass would have
+    /// panicked the same way).
+    poisoned: AtomicBool,
+}
+
+impl MicroBatcher {
+    pub(crate) fn new(max_batch: usize, threads: usize) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            max_batch: max_batch.max(1),
+            threads: threads.max(1),
+            next_caller: AtomicUsize::new(0),
+            micro_batches: AtomicUsize::new(0),
+            coalesced_batches: AtomicUsize::new(0),
+            forward_rows: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Forward passes run so far (one per structure-pure micro-batch).
+    pub(crate) fn micro_batches(&self) -> usize {
+        self.micro_batches.load(Ordering::Relaxed)
+    }
+
+    /// Micro-batches that mixed rows from more than one client call —
+    /// the coalescing the service exists for.
+    pub(crate) fn coalesced_batches(&self) -> usize {
+        self.coalesced_batches.load(Ordering::Relaxed)
+    }
+
+    /// Rows scored through forward passes (cache hits never get here).
+    pub(crate) fn forward_rows(&self) -> usize {
+        self.forward_rows.load(Ordering::Relaxed)
+    }
+
+    /// Scores `feats` through the shared queue, blocking until every row
+    /// of this call is answered. The calling thread helps lead batches
+    /// (its own or other clients') while it waits.
+    pub(crate) fn score_rows(
+        &self,
+        model: &dyn SpeedupPredictor,
+        feats: Vec<ProgramFeatures>,
+    ) -> Vec<f64> {
+        if feats.is_empty() {
+            return Vec::new();
+        }
+        let caller = self.next_caller.fetch_add(1, Ordering::Relaxed);
+        let slots: Vec<Arc<RowSlot>> = feats
+            .iter()
+            .map(|_| {
+                Arc::new(RowSlot {
+                    value: Mutex::new(None),
+                })
+            })
+            .collect();
+        {
+            let mut queue = self.queue.lock().expect("batcher queue");
+            for (feats, slot) in feats.into_iter().zip(&slots) {
+                queue.push_back(PendingRow {
+                    feats,
+                    caller,
+                    slot: Arc::clone(slot),
+                });
+            }
+            // Waiting clients may lead the rows we just enqueued.
+            self.work.notify_all();
+        }
+
+        loop {
+            let mut queue = self.queue.lock().expect("batcher queue");
+            if self.poisoned.load(Ordering::SeqCst) {
+                panic!("inference batcher poisoned: a forward pass panicked on another client");
+            }
+            if slots
+                .iter()
+                .all(|s| s.value.lock().expect("row slot").is_some())
+            {
+                break;
+            }
+            if queue.is_empty() {
+                // Our unanswered rows are inside another leader's drain;
+                // wait for its completion broadcast.
+                let _unused = self.work.wait(queue).expect("batcher queue");
+                continue;
+            }
+            let batch: Vec<PendingRow> = {
+                let take = queue.len().min(self.max_batch);
+                queue.drain(..take).collect()
+            };
+            drop(queue);
+            // A panic inside the forward pass (bad schema, NaN weights)
+            // must not strand the other clients whose rows this drain
+            // took: poison the batcher and wake everyone before
+            // re-raising on this (leader) thread.
+            if let Err(payload) =
+                panic::catch_unwind(AssertUnwindSafe(|| self.run_batch(model, batch)))
+            {
+                self.poisoned.store(true, Ordering::SeqCst);
+                let _guard = self.queue.lock().expect("batcher queue");
+                self.work.notify_all();
+                drop(_guard);
+                panic::resume_unwind(payload);
+            }
+            // Slot writes above happen-before this broadcast, so a waiter
+            // that sees the notification sees its values.
+            let _guard = self.queue.lock().expect("batcher queue");
+            self.work.notify_all();
+        }
+
+        slots
+            .iter()
+            .map(|s| s.value.lock().expect("row slot").expect("row answered"))
+            .collect()
+    }
+
+    /// Groups a drained batch by structure key (first-seen order) and
+    /// fans one forward pass per group across the evaluation pool. Both
+    /// the grouping and the per-group scoring go through the shared
+    /// `dlcm_model` inference kernel — the exact code path
+    /// `dlcm_eval::ModelEvaluator` scores with, which is what makes
+    /// served and in-process answers bit-identical by construction.
+    fn run_batch(&self, model: &dyn SpeedupPredictor, batch: Vec<PendingRow>) {
+        let groups = group_by_structure(batch.iter().map(|row| row.feats.structure_key()));
+        self.micro_batches
+            .fetch_add(groups.len(), Ordering::Relaxed);
+        self.forward_rows.fetch_add(batch.len(), Ordering::Relaxed);
+        let coalesced = groups
+            .iter()
+            .filter(|(_, idxs)| {
+                idxs.iter()
+                    .any(|&i| batch[i].caller != batch[idxs[0]].caller)
+            })
+            .count();
+        self.coalesced_batches
+            .fetch_add(coalesced, Ordering::Relaxed);
+
+        let scored: Vec<Vec<f64>> = parallel_map(self.threads, groups.len(), |g| {
+            let idxs = &groups[g].1;
+            let rows: Vec<&ProgramFeatures> = idxs.iter().map(|&i| &batch[i].feats).collect();
+            infer_scores(model, &rows)
+        });
+        for ((_, idxs), values) in groups.iter().zip(scored) {
+            for (&i, value) in idxs.iter().zip(values) {
+                *batch[i].slot.value.lock().expect("row slot") = Some(value);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # dlcm-serve
+//!
+//! The model-serving tier of the DLCM reproduction of *"A Deep Learning
+//! Based Cost Model for Automatic Code Optimization"* (MLSys 2021).
+//!
+//! The paper's cost model is trained once and then queried millions of
+//! times by autoschedulers. The crates below this one already make the
+//! trained model a persistable artifact (`dlcm_model::ModelArtifact`);
+//! this crate adds the deliberate serving path:
+//!
+//! - [`InferenceService`] answers concurrent `(program, schedule)`
+//!   speedup queries. Queries are deduplicated through one shared,
+//!   schedule-keyed result cache (`dlcm_eval::SharedCachedEvaluator`);
+//!   misses are featurized in parallel and coalesced — across client
+//!   calls — into structure-pure micro-batches fanned over the
+//!   persistent evaluation pool (`dlcm_eval::pool`);
+//! - [`ServeConfig`] tunes the pool width, micro-batch cap, and the
+//!   deterministic simulated per-query inference charge;
+//! - [`ServeStats`] exposes throughput, latency, batch-coalescing, and
+//!   cache hit-rate counters.
+//!
+//! The service implements `dlcm_eval::SyncEvaluator`, the same `&self`
+//! tier the concurrent suite driver (`dlcm_search::SearchDriver`) and
+//! per-search `ScopedEvaluator` accounting are built on — so beam and
+//! MCTS searches run against a *served* model unchanged.
+//!
+//! Determinism contract (the workspace-wide one, extended to serving):
+//! served scores are **bit-identical** to in-process evaluation through
+//! `dlcm_eval::ModelEvaluator` at any client-thread count, any batch
+//! coalescing, and any cache state — every row is a pure function of
+//! `(model, featurizer schema, program, schedule)`. `tests/parity.rs`
+//! enforces this under concurrency.
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod service;
+
+pub use service::{InferenceService, ServeConfig, ServeStats};
+
+// The whole point of the service is to be shared across client threads;
+// keep that guaranteed at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<InferenceService<dlcm_model::CostModel>>();
+    assert_send_sync::<ServeConfig>();
+    assert_send_sync::<ServeStats>();
+};

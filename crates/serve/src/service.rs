@@ -1,0 +1,276 @@
+//! The inference service: cached, coalescing, concurrent speedup queries.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dlcm_eval::pool::parallel_map;
+use dlcm_eval::{EvalStats, SharedCachedEvaluator, SyncEvaluator};
+use dlcm_ir::{Program, Schedule};
+use dlcm_model::{Featurizer, ModelArtifact, ProgramFeatures, SpeedupPredictor};
+use serde::{Deserialize, Serialize};
+
+use crate::batcher::MicroBatcher;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Worker-pool width used for parallel featurization and for fanning
+    /// structure groups of one micro-batch across forward passes. Like
+    /// every `--threads` knob in this workspace, it changes wall-clock
+    /// only, never scores.
+    pub threads: usize,
+    /// Maximum rows one micro-batch drains from the query queue.
+    pub max_batch: usize,
+    /// Simulated seconds charged into `search_time` per *queried*
+    /// candidate (cache hits included), instead of measured wall-clock —
+    /// same semantics as `ModelEvaluator::with_simulated_cost`, extended
+    /// to hits so a served search's accounting does not depend on what
+    /// other clients happened to warm. `None` charges measured
+    /// wall-clock (misses only).
+    pub sim_infer_cost: Option<f64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            max_batch: 32,
+            sim_infer_cost: None,
+        }
+    }
+}
+
+/// Observability snapshot of an [`InferenceService`]: throughput,
+/// latency, and cache effectiveness. Counters describe *how* queries
+/// were served (batch composition depends on arrival timing); the
+/// scores themselves are deterministic regardless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Candidate queries received (rows, before cache dedup).
+    pub queries: usize,
+    /// `speedup_batch_shared` calls received.
+    pub client_calls: usize,
+    /// Queries answered from the shared result cache.
+    pub cache_hits: usize,
+    /// Queries that missed the cache and went through a forward pass.
+    pub cache_misses: usize,
+    /// `cache_hits / (cache_hits + cache_misses)`, `NaN` before the
+    /// first query.
+    pub hit_rate: f64,
+    /// Structure-pure forward passes run.
+    pub micro_batches: usize,
+    /// Micro-batches that coalesced rows from more than one client call.
+    pub coalesced_batches: usize,
+    /// Rows scored by forward passes (`== cache_misses` after dedup).
+    pub forward_rows: usize,
+    /// Mean rows per forward pass.
+    pub mean_batch_rows: f64,
+    /// Summed wall-clock seconds spent inside client calls.
+    pub total_latency: f64,
+    /// Mean wall-clock seconds per client call.
+    pub mean_latency: f64,
+}
+
+/// The miss path under the service's cache: featurize over the pool,
+/// score through the coalescing micro-batcher.
+struct ServeCore<M> {
+    model: M,
+    featurizer: Featurizer,
+    threads: usize,
+    sim_infer_cost: Option<f64>,
+    batcher: MicroBatcher,
+    totals: Mutex<EvalStats>,
+}
+
+impl<M: SpeedupPredictor> SyncEvaluator for ServeCore<M> {
+    fn speedup_batch_shared(
+        &self,
+        program: &Program,
+        schedules: &[Schedule],
+    ) -> (Vec<f64>, EvalStats) {
+        let start = Instant::now();
+        let feats: Vec<ProgramFeatures> = parallel_map(self.threads, schedules.len(), |i| {
+            self.featurizer.featurize(program, &schedules[i])
+        });
+        let values = self.batcher.score_rows(&self.model, feats);
+        let dt = start.elapsed().as_secs_f64();
+        let delta = EvalStats {
+            num_evals: schedules.len(),
+            // The simulated charge (when configured) is applied per
+            // *query* at the service layer, hits included; the miss path
+            // charges wall-clock into search_time only when unsimulated.
+            search_time: if self.sim_infer_cost.is_some() {
+                0.0
+            } else {
+                dt
+            },
+            infer_time: dt,
+            ..EvalStats::default()
+        };
+        *self.totals.lock().expect("serve totals") += delta;
+        (values, delta)
+    }
+
+    fn total_stats(&self) -> EvalStats {
+        *self.totals.lock().expect("serve totals")
+    }
+}
+
+/// A served cost model: answers concurrent `(program, schedule)` speedup
+/// queries through one shared, schedule-keyed result cache
+/// ([`SharedCachedEvaluator`]) and a coalescing, structure-pure
+/// micro-batcher over the persistent evaluation pool.
+///
+/// The service implements [`SyncEvaluator`], so everything built on the
+/// shared evaluation tier — `dlcm_search::SearchDriver` suites,
+/// `ScopedEvaluator` per-search accounting, the `&service`-is-an-
+/// `Evaluator` blanket adapter — runs against a *served* model
+/// unchanged.
+///
+/// Determinism contract: served scores are bit-identical to in-process
+/// evaluation (`dlcm_eval::ModelEvaluator` over the same model and
+/// featurizer) at any client-thread count, any batch coalescing, and
+/// any cache state. `tests/parity.rs` enforces this.
+///
+/// # Examples
+///
+/// ```
+/// use dlcm_eval::SyncEvaluator;
+/// use dlcm_ir::{Expr, ProgramBuilder, Schedule};
+/// use dlcm_model::{CostModel, CostModelConfig, Featurizer, FeaturizerConfig};
+/// use dlcm_serve::{InferenceService, ServeConfig};
+///
+/// let feat_cfg = FeaturizerConfig::default();
+/// let model = CostModel::new(CostModelConfig::fast(feat_cfg.vector_width()), 0);
+/// let service = InferenceService::new(model, Featurizer::new(feat_cfg), ServeConfig::default());
+///
+/// let mut b = ProgramBuilder::new("p");
+/// let i = b.iter("i", 0, 64);
+/// let inp = b.input("in", &[64]);
+/// let out = b.buffer("out", &[64]);
+/// let acc = b.access(inp, &[i.into()], &[i]);
+/// b.assign("c", &[i], out, &[i.into()], Expr::Load(acc));
+/// let program = b.build().unwrap();
+///
+/// let (score, _delta) = service.speedup_shared(&program, &Schedule::empty());
+/// assert!(score > 0.0);
+/// let again = service.speedup_shared(&program, &Schedule::empty()).0;
+/// assert_eq!(score, again, "second query is a cache hit with the same score");
+/// assert_eq!(service.stats().cache_hits, 1);
+/// ```
+pub struct InferenceService<M: SpeedupPredictor> {
+    cache: SharedCachedEvaluator<ServeCore<M>>,
+    sim_infer_cost: Option<f64>,
+    client_calls: AtomicUsize,
+    queries: AtomicUsize,
+    latency_ns: AtomicU64,
+}
+
+impl<M: SpeedupPredictor> InferenceService<M> {
+    /// Builds a service over a model and the featurizer schema its
+    /// queries must be encoded with.
+    pub fn new(model: M, featurizer: Featurizer, cfg: ServeConfig) -> Self {
+        Self {
+            cache: SharedCachedEvaluator::new(ServeCore {
+                model,
+                featurizer,
+                threads: cfg.threads.max(1),
+                sim_infer_cost: cfg.sim_infer_cost,
+                batcher: MicroBatcher::new(cfg.max_batch, cfg.threads),
+                totals: Mutex::new(EvalStats::default()),
+            }),
+            sim_infer_cost: cfg.sim_infer_cost,
+            client_calls: AtomicUsize::new(0),
+            queries: AtomicUsize::new(0),
+            latency_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &M {
+        &self.cache.inner().model
+    }
+
+    /// The featurizer queries are encoded with.
+    pub fn featurizer(&self) -> &Featurizer {
+        &self.cache.inner().featurizer
+    }
+
+    /// Current observability snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let core = self.cache.inner();
+        let client_calls = self.client_calls.load(Ordering::Relaxed);
+        let micro_batches = core.batcher.micro_batches();
+        let forward_rows = core.batcher.forward_rows();
+        let hits = self.cache.hits();
+        let misses = self.cache.misses();
+        let total_latency = self.latency_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        ServeStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            client_calls,
+            cache_hits: hits,
+            cache_misses: misses,
+            hit_rate: hits as f64 / (hits + misses) as f64,
+            micro_batches,
+            coalesced_batches: core.batcher.coalesced_batches(),
+            forward_rows,
+            mean_batch_rows: if micro_batches > 0 {
+                forward_rows as f64 / micro_batches as f64
+            } else {
+                0.0
+            },
+            total_latency,
+            mean_latency: if client_calls > 0 {
+                total_latency / client_calls as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl InferenceService<dlcm_model::CostModel> {
+    /// Builds a service straight from a saved [`ModelArtifact`]: the
+    /// featurizer comes from the artifact's manifest schema, so queries
+    /// are guaranteed to be encoded the way the model was trained.
+    pub fn from_artifact(artifact: ModelArtifact, cfg: ServeConfig) -> Self {
+        let featurizer = artifact.featurizer();
+        Self::new(artifact.into_model(), featurizer, cfg)
+    }
+}
+
+impl<M: SpeedupPredictor> SyncEvaluator for InferenceService<M> {
+    fn speedup_batch_shared(
+        &self,
+        program: &Program,
+        schedules: &[Schedule],
+    ) -> (Vec<f64>, EvalStats) {
+        let start = Instant::now();
+        let (values, mut delta) = self.cache.speedup_batch_shared(program, schedules);
+        // With a simulated cost configured, every queried candidate —
+        // hit or miss — charges the same deterministic amount, so a
+        // served search's search_time is a pure function of its own
+        // query trace (what in-process ModelEvaluator charges too).
+        if let Some(per_candidate) = self.sim_infer_cost {
+            delta.search_time += per_candidate * schedules.len() as f64;
+        }
+        delta.num_evals = schedules.len();
+        self.client_calls.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(schedules.len(), Ordering::Relaxed);
+        self.latency_ns.fetch_add(
+            start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        (values, delta)
+    }
+
+    fn total_stats(&self) -> EvalStats {
+        let mut stats = self.cache.total_stats();
+        stats.num_evals = self.queries.load(Ordering::Relaxed);
+        if let Some(per_candidate) = self.sim_infer_cost {
+            stats.search_time += per_candidate * stats.num_evals as f64;
+        }
+        stats
+    }
+}

@@ -1,0 +1,229 @@
+//! The serving determinism contract: served answers are bit-identical to
+//! in-process evaluation at any client-thread count.
+
+use dlcm_eval::pool::parallel_map;
+use dlcm_eval::{Evaluator, ModelEvaluator, SyncEvaluator};
+use dlcm_ir::{CompId, Expr, Program, ProgramBuilder, Schedule, Transform};
+use dlcm_model::{
+    CostModel, CostModelConfig, Featurizer, FeaturizerConfig, HeldOutMetrics, ModelArtifact,
+};
+use dlcm_search::BeamSearch;
+use dlcm_serve::{InferenceService, ServeConfig};
+
+fn program(name: &str, n: i64) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let i = b.iter("i", 0, n);
+    let j = b.iter("j", 0, n);
+    let inp = b.input("in", &[n, n]);
+    let out = b.buffer("out", &[n, n]);
+    let acc = b.access(inp, &[i.into(), j.into()], &[i, j]);
+    b.assign("c", &[i, j], out, &[i.into(), j.into()], Expr::Load(acc));
+    b.build().unwrap()
+}
+
+fn model() -> CostModel {
+    CostModel::new(
+        CostModelConfig {
+            input_dim: FeaturizerConfig::default().vector_width(),
+            embed_widths: vec![32, 16],
+            merge_hidden: 16,
+            regress_widths: vec![16],
+            dropout: 0.0,
+        },
+        42,
+    )
+}
+
+/// A structure-diverse wave: untransformed, tiled (deeper tree), and
+/// unrolled candidates, plus an in-batch duplicate.
+fn wave() -> Vec<Schedule> {
+    let tile = |size| {
+        Schedule::new(vec![Transform::Tile {
+            comp: CompId(0),
+            level_a: 0,
+            level_b: 1,
+            size_a: size,
+            size_b: size,
+        }])
+    };
+    vec![
+        Schedule::empty(),
+        tile(16),
+        tile(32),
+        Schedule::new(vec![Transform::Unroll {
+            comp: CompId(0),
+            factor: 4,
+        }]),
+        tile(16),
+    ]
+}
+
+#[test]
+fn served_scores_match_in_process_evaluation() {
+    let m = model();
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let service = InferenceService::new(m.clone(), featurizer.clone(), ServeConfig::default());
+    let mut direct = ModelEvaluator::new(&m, featurizer);
+    let p = program("p", 96);
+
+    let (served, delta) = service.speedup_batch_shared(&p, &wave());
+    let expected = direct.speedup_batch(&p, &wave());
+    assert_eq!(served, expected, "served scores must be bit-identical");
+    assert_eq!(delta.num_evals, wave().len());
+
+    // Warm repeat: pure cache hits, same scores.
+    let (again, _) = service.speedup_batch_shared(&p, &wave());
+    assert_eq!(again, expected);
+    let stats = service.stats();
+    assert_eq!(stats.queries, 2 * wave().len());
+    assert_eq!(stats.forward_rows, stats.cache_misses);
+    assert_eq!(stats.cache_misses, 4, "5-row wave has one in-batch dup");
+    assert!(stats.hit_rate > 0.0);
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers() {
+    // N client threads hammer the one service with overlapping waves of
+    // several programs; every answer must equal the single-threaded
+    // in-process reference, at every client count.
+    let m = model();
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let programs: Vec<Program> = (0..4).map(|i| program("p", 64 + 16 * i)).collect();
+
+    let reference: Vec<Vec<f64>> = programs
+        .iter()
+        .map(|p| ModelEvaluator::new(&m, featurizer.clone()).speedup_batch(p, &wave()))
+        .collect();
+
+    for clients in [1, 2, 8] {
+        let service = InferenceService::new(
+            m.clone(),
+            featurizer.clone(),
+            ServeConfig {
+                threads: 2,
+                max_batch: 8,
+                ..ServeConfig::default()
+            },
+        );
+        // Each logical client sweeps every program twice (second sweep
+        // may be served from whatever the others warmed).
+        let answers = parallel_map(clients, 8, |c| {
+            let p = &programs[c % programs.len()];
+            let first = service.speedup_batch_shared(p, &wave()).0;
+            let second = service.speedup_batch_shared(p, &wave()).0;
+            assert_eq!(first, second, "warm answers must not drift");
+            (c % programs.len(), first)
+        });
+        for (pi, scores) in answers {
+            assert_eq!(
+                scores, reference[pi],
+                "client-count {clients}: served scores must match in-process"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries, 8 * 2 * wave().len());
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.queries);
+        assert_eq!(stats.forward_rows, stats.cache_misses);
+        assert_eq!(stats.client_calls, 16);
+    }
+}
+
+#[test]
+fn beam_search_against_the_service_matches_in_process_search() {
+    // The PR 4 driver contract: anything that searches through a
+    // `&mut dyn Evaluator` can search against the served model
+    // unchanged, with identical outcomes.
+    let m = model();
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let p = program("bench", 128);
+    let search = BeamSearch::default();
+
+    let mut direct = ModelEvaluator::new(&m, featurizer.clone());
+    let expected = search.search(&p, &mut direct);
+
+    let service = InferenceService::new(m.clone(), featurizer, ServeConfig::default());
+    let mut handle = &service;
+    let served = search.search(&p, &mut handle);
+
+    assert_eq!(served.schedule, expected.schedule);
+    assert_eq!(served.score, expected.score);
+    assert!(service.stats().queries > 0);
+}
+
+#[test]
+fn artifact_backed_service_reproduces_the_trained_model() {
+    let m = model();
+    let feat_cfg = FeaturizerConfig::default();
+    let featurizer = Featurizer::new(feat_cfg);
+    let p = program("p", 96);
+    let expected = ModelEvaluator::new(&m, featurizer).speedup_batch(&p, &wave());
+
+    let dir = std::env::temp_dir().join(format!("dlcm_serve_artifact_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ModelArtifact::new(m, feat_cfg, 7, HeldOutMetrics::default())
+        .save(&dir)
+        .unwrap();
+    let service =
+        InferenceService::from_artifact(ModelArtifact::load(&dir).unwrap(), ServeConfig::default());
+    assert_eq!(service.speedup_batch_shared(&p, &wave()).0, expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn panicked_forward_poisons_the_service_instead_of_hanging() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    // A model whose input_dim disagrees with the featurizer schema: the
+    // forward pass asserts on the width mismatch. The first query's
+    // leader must re-raise that panic, and every later query must fail
+    // fast on the poisoned batcher rather than wait for rows that will
+    // never be answered.
+    let bad = CostModel::new(
+        CostModelConfig {
+            input_dim: FeaturizerConfig::default().vector_width() + 1,
+            embed_widths: vec![16],
+            merge_hidden: 8,
+            regress_widths: vec![8],
+            dropout: 0.0,
+        },
+        0,
+    );
+    let service = InferenceService::new(
+        bad,
+        Featurizer::new(FeaturizerConfig::default()),
+        ServeConfig::default(),
+    );
+    let p = program("p", 64);
+    let first = catch_unwind(AssertUnwindSafe(|| {
+        service.speedup_batch_shared(&p, &wave())
+    }));
+    assert!(first.is_err(), "schema-mismatched forward must panic");
+    let second = catch_unwind(AssertUnwindSafe(|| {
+        service.speedup_shared(&p, &Schedule::empty())
+    }));
+    assert!(second.is_err(), "later queries must fail fast, not hang");
+}
+
+#[test]
+fn simulated_cost_makes_served_accounting_deterministic() {
+    let m = model();
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let service = InferenceService::new(
+        m,
+        featurizer,
+        ServeConfig {
+            sim_infer_cost: Some(0.004),
+            ..ServeConfig::default()
+        },
+    );
+    let p = program("p", 64);
+    let (_, first) = service.speedup_batch_shared(&p, &wave());
+    let (_, warm) = service.speedup_batch_shared(&p, &wave());
+    // Hits and misses charge identically: search_time is a pure function
+    // of the query count, not of cache state or neighbours.
+    assert_eq!(first.search_time, 0.004 * wave().len() as f64);
+    assert_eq!(warm.search_time, first.search_time);
+    assert_eq!(
+        service.total_stats().search_time,
+        0.004 * (2 * wave().len()) as f64
+    );
+}

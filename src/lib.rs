@@ -22,6 +22,10 @@
 //!   execution/model evaluators every search strategy and experiment
 //!   shares;
 //! - [`search`] — beam search and MCTS, driven by any [`eval::Evaluator`];
+//! - [`serve`] — the batched cost-model inference service: concurrent
+//!   speedup queries coalesced into structure-pure micro-batches behind
+//!   one shared result cache, loading versioned
+//!   [`model::ModelArtifact`]s;
 //! - [`baseline`] — the Halide-2019-style 54-feature comparator, also an
 //!   [`eval::Evaluator`];
 //! - [`benchsuite`] — the ten evaluation benchmarks at Table 3 sizes;
@@ -40,4 +44,5 @@ pub use dlcm_ir as ir;
 pub use dlcm_machine as machine;
 pub use dlcm_model as model;
 pub use dlcm_search as search;
+pub use dlcm_serve as serve;
 pub use dlcm_tensor as tensor;
