@@ -12,6 +12,12 @@
 //! cargo run -p dlcm-bench --bin bench_gate -- --update-baseline
 //! ```
 //!
+//! One gated metric comes from outside the Criterion stream:
+//! `net_p99_us` is read from `results/serve_net.json`, written by the
+//! `loadgen` binary against a `modelctl serve --listen` server (see the
+//! CI bench job for the exact recipe). Run that pair before the gate,
+//! or the metric reads 0.0 and fails as MISSING.
+//!
 //! The parallel-eval numbers are reported but **not** gated: their ratio
 //! to sequential depends on the runner's core count (a 1-core runner
 //! legitimately shows no speedup), while the gated per-candidate costs
@@ -62,6 +68,10 @@ struct BenchSummary {
     /// Driver-level sequential / parallel throughput ratio
     /// (hardware-dependent).
     suite_search_speedup_x: f64,
+    /// Client-observed p99 request latency (µs) against the dlcm-net
+    /// TCP server, from `loadgen`'s `results/serve_net.json` (not the
+    /// Criterion stream).
+    net_p99_us: f64,
 }
 
 const BASELINE_PATH: &str = "ci/bench_baseline.json";
@@ -100,7 +110,23 @@ fn summarize(records: &[BenchRecord]) -> BenchSummary {
         } else {
             0.0
         },
+        net_p99_us: read_net_p99(),
     }
+}
+
+/// Pulls `net_p99_us` out of `results/serve_net.json` (the `loadgen`
+/// report). Absent or unreadable → 0.0, which the gate fails as a
+/// MISSING measurement — the net latency step was skipped.
+fn read_net_p99() -> f64 {
+    #[derive(Deserialize)]
+    struct NetLatency {
+        net_p99_us: f64,
+    }
+    let path = dlcm_bench::results_dir().join("serve_net.json");
+    std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|raw| serde_json::from_str::<NetLatency>(&raw).ok())
+        .map_or(0.0, |r| r.net_p99_us)
 }
 
 /// The metrics held to the regression tolerance (name, current, baseline).
@@ -135,6 +161,7 @@ fn gated(current: &BenchSummary, baseline: &BenchSummary) -> Vec<(&'static str, 
             current.suite_search_seq_ns_per_search,
             baseline.suite_search_seq_ns_per_search,
         ),
+        ("net_p99_us", current.net_p99_us, baseline.net_p99_us),
     ]
 }
 

@@ -1,0 +1,255 @@
+//! Latency-gated load generator for a `modelctl serve --listen` server.
+//!
+//! Drives a running dlcm-net server with concurrent TCP clients sending
+//! waves of *distinct* schedule keys (the traffic shape an unbounded
+//! cache could not survive), measures client-observed request latency,
+//! and writes the p50/p99 summary to `results/serve_net.json` — the
+//! `net_p99_us` field there is gated by `bench_gate` against
+//! `ci/bench_baseline.json`.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--quick] [--clients N] [--rounds N] [--wave N]
+//!         [--verify] [--artifact DIR] [--shutdown]
+//! ```
+//!
+//! - `--verify` replays a **fixed query set** through the server and
+//!   through an in-process `dlcm_eval::ModelEvaluator` over the same
+//!   artifact (`--artifact`, default `results/model_artifact`) and
+//!   fails unless every score matches **bit-for-bit** — the end-to-end
+//!   check that the network tier adds no numeric drift.
+//! - `--shutdown` sends the protocol's `Shutdown` frame when done, so
+//!   CI can tear the server down deterministically (no signals).
+//!
+//! The generator waits up to 60s for the server to come up (retrying
+//! the TCP connect), so it can be started immediately after the server
+//! process in a CI step.
+//!
+//! Workload determinism: programs and schedule waves are generated from
+//! fixed seeds, so two runs against the same artifact make exactly the
+//! same queries (latency, of course, still varies with the machine).
+
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dlcm_bench::{load_artifact, positive_flag, quick_mode, string_flag, write_json};
+use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
+use dlcm_eval::{Evaluator, ModelEvaluator};
+use dlcm_ir::{Program, Schedule};
+use dlcm_net::{NetClient, NetStats};
+use dlcm_serve::ServeStats;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// What loadgen writes to `results/serve_net.json`.
+#[derive(Serialize)]
+struct NetLoadReport {
+    clients: usize,
+    rounds_per_client: usize,
+    wave_len: usize,
+    requests: usize,
+    queries: usize,
+    wall_seconds: f64,
+    queries_per_second: f64,
+    net_p50_us: f64,
+    net_p99_us: f64,
+    net_mean_us: f64,
+    net_max_us: f64,
+    verified: bool,
+    serve: ServeStats,
+    net: NetStats,
+}
+
+/// The same fixed program pool `modelctl serve --bench` drives (seed
+/// 17), so in-process and served runs see identical queries.
+fn program_pool() -> Vec<Program> {
+    let generator = ProgramGenerator::new(ProgramGenConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    (0..8)
+        .map(|i| generator.generate(&mut rng, &format!("serve{i}")))
+        .collect()
+}
+
+fn wave_for(program: &Program, client: usize, round: usize, wave_len: usize) -> Vec<Schedule> {
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64((client as u64) << 32 | round as u64);
+    schedgen.generate_distinct(program, wave_len, &mut rng)
+}
+
+/// Retries the TCP connect until the server is up (or 60s pass).
+fn connect_with_retry(addr: &str) -> NetClient {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        // Probe with a raw connect first so retry cost stays cheap.
+        match TcpStream::connect(addr) {
+            Ok(probe) => {
+                drop(probe);
+                match NetClient::connect(addr) {
+                    Ok(client) => return client,
+                    Err(e) if Instant::now() < deadline => {
+                        eprintln!("loadgen: connect raced a server restart ({e}), retrying");
+                    }
+                    Err(e) => panic!("loadgen: cannot connect to {addr}: {e}"),
+                }
+            }
+            Err(e) if Instant::now() < deadline => {
+                let _unused = e;
+                thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => panic!("loadgen: server at {addr} never came up: {e}"),
+        }
+    }
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+/// Replays the fixed verification set through the server and through an
+/// in-process evaluator over the same artifact; every score must match
+/// bit-for-bit.
+fn verify(addr: &str, programs: &[Program]) -> bool {
+    let dir = string_flag("artifact")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(dlcm_bench::model_artifact_dir);
+    let artifact = load_artifact(&dir);
+    let featurizer = artifact.featurizer();
+    let model = artifact.into_model();
+    let mut direct = ModelEvaluator::new(&model, featurizer);
+    let mut client = connect_with_retry(addr);
+
+    let mut compared = 0usize;
+    for (pi, program) in programs.iter().take(3).enumerate() {
+        let wave = wave_for(program, 999, pi, 6);
+        let expected = direct.speedup_batch(program, &wave);
+        let served = match client.speedups(program, &wave) {
+            Ok(scores) => scores,
+            Err(e) => {
+                eprintln!("loadgen --verify: query failed: {e}");
+                return false;
+            }
+        };
+        let expected_bits: Vec<u64> = expected.iter().map(|s| s.to_bits()).collect();
+        let served_bits: Vec<u64> = served.iter().map(|s| s.to_bits()).collect();
+        if expected_bits != served_bits {
+            eprintln!(
+                "loadgen --verify: MISMATCH on program {pi}: served {served:?} vs in-process \
+                 {expected:?}"
+            );
+            return false;
+        }
+        compared += wave.len();
+    }
+    println!("verify: {compared} served scores bit-identical to in-process evaluation");
+    true
+}
+
+fn main() {
+    let quick = quick_mode();
+    let addr = string_flag("addr").unwrap_or_else(|| "127.0.0.1:7199".into());
+    let clients = positive_flag("clients", if quick { 2 } else { 4 });
+    let rounds = positive_flag("rounds", if quick { 10 } else { 100 });
+    let wave_len = positive_flag("wave", 8);
+    eprintln!(
+        "=== loadgen (addr={addr}, clients={clients}, rounds={rounds}, wave={wave_len}, \
+         quick={quick}) ==="
+    );
+
+    let programs = program_pool();
+
+    let verified = if std::env::args().any(|a| a == "--verify") {
+        if !verify(&addr, &programs) {
+            eprintln!("loadgen --verify FAILED: served scores differ from in-process evaluation");
+            std::process::exit(1);
+        }
+        true
+    } else {
+        false
+    };
+
+    // The load phase proper: each client thread owns one connection and
+    // sends `rounds` fresh-keyed waves back-to-back, timing each
+    // request from write to fully-read response.
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let programs = programs.clone();
+            thread::spawn(move || {
+                let mut client = connect_with_retry(&addr);
+                let mut latencies_us = Vec::with_capacity(rounds);
+                let mut queries = 0usize;
+                for round in 0..rounds {
+                    let program = &programs[(c + round) % programs.len()];
+                    let wave = wave_for(program, c, round, wave_len);
+                    let sent = Instant::now();
+                    let scores = client
+                        .speedups(program, &wave)
+                        .expect("loadgen request failed");
+                    latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                    assert_eq!(scores.len(), wave.len());
+                    queries += wave.len();
+                }
+                (latencies_us, queries)
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::new();
+    let mut queries = 0usize;
+    for handle in handles {
+        let (lats, q) = handle.join().expect("client thread");
+        latencies_us.extend(lats);
+        queries += q;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let mut client = connect_with_retry(&addr);
+    let report_stats = client.stats().expect("final stats");
+    if std::env::args().any(|a| a == "--shutdown") {
+        client.shutdown_server().expect("shutdown acknowledged");
+        eprintln!("loadgen: server draining (shutdown frame acknowledged)");
+    }
+
+    let requests = latencies_us.len();
+    let report = NetLoadReport {
+        clients,
+        rounds_per_client: rounds,
+        wave_len,
+        requests,
+        queries,
+        wall_seconds: wall,
+        queries_per_second: queries as f64 / wall,
+        net_p50_us: percentile(&latencies_us, 0.50),
+        net_p99_us: percentile(&latencies_us, 0.99),
+        net_mean_us: latencies_us.iter().sum::<f64>() / requests.max(1) as f64,
+        net_max_us: latencies_us.last().copied().unwrap_or(0.0),
+        verified,
+        serve: report_stats.serve,
+        net: report_stats.net,
+    };
+    println!(
+        "{requests} requests ({queries} queries) in {wall:.2}s: p50 {:.0}us, p99 {:.0}us, \
+         mean {:.0}us ({:.0} q/s); server cache {}..{} entries ({} evictions), \
+         rejected {} overload / {} deadline",
+        report.net_p50_us,
+        report.net_p99_us,
+        report.net_mean_us,
+        report.queries_per_second,
+        report.serve.cache_entries,
+        report.serve.cache_capacity,
+        report.serve.cache_evictions,
+        report.serve.rejected_overload,
+        report.serve.rejected_deadline,
+    );
+    assert!(
+        report.serve.cache_entries <= report.serve.cache_capacity,
+        "server exceeded its configured cache capacity"
+    );
+    write_json("serve_net.json", &report);
+}

@@ -14,13 +14,20 @@
 //! - `serve --bench` — stand up a `dlcm_serve::InferenceService` over
 //!   the artifact and drive it with concurrent clients, reporting
 //!   ns/query throughput, mean latency, micro-batch coalescing, and
-//!   cache hit rate (written to `results/serve_bench.json`).
+//!   cache hit rate (written to `results/serve_bench.json`);
+//! - `serve --listen ADDR` — put the same service on a TCP socket via
+//!   `dlcm_net::NetServer` and run in the foreground until a client
+//!   sends the protocol's `Shutdown` frame (which `loadgen --shutdown`
+//!   does), then drain and print the final serving counters. Drive it
+//!   with the `loadgen` binary or any `dlcm_net::NetClient`.
 //!
 //! ```text
 //! modelctl train [--quick] [--threads N] [--shards K] [--epochs N] [--out DIR]
 //! modelctl info  [--artifact DIR]
 //! modelctl eval  [--quick] [--threads N] [--artifact DIR]
 //! modelctl serve --bench [--quick] [--artifact DIR] [--clients N] [--threads N] [--rounds N]
+//! modelctl serve --listen ADDR [--artifact DIR] [--threads N] [--cache-capacity N]
+//!                [--max-connections N] [--max-in-flight N]
 //! ```
 //!
 //! `DIR` defaults to `results/model_artifact` (what `train` and
@@ -36,6 +43,7 @@ use dlcm_bench::{
 use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
 use dlcm_eval::pool::parallel_map;
 use dlcm_eval::SyncEvaluator;
+use dlcm_net::{NetConfig, NetServer};
 use dlcm_serve::{InferenceService, ServeConfig, ServeStats};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -146,10 +154,14 @@ struct ServeBenchReport {
 }
 
 fn serve() {
+    if let Some(addr) = string_flag("listen") {
+        serve_listen(&addr);
+        return;
+    }
     if !std::env::args().any(|a| a == "--bench") {
         eprintln!(
-            "modelctl serve currently supports the --bench throughput driver only \
-             (the service is an in-process library; see dlcm-serve)"
+            "modelctl serve needs a mode: --bench (in-process throughput driver) or \
+             --listen ADDR (TCP server via dlcm-net)"
         );
         std::process::exit(2);
     }
@@ -222,4 +234,45 @@ fn serve() {
         1e3 * stats.mean_latency,
     );
     write_json("serve_bench.json", &report);
+}
+
+/// `serve --listen ADDR`: the artifact on a TCP socket, in the
+/// foreground, until a client's `Shutdown` frame drains it.
+fn serve_listen(addr: &str) {
+    let threads = threads();
+    let dir = artifact_dir_arg();
+    let net_cfg = NetConfig {
+        max_connections: positive_flag("max-connections", NetConfig::default().max_connections),
+        max_in_flight: positive_flag("max-in-flight", NetConfig::default().max_in_flight),
+        ..NetConfig::default()
+    };
+    let serve_cfg = ServeConfig {
+        threads,
+        cache_capacity: positive_flag("cache-capacity", ServeConfig::default().cache_capacity),
+        ..ServeConfig::default()
+    };
+    eprintln!(
+        "=== modelctl serve --listen {addr} (artifact={dir:?}, threads={threads}, \
+         cache_capacity={}, max_connections={}, max_in_flight={}) ===",
+        serve_cfg.cache_capacity, net_cfg.max_connections, net_cfg.max_in_flight
+    );
+    let artifact = load_artifact(&dir);
+    let service = InferenceService::from_artifact(artifact, serve_cfg);
+    let server = NetServer::bind(service, addr, net_cfg).expect("bind listen address");
+    // The parseable readiness line load generators wait for.
+    println!("listening on {}", server.local_addr());
+    server.wait_for_shutdown();
+    let report = server.shutdown();
+    println!(
+        "drained: {} queries over {} connections ({} requests), {:.0}% cache hits, \
+         {} evictions, rejected {} overload / {} deadline, {} deadlines missed",
+        report.serve.queries,
+        report.net.connections_accepted,
+        report.net.requests,
+        100.0 * report.serve.hit_rate,
+        report.serve.cache_evictions,
+        report.serve.rejected_overload,
+        report.serve.rejected_deadline,
+        report.serve.deadline_missed,
+    );
 }

@@ -18,7 +18,17 @@ use std::collections::{HashMap, HashSet};
 
 use dlcm_ir::{Program, Schedule};
 
+use crate::lru::LruMap;
 use crate::{EvalStats, Evaluator};
+
+/// Default entry bound for both result-cache tiers ([`CachedEvaluator`]
+/// and [`crate::SharedCachedEvaluator`]) and for the serving tier built
+/// on them. An entry is a `((u64, u64), f64)` plus map/list overhead —
+/// on the order of 100 bytes — so the default bounds a cache at roughly
+/// 100 MB while staying far above any search's working set (suite runs
+/// observe tens of thousands of unique candidates; exact hit/miss
+/// assertions in tests and Table 2 accounting are unaffected).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
 
 /// Cap on the per-program memos (fingerprints here and in
 /// [`crate::SharedCachedEvaluator`], baseline times in
@@ -113,9 +123,16 @@ pub(crate) fn split_fresh(
 /// the schedule half is [`Schedule::cache_key`] (normalized, so
 /// equivalent tag orders share an entry). Hits and misses are surfaced
 /// through [`EvalStats::cache_hits`] / [`EvalStats::cache_misses`].
+///
+/// The cache is **bounded**: at most `capacity` entries
+/// ([`DEFAULT_CACHE_CAPACITY`] unless [`CachedEvaluator::with_capacity`]
+/// says otherwise), evicting least-recently-used keys on overflow so
+/// memory stays bounded under open-ended candidate streams. Values are
+/// pure per key, so eviction never changes a score — only whether a
+/// re-derived candidate is answered from memory or recomputed.
 pub struct CachedEvaluator<E> {
     inner: E,
-    entries: HashMap<(u64, u64), f64>,
+    entries: LruMap<(u64, u64), f64>,
     /// Fingerprint memo keyed by the program itself, so repeated waves
     /// over any already-seen program hash it once. A map rather than a
     /// last-seen slot: interleaving programs (what the concurrent suite
@@ -126,15 +143,28 @@ pub struct CachedEvaluator<E> {
 }
 
 impl<E: Evaluator> CachedEvaluator<E> {
-    /// Wraps `inner` with an empty cache.
+    /// Wraps `inner` with an empty cache bounded at
+    /// [`DEFAULT_CACHE_CAPACITY`] entries.
     pub fn new(inner: E) -> Self {
+        Self::with_capacity(inner, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wraps `inner` with an empty cache bounded at `capacity` entries
+    /// (clamped to at least 1), evicting least-recently-used keys on
+    /// overflow.
+    pub fn with_capacity(inner: E, capacity: usize) -> Self {
         Self {
             inner,
-            entries: HashMap::new(),
+            entries: LruMap::with_capacity(capacity),
             programs: Vec::new(),
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
     }
 
     /// The wrapped evaluator.
@@ -194,16 +224,21 @@ impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
         } = split_fresh(&keys, schedules, |key| self.entries.get(key).copied());
         self.hits += hits;
         self.misses += fresh.len();
+        // Fresh values are kept locally for assembly: with a bounded
+        // cache, an entry inserted early in a large batch may already be
+        // evicted by the batch's own later inserts.
+        let mut fresh_values: HashMap<(u64, u64), f64> = HashMap::new();
         if !fresh_schedules.is_empty() {
             let values = self.inner.speedup_batch(program, &fresh_schedules);
             debug_assert_eq!(values.len(), fresh.len());
             for (key, value) in fresh.into_iter().zip(values) {
                 self.entries.insert(key, value);
+                fresh_values.insert(key, value);
             }
         }
         keys.iter()
             .zip(cached)
-            .map(|(key, known)| known.unwrap_or_else(|| self.entries[key]))
+            .map(|(key, known)| known.unwrap_or_else(|| fresh_values[key]))
             .collect()
     }
 
@@ -354,6 +389,35 @@ mod tests {
         for (i, s) in scores.iter().enumerate() {
             assert_eq!(*s, scores[i % 3], "duplicates share their key's value");
         }
+    }
+
+    #[test]
+    fn bounded_cache_evicts_but_scores_are_unchanged() {
+        let p = program(128);
+        let mut bounded = CachedEvaluator::with_capacity(
+            ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0),
+            2,
+        );
+        assert_eq!(bounded.capacity(), 2);
+        let mut unbounded = CachedEvaluator::new(ExecutionEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+        ));
+        // 3 unique keys + an in-batch duplicate through a capacity-2
+        // cache: the first key is evicted by the batch's own later
+        // inserts, and the duplicate must still resolve (from the
+        // batch-local fresh values, not the cache).
+        let batch = vec![tile(16), tile(32), tile(64), tile(16)];
+        let got = bounded.speedup_batch(&p, &batch);
+        let want = unbounded.speedup_batch(&p, &batch);
+        assert_eq!(got, want, "eviction must never change scores");
+        assert_eq!(bounded.len(), 2);
+        assert_eq!(unbounded.len(), 3);
+        // The evicted key recomputes to the identical value (pure per
+        // key) — it just pays the wrapped evaluator again.
+        let misses_before = bounded.misses();
+        assert_eq!(bounded.speedup(&p, &tile(16)), got[0]);
+        assert_eq!(bounded.misses(), misses_before + 1, "tile(16) fell out");
     }
 
     #[test]

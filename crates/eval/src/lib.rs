@@ -84,6 +84,7 @@
 
 mod cache;
 mod exec;
+pub mod lru;
 mod model;
 mod parallel;
 pub mod pool;
@@ -92,8 +93,9 @@ mod stats;
 
 use dlcm_ir::{Program, Schedule};
 
-pub use cache::CachedEvaluator;
+pub use cache::{CachedEvaluator, DEFAULT_CACHE_CAPACITY};
 pub use exec::ExecutionEvaluator;
+pub use lru::LruMap;
 pub use model::ModelEvaluator;
 pub use parallel::ParallelEvaluator;
 pub use shared::{ScopedEvaluator, SharedCachedEvaluator, SyncEvaluator};

@@ -36,7 +36,8 @@ use std::sync::Mutex;
 
 use dlcm_ir::{Program, Schedule};
 
-use crate::{EvalStats, Evaluator};
+use crate::lru::LruMap;
+use crate::{EvalStats, Evaluator, DEFAULT_CACHE_CAPACITY};
 
 /// Scores `(program, schedule)` candidates through a shared reference, so
 /// one evaluator can serve many concurrent searches.
@@ -200,45 +201,85 @@ const CACHE_SHARDS: usize = 16;
 /// ([`Program::content_fingerprint`], [`Schedule::cache_key`]) — held in
 /// 16 independently locked shards selected by key hash, so
 /// concurrent searches hit disjoint shards with high probability and
-/// never serialize on one table. Keys are never evicted, which is what
-/// makes replay sound: a key observed present stays present.
+/// never serialize on one table.
+///
+/// The cache is **bounded**: a shared capacity budget
+/// ([`DEFAULT_CACHE_CAPACITY`] unless
+/// [`SharedCachedEvaluator::with_capacity`] says otherwise) is split
+/// evenly across the shards, each of which evicts its own
+/// least-recently-used keys on overflow — so a long-lived serving
+/// process stays within a fixed memory envelope no matter how many
+/// distinct candidates open-loop traffic pushes through it. Keys spread
+/// by fingerprint hash, so shard loads stay near the mean and a working
+/// set comfortably under the budget is never evicted (the hot-set
+/// regression test below pins this).
 ///
 /// Determinism: **values** are deterministic unconditionally (the wrapped
 /// evaluator is pure per key, so even two racing misses on the same key
-/// insert the same value). **Per-call stats deltas** are deterministic
+/// insert the same value, and a key evicted and recomputed gets the exact
+/// same value back). **Per-call stats deltas** are deterministic
 /// whenever concurrent callers touch disjoint programs (the suite driver's
 /// situation — keys embed the program fingerprint, so distinct benchmarks
 /// never interact) or are ordered (searches of one program run
 /// sequentially within a driver job). Two racing searches of the *same*
 /// program may split hits and misses between them differently from run to
-/// run — totals stay exact, the split does not.
+/// run — totals stay exact, the split does not. Eviction adds one more
+/// caveat of the same kind: hit/miss splits near the capacity boundary
+/// depend on access order, values never do.
 pub struct SharedCachedEvaluator<E> {
     inner: E,
-    shards: Vec<Mutex<HashMap<(u64, u64), f64>>>,
+    shards: Vec<Mutex<LruMap<(u64, u64), f64>>>,
     /// Content-fingerprint memo, keyed by the program itself (a map, not
     /// a last-seen slot: concurrent searches interleave programs).
     programs: Mutex<Vec<(Program, u64)>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl<E: SyncEvaluator> SharedCachedEvaluator<E> {
-    /// Wraps `inner` with an empty sharded cache.
+    /// Wraps `inner` with an empty sharded cache bounded at
+    /// [`DEFAULT_CACHE_CAPACITY`] entries.
     pub fn new(inner: E) -> Self {
+        Self::with_capacity(inner, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wraps `inner` with an empty sharded cache holding at most
+    /// `capacity` entries in total. The budget is split evenly across
+    /// the 16 lock shards (rounded up to a whole entry per shard, so the
+    /// effective bound — what [`SharedCachedEvaluator::capacity`]
+    /// reports — is `capacity` rounded up to the next multiple of 16).
+    pub fn with_capacity(inner: E, capacity: usize) -> Self {
+        let per_shard = capacity.max(1).div_ceil(CACHE_SHARDS);
         Self {
             inner,
             shards: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(LruMap::with_capacity(per_shard)))
                 .collect(),
             programs: Mutex::new(Vec::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
     /// The wrapped evaluator.
     pub fn inner(&self) -> &E {
         &self.inner
+    }
+
+    /// The effective entry bound across all shards:
+    /// [`SharedCachedEvaluator::len`] never exceeds this.
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").capacity())
+            .sum()
+    }
+
+    /// Entries evicted to stay within the capacity budget so far.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of cached `(program, schedule)` entries across all shards.
@@ -267,8 +308,19 @@ impl<E: SyncEvaluator> SharedCachedEvaluator<E> {
         self.misses.load(Ordering::Relaxed)
     }
 
-    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), f64>> {
-        &self.shards[((key.0 ^ key.1) as usize) % CACHE_SHARDS]
+    fn shard(&self, key: (u64, u64)) -> &Mutex<LruMap<(u64, u64), f64>> {
+        // The raw FNV fingerprints have poor low-bit dispersion for
+        // near-identical schedules (e.g. a tile-size sweep lands on a few
+        // even shards only), which both skews lock contention and starves
+        // per-shard LRU budgets. A splitmix64 finalizer spreads the key
+        // across all shards before the modulus.
+        let mut h = key.0 ^ key.1;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        &self.shards[(h as usize) % CACHE_SHARDS]
     }
 
     fn program_fingerprint(&self, program: &Program) -> u64 {
@@ -316,10 +368,14 @@ impl<E: SyncEvaluator> SyncEvaluator for SharedCachedEvaluator<E> {
             debug_assert_eq!(values.len(), fresh.len());
             delta += inner_delta;
             for (key, value) in fresh.into_iter().zip(values) {
-                self.shard(key)
+                let evicted = self
+                    .shard(key)
                     .lock()
                     .expect("cache shard")
                     .insert(key, value);
+                if evicted.is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
                 fresh_values.insert(key, value);
             }
         }
@@ -457,6 +513,61 @@ mod tests {
         assert_eq!(delta.num_evals, 1);
         assert!(delta.search_time > 0.0);
         assert_eq!(shared.total_stats().num_evals, 1);
+    }
+
+    #[test]
+    fn hot_working_set_under_capacity_never_evicts() {
+        // Satellite regression: a hot working set smaller than the shared
+        // capacity budget keeps hitting at 100% no matter how long the
+        // traffic runs. 64 unique keys against a 256-entry budget
+        // (16 per shard): keys spread by fingerprint hash, so the
+        // deterministic shard loads stay under the per-shard bound and no
+        // hot key is ever evicted.
+        let p = program("hot", 96);
+        let shared = SharedCachedEvaluator::with_capacity(
+            ParallelEvaluator::new(Measurement::exact(Machine::default()), 0, 1),
+            256,
+        );
+        let hot: Vec<Schedule> = (1..=64).map(tile).collect();
+        let (first, _) = shared.speedup_batch_shared(&p, &hot);
+        assert_eq!(shared.misses(), 64);
+        for round in 0..10 {
+            let (again, delta) = shared.speedup_batch_shared(&p, &hot);
+            assert_eq!(again, first);
+            assert_eq!(
+                delta.cache_misses, 0,
+                "round {round}: hot set must stay resident"
+            );
+        }
+        assert_eq!(shared.misses(), 64, "warm traffic is 100% hits");
+        assert_eq!(shared.evictions(), 0);
+    }
+
+    #[test]
+    fn open_loop_traffic_stays_within_the_capacity_budget() {
+        let p = program("flood", 96);
+        let shared = SharedCachedEvaluator::with_capacity(
+            ParallelEvaluator::new(Measurement::exact(Machine::default()), 0, 1),
+            64,
+        );
+        assert_eq!(shared.capacity(), 64, "64 splits evenly across shards");
+        // 1000 distinct keys — far past capacity: the cache must stay
+        // within its budget the whole way, not just at the end.
+        for wave in 0..25i64 {
+            let batch: Vec<Schedule> = (0..40).map(|i| tile(1 + 40 * wave + i)).collect();
+            shared.speedup_batch_shared(&p, &batch);
+            assert!(shared.len() <= shared.capacity());
+        }
+        assert!(shared.evictions() > 0, "flood traffic must have evicted");
+        // An evicted key recomputes to the exact same value a fresh cache
+        // produces: eviction is invisible in scores.
+        let recomputed = shared.speedup_shared(&p, &tile(1)).0;
+        let fresh = SharedCachedEvaluator::new(ParallelEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+            1,
+        ));
+        assert_eq!(recomputed, fresh.speedup_shared(&p, &tile(1)).0);
     }
 
     #[test]

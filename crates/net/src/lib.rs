@@ -1,0 +1,34 @@
+//! # dlcm-net — the network-facing serving tier
+//!
+//! Puts [`dlcm_serve::InferenceService`] behind a TCP socket: a
+//! hand-rolled, length-prefixed frame protocol (this environment
+//! vendors its dependencies, so no async runtime or HTTP stack — plain
+//! `std::net` and worker threads), admission control with typed
+//! rejections, per-request deadlines, `/stats` introspection, and
+//! graceful drain on shutdown.
+//!
+//! The tier exists for the deployment shape the paper's integration
+//! implies: one trained cost model serving *many* concurrent
+//! autoscheduler searches. In-process, PR 5's service already shares
+//! the cache and coalesces micro-batches across searches in one
+//! process; this crate extends that sharing across process and machine
+//! boundaries while keeping the repo-wide determinism contract — a
+//! served score is **bit-identical** to in-process evaluation at any
+//! client count, any cache state, and any batch coalescing.
+//!
+//! - [`wire`] — the frame format and message types (spec in the module
+//!   docs; mirrored in `DESIGN.md` § Network serving).
+//! - [`NetServer`] — bounded-worker acceptor + admission control.
+//! - [`NetClient`] — blocking client, one request in flight at a time.
+//!
+//! Everything memory-bearing is bounded: the accept queue, in-flight
+//! evaluation permits, the frame length, and (via
+//! `ServeConfig::cache_capacity`) every result-cache tier underneath.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{NetClient, NetError};
+pub use server::{NetConfig, NetServer};
+pub use wire::{ErrorReply, FrameError, NetStats, Request, Response, StatsReport};

@@ -92,6 +92,12 @@ impl MicroBatcher {
         self.forward_rows.load(Ordering::Relaxed)
     }
 
+    /// Rows currently waiting in the queue (submitted, not yet drained
+    /// into a leader's batch): the service's queue-depth gauge.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("batcher queue").len()
+    }
+
     /// Scores `feats` through the shared queue, blocking until every row
     /// of this call is answered. The calling thread helps lead batches
     /// (its own or other clients') while it waits.

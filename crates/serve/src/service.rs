@@ -1,11 +1,11 @@
 //! The inference service: cached, coalescing, concurrent speedup queries.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use dlcm_eval::pool::parallel_map;
-use dlcm_eval::{EvalStats, SharedCachedEvaluator, SyncEvaluator};
+use dlcm_eval::{EvalStats, SharedCachedEvaluator, SyncEvaluator, DEFAULT_CACHE_CAPACITY};
 use dlcm_ir::{Program, Schedule};
 use dlcm_model::{Featurizer, ModelArtifact, ProgramFeatures, SpeedupPredictor};
 use serde::{Deserialize, Serialize};
@@ -29,6 +29,13 @@ pub struct ServeConfig {
     /// other clients happened to warm. `None` charges measured
     /// wall-clock (misses only).
     pub sim_infer_cost: Option<f64>,
+    /// Entry bound for the shared result cache (rounded up to a whole
+    /// entry per lock shard). Under open-loop traffic every request can
+    /// carry fresh `(program, schedule)` keys, so the serving tier's
+    /// memory is bounded by this knob — least-recently-used entries are
+    /// evicted on overflow, which never changes a score (values are pure
+    /// per key), only whether a repeat pays a forward pass again.
+    pub cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -37,14 +44,27 @@ impl Default for ServeConfig {
             threads: 1,
             max_batch: 32,
             sim_infer_cost: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
 }
 
 /// Observability snapshot of an [`InferenceService`]: throughput,
-/// latency, and cache effectiveness. Counters describe *how* queries
-/// were served (batch composition depends on arrival timing); the
-/// scores themselves are deterministic regardless.
+/// latency, cache effectiveness, and admission-control outcomes.
+/// Counters describe *how* queries were served (batch composition
+/// depends on arrival timing); the scores themselves are deterministic
+/// regardless.
+///
+/// Snapshot coherence: the client-call ledger fields (`queries`,
+/// `client_calls`, `total_latency`, and the `mean_latency` derived from
+/// them) are read as **one coherent snapshot** under the ledger lock —
+/// they always describe the same set of completed calls. The cache,
+/// batcher, and admission counters are owned by their subsystems and
+/// sampled separately: each is monotonic and internally consistent, but
+/// across groups a snapshot taken while requests are in flight may
+/// observe e.g. a query already counted whose forward rows are not yet
+/// (the documented tearing — bounded by the number of in-flight calls,
+/// and zero in a quiesced service).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Candidate queries received (rows, before cache dedup).
@@ -58,6 +78,13 @@ pub struct ServeStats {
     /// `cache_hits / (cache_hits + cache_misses)`, `NaN` before the
     /// first query.
     pub hit_rate: f64,
+    /// Entries currently resident in the shared result cache.
+    pub cache_entries: usize,
+    /// The cache's configured entry bound: `cache_entries` never
+    /// exceeds it.
+    pub cache_capacity: usize,
+    /// Entries evicted to stay within `cache_capacity` so far.
+    pub cache_evictions: usize,
     /// Structure-pure forward passes run.
     pub micro_batches: usize,
     /// Micro-batches that coalesced rows from more than one client call.
@@ -66,10 +93,35 @@ pub struct ServeStats {
     pub forward_rows: usize,
     /// Mean rows per forward pass.
     pub mean_batch_rows: f64,
+    /// Rows waiting in the micro-batch queue at snapshot time (the
+    /// queue-depth gauge; 0 in a quiesced service).
+    pub queue_depth: usize,
+    /// Requests turned away at admission because the front end was at
+    /// its in-flight limit (always 0 for a bare in-process service —
+    /// populated through [`InferenceService::note_rejected_overload`]
+    /// by admission-controlled front ends such as `dlcm-net`).
+    pub rejected_overload: usize,
+    /// Requests rejected because their deadline had already expired
+    /// before evaluation started (see
+    /// [`InferenceService::note_rejected_deadline`]).
+    pub rejected_deadline: usize,
+    /// Requests that completed evaluation but blew their deadline doing
+    /// so (see [`InferenceService::note_deadline_missed`]).
+    pub deadline_missed: usize,
     /// Summed wall-clock seconds spent inside client calls.
     pub total_latency: f64,
     /// Mean wall-clock seconds per client call.
     pub mean_latency: f64,
+}
+
+/// The coherent client-call ledger behind [`ServeStats`]: one lock, one
+/// snapshot — a reader can never observe a call's latency without its
+/// query count (the old field-by-field atomics could tear).
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientLedger {
+    calls: usize,
+    queries: usize,
+    latency: f64,
 }
 
 /// The miss path under the service's cache: featurize over the pool,
@@ -162,9 +214,10 @@ impl<M: SpeedupPredictor> SyncEvaluator for ServeCore<M> {
 pub struct InferenceService<M: SpeedupPredictor> {
     cache: SharedCachedEvaluator<ServeCore<M>>,
     sim_infer_cost: Option<f64>,
-    client_calls: AtomicUsize,
-    queries: AtomicUsize,
-    latency_ns: AtomicU64,
+    ledger: Mutex<ClientLedger>,
+    rejected_overload: AtomicUsize,
+    rejected_deadline: AtomicUsize,
+    deadline_missed: AtomicUsize,
 }
 
 impl<M: SpeedupPredictor> InferenceService<M> {
@@ -172,19 +225,42 @@ impl<M: SpeedupPredictor> InferenceService<M> {
     /// queries must be encoded with.
     pub fn new(model: M, featurizer: Featurizer, cfg: ServeConfig) -> Self {
         Self {
-            cache: SharedCachedEvaluator::new(ServeCore {
-                model,
-                featurizer,
-                threads: cfg.threads.max(1),
-                sim_infer_cost: cfg.sim_infer_cost,
-                batcher: MicroBatcher::new(cfg.max_batch, cfg.threads),
-                totals: Mutex::new(EvalStats::default()),
-            }),
+            cache: SharedCachedEvaluator::with_capacity(
+                ServeCore {
+                    model,
+                    featurizer,
+                    threads: cfg.threads.max(1),
+                    sim_infer_cost: cfg.sim_infer_cost,
+                    batcher: MicroBatcher::new(cfg.max_batch, cfg.threads),
+                    totals: Mutex::new(EvalStats::default()),
+                },
+                cfg.cache_capacity,
+            ),
             sim_infer_cost: cfg.sim_infer_cost,
-            client_calls: AtomicUsize::new(0),
-            queries: AtomicUsize::new(0),
-            latency_ns: AtomicU64::new(0),
+            ledger: Mutex::new(ClientLedger::default()),
+            rejected_overload: AtomicUsize::new(0),
+            rejected_deadline: AtomicUsize::new(0),
+            deadline_missed: AtomicUsize::new(0),
         }
+    }
+
+    /// Records a request an admission-controlled front end turned away
+    /// because the service was at its in-flight limit. The request never
+    /// reached evaluation; this keeps it visible in [`ServeStats`].
+    pub fn note_rejected_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request rejected because its deadline had already
+    /// expired before evaluation started.
+    pub fn note_rejected_deadline(&self) {
+        self.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request that was evaluated but finished after its
+    /// deadline (the caller may have already given up on the answer).
+    pub fn note_deadline_missed(&self) {
+        self.deadline_missed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The served model.
@@ -197,21 +273,25 @@ impl<M: SpeedupPredictor> InferenceService<M> {
         &self.cache.inner().featurizer
     }
 
-    /// Current observability snapshot.
+    /// Current observability snapshot. See [`ServeStats`] for the
+    /// coherence guarantee: ledger fields are one atomic snapshot,
+    /// subsystem counters are sampled alongside it.
     pub fn stats(&self) -> ServeStats {
         let core = self.cache.inner();
-        let client_calls = self.client_calls.load(Ordering::Relaxed);
+        let ledger = *self.ledger.lock().expect("client ledger");
         let micro_batches = core.batcher.micro_batches();
         let forward_rows = core.batcher.forward_rows();
         let hits = self.cache.hits();
         let misses = self.cache.misses();
-        let total_latency = self.latency_ns.load(Ordering::Relaxed) as f64 / 1e9;
         ServeStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            client_calls,
+            queries: ledger.queries,
+            client_calls: ledger.calls,
             cache_hits: hits,
             cache_misses: misses,
             hit_rate: hits as f64 / (hits + misses) as f64,
+            cache_entries: self.cache.len(),
+            cache_capacity: self.cache.capacity(),
+            cache_evictions: self.cache.evictions(),
             micro_batches,
             coalesced_batches: core.batcher.coalesced_batches(),
             forward_rows,
@@ -220,9 +300,13 @@ impl<M: SpeedupPredictor> InferenceService<M> {
             } else {
                 0.0
             },
-            total_latency,
-            mean_latency: if client_calls > 0 {
-                total_latency / client_calls as f64
+            queue_depth: core.batcher.queue_depth(),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            total_latency: ledger.latency,
+            mean_latency: if ledger.calls > 0 {
+                ledger.latency / ledger.calls as f64
             } else {
                 0.0
             },
@@ -256,18 +340,18 @@ impl<M: SpeedupPredictor> SyncEvaluator for InferenceService<M> {
             delta.search_time += per_candidate * schedules.len() as f64;
         }
         delta.num_evals = schedules.len();
-        self.client_calls.fetch_add(1, Ordering::Relaxed);
-        self.queries.fetch_add(schedules.len(), Ordering::Relaxed);
-        self.latency_ns.fetch_add(
-            start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
-            Ordering::Relaxed,
-        );
+        {
+            let mut ledger = self.ledger.lock().expect("client ledger");
+            ledger.calls += 1;
+            ledger.queries += schedules.len();
+            ledger.latency += start.elapsed().as_secs_f64();
+        }
         (values, delta)
     }
 
     fn total_stats(&self) -> EvalStats {
         let mut stats = self.cache.total_stats();
-        stats.num_evals = self.queries.load(Ordering::Relaxed);
+        stats.num_evals = self.ledger.lock().expect("client ledger").queries;
         if let Some(per_candidate) = self.sim_infer_cost {
             stats.search_time += per_candidate * stats.num_evals as f64;
         }

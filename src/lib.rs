@@ -26,6 +26,10 @@
 //!   speedup queries coalesced into structure-pure micro-batches behind
 //!   one shared result cache, loading versioned
 //!   [`model::ModelArtifact`]s;
+//! - [`net`] — the network-facing serving tier: a length-prefixed TCP
+//!   frame protocol over [`serve`] with admission control (bounded
+//!   accept queue, in-flight permits, per-request deadlines), typed
+//!   rejections, `/stats`, and graceful drain;
 //! - [`baseline`] — the Halide-2019-style 54-feature comparator, also an
 //!   [`eval::Evaluator`];
 //! - [`benchsuite`] — the ten evaluation benchmarks at Table 3 sizes;
@@ -43,6 +47,7 @@ pub use dlcm_eval as eval;
 pub use dlcm_ir as ir;
 pub use dlcm_machine as machine;
 pub use dlcm_model as model;
+pub use dlcm_net as net;
 pub use dlcm_search as search;
 pub use dlcm_serve as serve;
 pub use dlcm_tensor as tensor;
