@@ -1,29 +1,48 @@
-//! CI bench regression gate.
+//! CI bench regression gate — direction-aware, with one-command
+//! baseline refresh.
 //!
 //! Aggregates the JSON-lines emitted by the vendored Criterion's
 //! `DLCM_BENCH_JSON` hook into a per-candidate cost summary
-//! (`results/BENCH_eval.json`) and fails when any gated metric regresses
-//! more than 25% against the committed baseline (`ci/bench_baseline.json`).
+//! (`results/BENCH_eval.json`), writes a per-metric verdict report
+//! (`results/bench_gate.json`), and fails when any gated metric moves
+//! the **wrong direction** past its tolerance:
+//!
+//! - **Latency metrics** (`*_ns*`, `net_p99_us`): *lower is better* —
+//!   fail when `current / baseline` exceeds the tolerance (default
+//!   1.25×, override with `DLCM_BENCH_TOLERANCE`).
+//! - **Speedup ratios** (`parallel_speedup_x`, `suite_search_speedup_x`):
+//!   *higher is better* — fail when the ratio **drops** more than the
+//!   tolerance allows (default >25%), and additionally fail when either
+//!   ratio sits below the hard floor of 1.5× — but the floors are only
+//!   enforced on runners with ≥ 4 cores (a 1- or 2-core runner cannot
+//!   demonstrate a 1.5× fan-out win; the skip is loud, never silent).
 //!
 //! ```text
-//! rm -f target/bench.jsonl
-//! DLCM_BENCH_QUICK=1 DLCM_BENCH_JSON=target/bench.jsonl cargo bench -p dlcm-bench
-//! cargo run -p dlcm-bench --bin bench_gate            # check
-//! cargo run -p dlcm-bench --bin bench_gate -- --update-baseline
+//! # check (after running the benches + the loadgen pair):
+//! DLCM_BENCH_JSON=$PWD/target/bench.jsonl cargo run -p dlcm-bench --bin bench_gate
+//!
+//! # one-command baseline refresh (runs everything itself):
+//! cargo run --release -p dlcm-bench --bin bench_gate -- --refresh
+//!
+//! # re-aggregate an existing bench.jsonl into the baseline:
+//! DLCM_BENCH_JSON=... cargo run -p dlcm-bench --bin bench_gate -- --update-baseline
 //! ```
+//!
+//! `--refresh` collapses the whole ci/README recipe into one command:
+//! it clears the JSONL stream, runs the quick Criterion benches, trains
+//! a quick artifact, runs the `modelctl serve --listen` + `loadgen`
+//! pair (for `net_p99_us`), then writes both `results/BENCH_eval.json`
+//! and `ci/bench_baseline.json`. Run it **on the CI runner class** —
+//! the baseline holds absolute ns/candidate.
 //!
 //! One gated metric comes from outside the Criterion stream:
 //! `net_p99_us` is read from `results/serve_net.json`, written by the
-//! `loadgen` binary against a `modelctl serve --listen` server (see the
-//! CI bench job for the exact recipe). Run that pair before the gate,
-//! or the metric reads 0.0 and fails as MISSING.
-//!
-//! The parallel-eval numbers are reported but **not** gated: their ratio
-//! to sequential depends on the runner's core count (a 1-core runner
-//! legitimately shows no speedup), while the gated per-candidate costs
-//! regress only when the code does.
+//! `loadgen` binary against a `modelctl serve --listen` server. Run
+//! that pair (or `--refresh`) before the gate, or the metric reads 0.0
+//! and fails as MISSING.
 
 use serde::{Deserialize, Serialize};
+use std::process::Command;
 
 /// One line of the `DLCM_BENCH_JSON` stream.
 #[derive(Debug, Deserialize)]
@@ -76,6 +95,13 @@ struct BenchSummary {
 
 const BASELINE_PATH: &str = "ci/bench_baseline.json";
 const REGRESSION_TOLERANCE: f64 = 1.25;
+/// Hard floor for both speedup ratios on the CI runner class.
+const SPEEDUP_FLOOR: f64 = 1.5;
+/// Fewer cores than this cannot demonstrate the floor: skip it loudly.
+const FLOOR_MIN_CORES: usize = 4;
+/// The server address the `--refresh` loadgen pair uses (mirrors the CI
+/// bench job).
+const REFRESH_ADDR: &str = "127.0.0.1:7199";
 
 fn lookup(records: &[BenchRecord], name: &str) -> f64 {
     // DLCM_BENCH_JSON appends across `cargo bench` runs; the LAST record
@@ -129,8 +155,11 @@ fn read_net_p99() -> f64 {
         .map_or(0.0, |r| r.net_p99_us)
 }
 
-/// The metrics held to the regression tolerance (name, current, baseline).
-fn gated(current: &BenchSummary, baseline: &BenchSummary) -> Vec<(&'static str, f64, f64)> {
+/// The lower-is-better metrics (name, current, baseline).
+fn latency_metrics(
+    current: &BenchSummary,
+    baseline: &BenchSummary,
+) -> Vec<(&'static str, f64, f64)> {
     vec![
         ("featurize_ns", current.featurize_ns, baseline.featurize_ns),
         ("infer_ns", current.infer_ns, baseline.infer_ns),
@@ -165,12 +194,196 @@ fn gated(current: &BenchSummary, baseline: &BenchSummary) -> Vec<(&'static str, 
     ]
 }
 
+/// The higher-is-better ratios (name, current, baseline).
+fn speedup_metrics(
+    current: &BenchSummary,
+    baseline: &BenchSummary,
+) -> Vec<(&'static str, f64, f64)> {
+    vec![
+        (
+            "parallel_speedup_x",
+            current.parallel_speedup_x,
+            baseline.parallel_speedup_x,
+        ),
+        (
+            "suite_search_speedup_x",
+            current.suite_search_speedup_x,
+            baseline.suite_search_speedup_x,
+        ),
+    ]
+}
+
+/// One row of `results/bench_gate.json`: what the gate decided about a
+/// single metric and why.
+#[derive(Debug, Serialize)]
+struct MetricVerdict {
+    name: &'static str,
+    /// `"latency"` (lower is better) or `"speedup"` (higher is better).
+    kind: &'static str,
+    current: f64,
+    baseline: f64,
+    /// `current / baseline` (0.0 when the baseline is empty).
+    ratio: f64,
+    /// The hard floor this metric must clear, when one applies here.
+    floor: Option<f64>,
+    /// `ok` | `regressed` | `below-floor` | `missing` | `no-baseline` |
+    /// `floor-skipped` (passing drop-check but floor unenforceable on
+    /// this runner).
+    status: &'static str,
+    /// Whether this row fails the gate.
+    failed: bool,
+}
+
+/// The whole gate outcome, uploaded as a CI artifact so a red bench job
+/// explains itself without log spelunking.
+#[derive(Debug, Serialize)]
+struct GateReport {
+    passed: bool,
+    tolerance: f64,
+    speedup_floor: f64,
+    /// Cores the runner reported; floors enforce only at ≥ 4.
+    runner_cores: usize,
+    floors_enforced: bool,
+    metrics: Vec<MetricVerdict>,
+}
+
+/// Runs one step of the refresh pipeline, inheriting stdio so progress
+/// is visible; any failure aborts the refresh.
+fn run_step(desc: &str, cmd: &mut Command) {
+    println!("--refresh: {desc}");
+    let status = cmd.status().unwrap_or_else(|e| {
+        eprintln!("--refresh: failed to spawn `{desc}`: {e}");
+        std::process::exit(2);
+    });
+    if !status.success() {
+        eprintln!("--refresh: step `{desc}` failed ({status})");
+        std::process::exit(2);
+    }
+}
+
+/// The one-command baseline refresh: every step of the ci/README recipe,
+/// in order, against `jsonl` as the Criterion stream.
+fn refresh_measurements(jsonl: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    // `cargo bench` runs the bench binary with the *package* directory
+    // as cwd, so a relative JSONL path must be absolutized (and its
+    // parent created) before it crosses the process boundary — exactly
+    // why the CI job spells it `$PWD/target/bench.jsonl`.
+    let jsonl_abs = if std::path::Path::new(jsonl).is_absolute() {
+        std::path::PathBuf::from(jsonl)
+    } else {
+        std::env::current_dir().expect("current dir").join(jsonl)
+    };
+    if let Some(parent) = jsonl_abs.parent() {
+        std::fs::create_dir_all(parent).expect("create bench JSONL dir");
+    }
+    let _ = std::fs::remove_file(&jsonl_abs);
+
+    let mut bench = Command::new(&cargo);
+    bench
+        .args(["bench", "-p", "dlcm-bench"])
+        .env("DLCM_BENCH_QUICK", "1")
+        .env("DLCM_BENCH_JSON", &jsonl_abs);
+    run_step("cargo bench (quick, JSONL on)", &mut bench);
+
+    let mut train = Command::new(&cargo);
+    train.args([
+        "run",
+        "--release",
+        "-p",
+        "dlcm-bench",
+        "--bin",
+        "modelctl",
+        "--",
+        "train",
+        "--quick",
+        "--threads",
+        "4",
+        "--out",
+        "results/model_artifact",
+    ]);
+    run_step("modelctl train (quick artifact)", &mut train);
+
+    // Server in the background; loadgen's `--shutdown` stops it, then we
+    // reap the child so serve_net.json is complete before aggregation.
+    println!("--refresh: modelctl serve --listen {REFRESH_ADDR} (background)");
+    let mut server = Command::new(&cargo)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "dlcm-bench",
+            "--bin",
+            "modelctl",
+            "--",
+            "serve",
+            "--listen",
+            REFRESH_ADDR,
+            "--artifact",
+            "results/model_artifact",
+        ])
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("--refresh: failed to spawn the serve process: {e}");
+            std::process::exit(2);
+        });
+
+    let mut loadgen = Command::new(&cargo);
+    loadgen.args([
+        "run",
+        "--release",
+        "-p",
+        "dlcm-bench",
+        "--bin",
+        "loadgen",
+        "--",
+        "--clients",
+        "2",
+        "--rounds",
+        "50",
+        "--shutdown",
+        "--addr",
+        REFRESH_ADDR,
+    ]);
+    run_step("loadgen (net_p99_us)", &mut loadgen);
+
+    match server.wait() {
+        Ok(status) if status.success() => {}
+        Ok(status) => {
+            eprintln!("--refresh: serve process exited with {status}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("--refresh: failed to reap the serve process: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn write_baseline(current: &BenchSummary) {
+    std::fs::create_dir_all("ci").expect("create ci dir");
+    let file = std::fs::File::create(BASELINE_PATH).expect("create baseline");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), current)
+        .expect("serialize baseline");
+    println!("wrote {BASELINE_PATH}");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let refresh = args.iter().any(|a| a == "--refresh");
+    let update_baseline = args.iter().any(|a| a == "--update-baseline");
+
     let input = std::env::var("DLCM_BENCH_JSON").unwrap_or_else(|_| "target/bench.jsonl".into());
+    if refresh {
+        refresh_measurements(&input);
+    }
+
     let raw = std::fs::read_to_string(&input).unwrap_or_else(|e| {
         eprintln!("cannot read {input}: {e}");
         eprintln!("run the benches first:");
         eprintln!("  DLCM_BENCH_QUICK=1 DLCM_BENCH_JSON={input} cargo bench -p dlcm-bench");
+        eprintln!("or let the gate run everything itself:");
+        eprintln!("  cargo run --release -p dlcm-bench --bin bench_gate -- --refresh");
         std::process::exit(2);
     });
     let records: Vec<BenchRecord> = raw
@@ -182,20 +395,14 @@ fn main() {
     dlcm_bench::write_json("BENCH_eval.json", &current);
     println!("bench summary (ns/candidate): {current:#?}");
 
-    if std::env::args().any(|a| a == "--update-baseline") {
-        std::fs::create_dir_all("ci").expect("create ci dir");
-        let file = std::fs::File::create(BASELINE_PATH).expect("create baseline");
-        serde_json::to_writer_pretty(std::io::BufWriter::new(file), &current)
-            .expect("serialize baseline");
-        println!("wrote {BASELINE_PATH}");
+    if refresh || update_baseline {
+        write_baseline(&current);
         return;
     }
 
     let Ok(baseline_raw) = std::fs::read_to_string(BASELINE_PATH) else {
         println!("no committed baseline at {BASELINE_PATH}; skipping the gate");
-        println!(
-            "(create one with: cargo run -p dlcm-bench --bin bench_gate -- --update-baseline)"
-        );
+        println!("(create one with: cargo run -p dlcm-bench --bin bench_gate -- --refresh)");
         return;
     };
     let baseline: BenchSummary = serde_json::from_str(&baseline_raw).expect("valid baseline");
@@ -203,47 +410,101 @@ fn main() {
     // `DLCM_BENCH_TOLERANCE` overrides the default 1.25x for slow or
     // noisy runner classes (per-candidate ns are absolute; a runner much
     // slower than the one that recorded the baseline needs headroom, or
-    // a baseline refreshed with --update-baseline on its own class).
+    // a baseline refreshed with --refresh on its own class). The same
+    // knob scales the speedup drop allowance: tolerance 1.25 ⇒ a ratio
+    // may drop at most 25% below its baseline.
     let tolerance = std::env::var("DLCM_BENCH_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(REGRESSION_TOLERANCE);
+    let max_drop = tolerance - 1.0;
 
-    let mut failed = false;
-    for (name, now, base) in gated(&current, &baseline) {
-        if now <= 0.0 {
+    let runner_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let floors_enforced = runner_cores >= FLOOR_MIN_CORES;
+
+    let mut metrics = Vec::new();
+    for (name, now, base) in latency_metrics(&current, &baseline) {
+        let (status, failed) = if now <= 0.0 {
             // A gated bench that produced no measurement means the bench
             // was renamed or removed: that silently disables its gate,
             // which must fail loudly rather than pass green.
-            println!("{name:<34} MISSING measurement (bench renamed/removed?)");
-            failed = true;
-            continue;
-        }
-        if base <= 0.0 {
-            println!("{name:<34} skipped (not in baseline yet; refresh with --update-baseline)");
-            continue;
-        }
-        let ratio = now / base;
-        let status = if ratio > tolerance {
-            failed = true;
-            "REGRESSED"
+            ("missing", true)
+        } else if base <= 0.0 {
+            ("no-baseline", false)
+        } else if now / base > tolerance {
+            ("regressed", true)
         } else {
-            "ok"
+            ("ok", false)
         };
-        println!("{name:<34} {now:>12.1} ns vs baseline {base:>12.1} ns ({ratio:>5.2}x) {status}");
+        metrics.push(MetricVerdict {
+            name,
+            kind: "latency",
+            current: now,
+            baseline: base,
+            ratio: if base > 0.0 { now / base } else { 0.0 },
+            floor: None,
+            status,
+            failed,
+        });
     }
-    println!(
-        "parallel_speedup_x                 {:>12.2} (not gated: depends on runner cores)",
-        current.parallel_speedup_x
-    );
-    println!(
-        "suite_search_speedup_x             {:>12.2} (not gated: depends on runner cores)",
-        current.suite_search_speedup_x
-    );
-    if failed {
+    for (name, now, base) in speedup_metrics(&current, &baseline) {
+        let (status, failed) = if now <= 0.0 {
+            ("missing", true)
+        } else if floors_enforced && now < SPEEDUP_FLOOR {
+            ("below-floor", true)
+        } else if base > 0.0 && now < base * (1.0 - max_drop) {
+            ("regressed", true)
+        } else if !floors_enforced {
+            ("floor-skipped", false)
+        } else {
+            ("ok", false)
+        };
+        metrics.push(MetricVerdict {
+            name,
+            kind: "speedup",
+            current: now,
+            baseline: base,
+            ratio: if base > 0.0 { now / base } else { 0.0 },
+            floor: floors_enforced.then_some(SPEEDUP_FLOOR),
+            status,
+            failed,
+        });
+    }
+
+    for v in &metrics {
+        let unit = if v.kind == "latency" { "ns" } else { "x" };
+        println!(
+            "{:<34} {:>12.2} {unit} vs baseline {:>12.2} {unit} ({:>5.2}x) {}",
+            v.name, v.current, v.baseline, v.ratio, v.status
+        );
+    }
+    if !floors_enforced {
+        // Loud, not silent: the floors exist and this runner cannot
+        // check them.
+        println!(
+            "SPEEDUP FLOORS SKIPPED: runner reports {runner_cores} core(s) < {FLOOR_MIN_CORES}; \
+             the {SPEEDUP_FLOOR}x floors only enforce on the CI bench class"
+        );
+    }
+
+    let passed = !metrics.iter().any(|v| v.failed);
+    let report = GateReport {
+        passed,
+        tolerance,
+        speedup_floor: SPEEDUP_FLOOR,
+        runner_cores,
+        floors_enforced,
+        metrics,
+    };
+    dlcm_bench::write_json("bench_gate.json", &report);
+
+    if !passed {
         eprintln!(
-            "bench gate FAILED: a gated metric regressed more than {:.0}% vs {BASELINE_PATH}, or went missing",
-            100.0 * (tolerance - 1.0)
+            "bench gate FAILED: a latency metric regressed more than {:.0}%, a speedup ratio \
+             dropped more than {:.0}% or fell below the {SPEEDUP_FLOOR}x floor, or a measurement \
+             went missing — see results/bench_gate.json",
+            100.0 * (tolerance - 1.0),
+            100.0 * max_drop,
         );
         std::process::exit(1);
     }

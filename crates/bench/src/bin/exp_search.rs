@@ -21,7 +21,12 @@
 //! `--threads` / `--search-threads` setting (CI diffs them).
 //!
 //! `cargo run --release -p dlcm-bench --bin exp_search [--quick]
-//! [--threads N] [--search-threads N] [--model-artifact DIR]`
+//! [--threads N] [--search-threads N] [--par-cutover N]
+//! [--model-artifact DIR]`
+//!
+//! `--par-cutover N` keeps execution batches smaller than `N`
+//! candidates on the calling thread (fan-out overhead exceeds the win
+//! for tiny batches); scores are bit-identical either way.
 //!
 //! `--model-artifact DIR` scores BSM/MCTS with a saved, validated
 //! `ModelArtifact` (its manifest supplies the featurizer schema) instead
@@ -145,8 +150,10 @@ fn main() {
     // The one execution evaluator every search that pays (simulated)
     // compile+run shares: candidate batches fan out across `threads`
     // workers, concurrent searches across `search_threads`.
-    let shared_exec =
-        SharedCachedEvaluator::new(ParallelEvaluator::new(harness.clone(), 0, threads));
+    let shared_exec = SharedCachedEvaluator::new(
+        ParallelEvaluator::new(harness.clone(), 0, threads)
+            .with_par_cutover(dlcm_bench::par_cutover()),
+    );
     let factory = model_factory(&model, &featurizer, &halide);
     let results = SearchDriver::new(search_threads).run_suite(&jobs, &shared_exec, &factory);
 

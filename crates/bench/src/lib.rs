@@ -129,6 +129,15 @@ pub fn shards() -> usize {
     positive_flag("shards", 4)
 }
 
+/// Seq-vs-par batch-size cutover for parallel evaluation:
+/// `--par-cutover N` (or `--par-cutover=N`), defaulting to
+/// [`dlcm_eval::DEFAULT_PAR_CUTOVER`]. Batches smaller than N run
+/// inline instead of waking the worker pool; `1` disables the cutover.
+/// Like `--threads`, this never changes results — only wall-clock.
+pub fn par_cutover() -> usize {
+    positive_flag("par-cutover", dlcm_eval::DEFAULT_PAR_CUTOVER)
+}
+
 /// Concurrent-search count for the suite driver: `--search-threads N`
 /// (or `--search-threads=N`), defaulting to 1.
 ///

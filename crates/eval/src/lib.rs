@@ -97,7 +97,7 @@ pub use cache::{CachedEvaluator, DEFAULT_CACHE_CAPACITY};
 pub use exec::ExecutionEvaluator;
 pub use lru::LruMap;
 pub use model::ModelEvaluator;
-pub use parallel::ParallelEvaluator;
+pub use parallel::{ParallelEvaluator, DEFAULT_PAR_CUTOVER};
 pub use shared::{ScopedEvaluator, SharedCachedEvaluator, SyncEvaluator};
 pub use stats::EvalStats;
 

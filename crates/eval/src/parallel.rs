@@ -23,6 +23,12 @@ use dlcm_machine::Measurement;
 use crate::exec::ExecCore;
 use crate::{pool, EvalStats, Evaluator, SyncEvaluator};
 
+/// Default [`ParallelEvaluator::par_cutover`]: batches smaller than this
+/// run inline on the caller's thread. At ~4.5µs per simulated execution,
+/// a sub-8-candidate batch finishes in the same order of magnitude as
+/// the pool's enqueue + wakeup cost, so fanning it out can only lose.
+pub const DEFAULT_PAR_CUTOVER: usize = 8;
+
 /// Execution evaluation fanned out across the persistent worker pool.
 ///
 /// Semantically identical to [`crate::ExecutionEvaluator`] with the same
@@ -32,10 +38,16 @@ use crate::{pool, EvalStats, Evaluator, SyncEvaluator};
 /// remains the *simulated* sequential cost (the paper's cluster hides
 /// compile+run latency the same way; Table 2 still reports total machine
 /// seconds).
+///
+/// Batches smaller than the **cutover** ([`DEFAULT_PAR_CUTOVER`] unless
+/// [`ParallelEvaluator::with_par_cutover`] says otherwise) skip the pool
+/// and run inline — scores are bit-identical either way (the pool
+/// assembles by index), so the cutover is purely a latency knob.
 #[derive(Debug)]
 pub struct ParallelEvaluator {
     core: ExecCore,
     threads: usize,
+    par_cutover: usize,
     state: Mutex<State>,
 }
 
@@ -62,6 +74,7 @@ impl Clone for ParallelEvaluator {
         Self {
             core: self.core.clone(),
             threads: self.threads,
+            par_cutover: self.par_cutover,
             state: Mutex::new(self.state.lock().expect("evaluator state").clone()),
         }
     }
@@ -79,6 +92,7 @@ impl ParallelEvaluator {
                 compile_cost: 2.0,
             },
             threads: threads.max(1),
+            par_cutover: DEFAULT_PAR_CUTOVER,
             state: Mutex::new(State::default()),
         }
     }
@@ -86,6 +100,21 @@ impl ParallelEvaluator {
     /// Number of worker threads used per batch.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Overrides the seq-vs-par cutover: batches with fewer than
+    /// `cutover` candidates run inline instead of enlisting pool
+    /// helpers. `1` disables the cutover entirely (every multi-candidate
+    /// batch fans out); results never change either way.
+    #[must_use]
+    pub fn with_par_cutover(mut self, cutover: usize) -> Self {
+        self.par_cutover = cutover.max(1);
+        self
+    }
+
+    /// The current seq-vs-par batch-size cutover.
+    pub fn par_cutover(&self) -> usize {
+        self.par_cutover
     }
 
     /// The underlying harness.
@@ -141,7 +170,15 @@ impl SyncEvaluator for ParallelEvaluator {
         // the sequential evaluator does on its first candidate.
         let (base, mut delta) = self.base_time(program);
         let core = &self.core;
-        let scored = pool::parallel_map(self.threads, schedules.len(), |i| {
+        // Adaptive cutover: a batch too small to amortize the pool's
+        // enqueue + wakeup runs inline (threads = 1 short-circuits to a
+        // plain sequential loop inside `parallel_map`).
+        let threads = if schedules.len() < self.par_cutover {
+            1
+        } else {
+            self.threads
+        };
+        let scored = pool::parallel_map(threads, schedules.len(), |i| {
             core.score(program, base, &schedules[i])
         });
         // Fold stats in candidate order, one += per candidate on both the
@@ -241,6 +278,31 @@ mod tests {
             assert_eq!(par.stats().num_evals, seq.stats().num_evals);
             assert_eq!(par.stats().search_time, seq.stats().search_time);
             assert_eq!(par.stats().compile_time, seq.stats().compile_time);
+        }
+    }
+
+    #[test]
+    fn cutover_never_changes_scores_or_stats() {
+        let p = mm(96);
+        let schedules = wave(); // 5 candidates
+        let reference = {
+            let mut ev = ParallelEvaluator::new(Measurement::new(Machine::default()), 11, 1);
+            let scores = ev.speedup_batch(&p, &schedules);
+            (scores, ev.stats())
+        };
+        // Cutover above the batch (runs inline), at it, below it (fans
+        // out), and disabled: all four bit-identical.
+        for cutover in [1, 5, 6, 64] {
+            let mut ev = ParallelEvaluator::new(Measurement::new(Machine::default()), 11, 4)
+                .with_par_cutover(cutover);
+            assert_eq!(ev.par_cutover(), cutover);
+            let scores = ev.speedup_batch(&p, &schedules);
+            assert_eq!(scores, reference.0, "cutover={cutover} changed scores");
+            assert_eq!(
+                ev.stats().search_time,
+                reference.1.search_time,
+                "cutover={cutover} changed accounting"
+            );
         }
     }
 

@@ -3,12 +3,23 @@
 //!
 //! [`parallel_map`] distributes `0..len` across up to `threads` workers
 //! through a shared atomic cursor (work stealing: a worker that draws a
-//! cheap candidate simply comes back for the next index sooner), and
-//! returns results **in index order** regardless of which thread computed
-//! what. Combined with a pure per-candidate function this makes parallel
+//! cheap chunk simply comes back for the next one sooner), and returns
+//! results **in index order** regardless of which thread computed what.
+//! Combined with a pure per-candidate function this makes parallel
 //! evaluation bit-identical to sequential evaluation: same values, same
 //! order, same floating-point reduction order for any stats folded over
 //! the returned vector.
+//!
+//! Distribution is **chunked**: each `fetch_add` on the cursor claims a
+//! contiguous range of `grain` indices, not a single item, so the
+//! per-item cost of dispatch is one atomic RMW divided by the grain
+//! rather than one per candidate. [`auto_grain`] picks the default —
+//! several chunks per worker, so stragglers still rebalance — and
+//! [`parallel_map_grained`] exposes the grain for callers with their own
+//! cost model (the suite driver hands out whole searches; candidate
+//! batches want finer slicing). Chunking changes *which thread* computes
+//! an index, never the result: assembly is by index, so any grain is
+//! bit-identical to sequential.
 //!
 //! Workers are **persistent**: the first call spawns OS threads into a
 //! process-wide pool and later calls reuse them, so the per-batch cost is
@@ -33,16 +44,32 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+/// How many chunks [`auto_grain`] aims to hand each worker. More chunks
+/// per worker = better rebalancing when per-item cost is skewed; fewer =
+/// less cursor traffic. Four is comfortably past the point where the
+/// atomic RMW disappears from profiles while still letting a straggler
+/// shed 3/4 of its share.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Default chunk size for a batch of `len` items over `threads` workers:
+/// `len / (threads * 4)`, clamped to at least 1. Small batches degrade to
+/// grain 1 (identical to per-item dispatch); large batches claim ranges
+/// big enough that dispatch cost vanishes per item.
+pub fn auto_grain(len: usize, threads: usize) -> usize {
+    (len / (threads.max(1) * CHUNKS_PER_WORKER)).max(1)
+}
+
 /// Maps `f` over `0..len` using up to `threads` concurrent workers (the
-/// caller plus `threads - 1` pool helpers), returning `f(0), f(1), …` in
-/// index order.
+/// caller plus pool helpers), returning `f(0), f(1), …` in index order.
+/// Work is claimed in contiguous chunks of [`auto_grain`] items; use
+/// [`parallel_map_grained`] to pick the grain explicitly.
 ///
 /// `f` must be pure with respect to ordering: it is called at most once
 /// per index, but from arbitrary threads in arbitrary order. With
 /// `threads <= 1` (or a single-element batch) everything runs inline on
 /// the caller's thread — no pool traffic, identical results.
 ///
-/// If `f` panics on any thread, the batch is aborted (no new indices are
+/// If `f` panics on any thread, the batch is aborted (no new chunks are
 /// claimed) and the panic is re-raised on the caller's thread once every
 /// enlisted helper has stopped touching the batch.
 pub fn parallel_map<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
@@ -50,7 +77,25 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let workers = threads.min(len);
+    parallel_map_grained(threads, len, auto_grain(len, threads), f)
+}
+
+/// [`parallel_map`] with an explicit chunk size: each cursor claim hands
+/// a worker the contiguous index range `[start, start + grain)` (clipped
+/// to `len`). The grain trades dispatch overhead against rebalancing;
+/// it never affects results — assembly is by index, so every grain
+/// (including `grain >= len`, which runs single-chunk) returns exactly
+/// the sequential output.
+pub fn parallel_map_grained<R, F>(threads: usize, len: usize, grain: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let grain = grain.max(1);
+    // No point enlisting more workers than there are chunks: with
+    // grain >= len a single worker (the caller) claims everything, so
+    // the whole call degenerates to the inline loop below.
+    let workers = threads.min(len.div_ceil(grain));
     if workers <= 1 {
         return (0..len).map(f).collect();
     }
@@ -58,6 +103,7 @@ where
     let batch = Batch::<R, F> {
         f: &f,
         len,
+        grain,
         cursor: AtomicUsize::new(0),
         abort: AtomicBool::new(false),
         results: Mutex::new(Vec::new()),
@@ -85,11 +131,13 @@ where
     // The caller is always one of its own workers.
     let mut local: Vec<(usize, R)> = Vec::new();
     while !batch.abort.load(Ordering::SeqCst) {
-        let i = batch.cursor.fetch_add(1, Ordering::Relaxed);
-        if i >= len {
+        let start = batch.cursor.fetch_add(grain, Ordering::Relaxed);
+        if start >= len {
             break;
         }
-        local.push((i, f(i)));
+        for i in start..(start + grain).min(len) {
+            local.push((i, f(i)));
+        }
     }
     drop(guard);
 
@@ -127,6 +175,7 @@ pub fn worker_count() -> usize {
 struct Batch<'a, R, F> {
     f: &'a F,
     len: usize,
+    grain: usize,
     cursor: AtomicUsize,
     abort: AtomicBool,
     results: Mutex<Vec<(usize, R)>>,
@@ -150,11 +199,13 @@ where
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         let mut local: Vec<(usize, R)> = Vec::new();
         while !batch.abort.load(Ordering::SeqCst) {
-            let i = batch.cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= batch.len {
+            let start = batch.cursor.fetch_add(batch.grain, Ordering::Relaxed);
+            if start >= batch.len {
                 break;
             }
-            local.push((i, (batch.f)(i)));
+            for i in start..(start + batch.grain).min(batch.len) {
+                local.push((i, (batch.f)(i)));
+            }
         }
         local
     }));
@@ -299,6 +350,40 @@ mod tests {
             let out = parallel_map(threads, 23, |i| i * i);
             assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn every_grain_matches_sequential() {
+        let expected: Vec<usize> = (0..37).map(|i| i * 3 + 1).collect();
+        for threads in [2, 4, 8] {
+            for grain in [1, 2, 3, 5, 8, 16, 37, 100] {
+                let out = parallel_map_grained(threads, 37, grain, |i| i * 3 + 1);
+                assert_eq!(out, expected, "threads={threads} grain={grain}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_grain_is_sane() {
+        // Small batches never skip indices or starve workers…
+        assert_eq!(auto_grain(3, 8), 1);
+        assert_eq!(auto_grain(0, 4), 1);
+        // …large batches claim multi-item ranges, several per worker.
+        let g = auto_grain(1024, 4);
+        assert!(g > 1, "large batches must chunk (got grain {g})");
+        assert!(
+            g * CHUNKS_PER_WORKER * 4 <= 1024,
+            "each worker still gets several chunks to rebalance with"
+        );
+    }
+
+    #[test]
+    fn chunks_cover_odd_batch_and_batch_smaller_than_workers() {
+        // batch < workers: only ceil(len/grain) helpers are enlisted.
+        assert_eq!(parallel_map_grained(8, 3, 2, |i| i), vec![0, 1, 2]);
+        // Odd length not divisible by grain: the tail chunk is clipped.
+        let out = parallel_map_grained(4, 11, 4, |i| i);
+        assert_eq!(out, (0..11).collect::<Vec<_>>());
     }
 
     #[test]

@@ -192,6 +192,100 @@ fn cached_evaluator_batch_equals_sequential() {
     assert_eq!(stacked, one_by_one, "cached+parallel must match sequential");
 }
 
+/// A longer, structure-diverse wave for chunk-boundary coverage: odd
+/// length (13) so no (threads, grain) pair divides it evenly.
+fn long_wave() -> Vec<Schedule> {
+    let mut wave = candidates();
+    for factor in [2, 8, 16] {
+        wave.push(Schedule::new(vec![Transform::Vectorize {
+            comp: CompId(1),
+            factor,
+        }]));
+    }
+    for size in [8, 16, 64] {
+        wave.push(Schedule::new(vec![Transform::Tile {
+            comp: CompId(1),
+            level_a: 0,
+            level_b: 1,
+            size_a: size,
+            size_b: size,
+        }]));
+    }
+    wave.push(Schedule::new(vec![Transform::Unroll {
+        comp: CompId(0),
+        factor: 2,
+    }]));
+    assert_eq!(wave.len(), 13);
+    wave
+}
+
+/// The chunked-dispatch contract: odd batch sizes, batches smaller than
+/// the worker count, and single-candidate batches all score exactly like
+/// the sequential evaluator, at every thread count. Cutover is forced to
+/// 1 so even the tiny batches genuinely enlist pool helpers.
+#[test]
+fn chunked_dispatch_covers_odd_batches_and_batch_smaller_than_workers() {
+    let program = pipeline(128);
+    let wave = long_wave();
+    let seed = 42;
+
+    let mut sequential = ExecutionEvaluator::new(Measurement::new(Machine::default()), seed);
+    let reference: Vec<f64> = wave
+        .iter()
+        .map(|s| sequential.speedup(&program, s))
+        .collect();
+
+    for threads in [2, 5, 16] {
+        for take in [1usize, 3, 7, 13] {
+            let mut par =
+                ParallelEvaluator::new(Measurement::new(Machine::default()), seed, threads)
+                    .with_par_cutover(1);
+            let got = par.speedup_batch(&program, &wave[..take]);
+            assert_eq!(
+                got,
+                reference[..take],
+                "threads={threads}, batch={take}: chunked scores diverged"
+            );
+        }
+        // Full wave again, checking the folded accounting too.
+        let mut par = ParallelEvaluator::new(Measurement::new(Machine::default()), seed, threads)
+            .with_par_cutover(1);
+        let got = par.speedup_batch(&program, &wave);
+        assert_eq!(got, reference);
+        assert_eq!(par.stats().num_evals, sequential.stats().num_evals);
+        assert_eq!(par.stats().search_time, sequential.stats().search_time);
+    }
+}
+
+/// The SoA forward kernel behind `ModelEvaluator` (CostModel overrides
+/// `infer_batch`) must keep batch/sequential parity at odd batch sizes
+/// and for structure groups of one.
+#[test]
+fn model_evaluator_soa_path_matches_sequential_at_odd_sizes() {
+    let program = pipeline(64);
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let model = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 7);
+
+    // 13 candidates spanning several tree structures; the fused one is a
+    // group of exactly one row.
+    let wave = long_wave();
+    let mut sequential = ModelEvaluator::new(&model, featurizer.clone());
+    let reference: Vec<f64> = wave
+        .iter()
+        .map(|s| sequential.speedup(&program, s))
+        .collect();
+
+    for take in [1usize, 3, 7, 13] {
+        let mut batched = ModelEvaluator::new(&model, featurizer.clone());
+        let got = batched.speedup_batch(&program, &wave[..take]);
+        assert_eq!(
+            got,
+            reference[..take],
+            "batch={take}: SoA batched scores diverged from sequential"
+        );
+    }
+}
+
 /// Opposite fusion choices on a 3-computation program produce
 /// isomorphic tree *shapes* with different computations in each
 /// position. They must land in different batch groups (the batched

@@ -111,23 +111,41 @@ pub trait SpeedupPredictor: Send + Sync {
 
     /// Inference: predicted speedup (dropout disabled).
     fn predict(&self, feats: &ProgramFeatures) -> f64 {
+        self.infer_batch(std::slice::from_ref(&feats))
+            .pop()
+            .expect("one sample in, one prediction out")
+    }
+
+    /// Inference-mode batched forward pass over structure-identical
+    /// samples, returning the raw (unclamped) prediction column.
+    ///
+    /// The default runs [`SpeedupPredictor::forward_batch`] on a fresh
+    /// inference tape with the fixed dropout seed — semantically the
+    /// reference path. Implementations may override it with a faster
+    /// equivalent kernel, but the override must stay **bit-identical**
+    /// to this default ([`CostModel`] overrides it with the arena SoA
+    /// walk; `tests/soa_parity.rs` pins the equivalence).
+    fn infer_batch(&self, batch: &[&ProgramFeatures]) -> Vec<f64> {
         let mut tape = Tape::new();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let out = self.forward(&mut tape, feats, &mut rng);
-        f64::from(tape.value(out).item())
+        let pred = self.forward_batch(&mut tape, batch, &mut rng);
+        let values = tape.value(pred);
+        (0..batch.len())
+            .map(|row| f64::from(values.get(row, 0)))
+            .collect()
     }
 }
 
 /// The paper's recursive cost model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CostModel {
-    cfg: CostModelConfig,
-    store: ParamStore,
-    embed: Mlp,
-    lstm_comps: LstmCell,
-    lstm_loops: LstmCell,
-    merge: Mlp,
-    regress: Mlp,
+    pub(crate) cfg: CostModelConfig,
+    pub(crate) store: ParamStore,
+    pub(crate) embed: Mlp,
+    pub(crate) lstm_comps: LstmCell,
+    pub(crate) lstm_loops: LstmCell,
+    pub(crate) merge: Mlp,
+    pub(crate) regress: Mlp,
 }
 
 impl CostModel {
@@ -301,6 +319,15 @@ impl SpeedupPredictor for CostModel {
     fn store_mut(&mut self) -> &mut ParamStore {
         &mut self.store
     }
+
+    /// The flattened SoA kernel (`crate::soa`): the same three layers
+    /// walked over a preallocated per-thread arena instead of a tape —
+    /// no per-op graph nodes, no per-op allocation — bit-identical to
+    /// the default by construction (shared matmul kernel, op-for-op
+    /// matched scalar expressions) and by the `soa_parity` test.
+    fn infer_batch(&self, batch: &[&ProgramFeatures]) -> Vec<f64> {
+        crate::soa::infer_batch_soa(self, batch)
+    }
 }
 
 /// The positive output head shared by all architectures: a soft-clamped
@@ -320,10 +347,10 @@ pub fn train_rng(seed: u64, sample: usize) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed ^ (sample as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// Inference-mode scores for one structure-identical batch: one forward
-/// pass on a fresh tape with the fixed seed of
-/// [`SpeedupPredictor::predict`] (dropout inert), outputs clamped
-/// positive.
+/// Inference-mode scores for one structure-identical batch: one
+/// [`SpeedupPredictor::infer_batch`] pass (dropout inert; the arena SoA
+/// kernel for [`CostModel`], the reference tape for everything else),
+/// outputs clamped positive.
 ///
 /// This is *the* scoring kernel every inference surface shares — the
 /// in-process `dlcm_eval::ModelEvaluator` and the `dlcm-serve`
@@ -331,12 +358,10 @@ pub fn train_rng(seed: u64, sample: usize) -> ChaCha8Rng {
 /// in-process evaluation" is a structural fact, not two hand-kept
 /// copies of the same seed/clamp/tape recipe.
 pub fn infer_scores(model: &dyn SpeedupPredictor, rows: &[&ProgramFeatures]) -> Vec<f64> {
-    let mut tape = Tape::new();
-    let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let pred = model.forward_batch(&mut tape, rows, &mut rng);
-    let values = tape.value(pred);
-    (0..rows.len())
-        .map(|row| f64::from(values.get(row, 0)).max(f64::MIN_POSITIVE))
+    model
+        .infer_batch(rows)
+        .into_iter()
+        .map(|v| v.max(f64::MIN_POSITIVE))
         .collect()
 }
 

@@ -52,6 +52,7 @@ mod artifact;
 mod costmodel;
 mod featurize;
 pub mod metrics;
+mod soa;
 mod train;
 
 pub use artifact::{

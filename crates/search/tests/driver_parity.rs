@@ -98,26 +98,51 @@ fn suite_jobs() -> Vec<SearchJob> {
         .collect()
 }
 
-fn run_suite(search_threads: usize, eval_threads: usize) -> Vec<Vec<SearchResult>> {
+fn run_suite_with_cutover(
+    search_threads: usize,
+    eval_threads: usize,
+    par_cutover: usize,
+) -> Vec<Vec<SearchResult>> {
     let jobs = suite_jobs();
-    let shared = SharedCachedEvaluator::new(ParallelEvaluator::new(
-        Measurement::new(Machine::default()),
-        0,
-        eval_threads,
-    ));
+    let shared = SharedCachedEvaluator::new(
+        ParallelEvaluator::new(Measurement::new(Machine::default()), 0, eval_threads)
+            .with_par_cutover(par_cutover),
+    );
     SearchDriver::new(search_threads).run_suite(&jobs, &shared, &exec_model)
+}
+
+fn run_suite(search_threads: usize, eval_threads: usize) -> Vec<Vec<SearchResult>> {
+    run_suite_with_cutover(search_threads, eval_threads, 1)
 }
 
 #[test]
 fn suite_results_are_identical_at_any_search_thread_count() {
     let reference = run_suite(1, 1);
     assert_eq!(reference.len(), 5);
-    for (search_threads, eval_threads) in [(2, 1), (4, 1), (4, 2)] {
+    // eval_threads=8 exceeds most beam-wave batch sizes here, so chunked
+    // dispatch runs with more workers than items; cutover is pinned to 1
+    // throughout so small batches still fan out.
+    for (search_threads, eval_threads) in [(2, 1), (4, 1), (4, 2), (2, 8)] {
         let got = run_suite(search_threads, eval_threads);
         assert_eq!(
             got, reference,
             "search_threads={search_threads}, eval_threads={eval_threads} changed \
              a SearchResult (schedule, score, or per-search stats)"
+        );
+    }
+}
+
+#[test]
+fn par_cutover_is_a_latency_knob_not_a_semantic_one() {
+    // Cutover 1 (everything fans out), the default 8, and a value larger
+    // than any batch in these searches (everything runs inline) must all
+    // reproduce the sequential suite exactly.
+    let reference = run_suite(1, 1);
+    for cutover in [1, dlcm_eval::DEFAULT_PAR_CUTOVER, 10_000] {
+        let got = run_suite_with_cutover(2, 4, cutover);
+        assert_eq!(
+            got, reference,
+            "par_cutover={cutover} changed a SearchResult"
         );
     }
 }

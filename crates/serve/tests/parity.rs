@@ -129,6 +129,43 @@ fn concurrent_clients_get_bit_identical_answers() {
 }
 
 #[test]
+fn odd_wave_sizes_and_singletons_serve_identically() {
+    // The service's micro-batcher now forwards through the SoA arena
+    // kernel (`CostModel::infer_batch`); waves of 1, 3, and 7 — each a
+    // prefix of the 5-schedule wave plus extensions, containing
+    // structure groups of exactly one row — must still match in-process
+    // evaluation bit for bit.
+    let m = model();
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let p = program("p", 96);
+
+    let mut extended = wave();
+    extended.push(Schedule::new(vec![Transform::Unroll {
+        comp: CompId(0),
+        factor: 2,
+    }]));
+    extended.push(Schedule::new(vec![Transform::Vectorize {
+        comp: CompId(0),
+        factor: 8,
+    }]));
+    assert_eq!(extended.len(), 7);
+
+    let mut direct = ModelEvaluator::new(&m, featurizer.clone());
+    let reference = direct.speedup_batch(&p, &extended);
+
+    for take in [1usize, 3, 7] {
+        let service = InferenceService::new(m.clone(), featurizer.clone(), ServeConfig::default());
+        let (served, delta) = service.speedup_batch_shared(&p, &extended[..take]);
+        assert_eq!(
+            served,
+            reference[..take],
+            "wave of {take}: served scores diverged from in-process"
+        );
+        assert_eq!(delta.num_evals, take);
+    }
+}
+
+#[test]
 fn beam_search_against_the_service_matches_in_process_search() {
     // The PR 4 driver contract: anything that searches through a
     // `&mut dyn Evaluator` can search against the served model

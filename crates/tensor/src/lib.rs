@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod init;
+pub mod kernel;
 pub mod loss;
 pub mod nn;
 pub mod optim;

@@ -10,6 +10,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::init::glorot_uniform;
+use crate::kernel::{Arena, MatId};
 use crate::tape::{ParamId, Tape, Var};
 use crate::tensor::Tensor;
 
@@ -200,6 +201,14 @@ impl Linear {
         let xw = tape.matmul(x, w);
         tape.add_row_broadcast(xw, b)
     }
+
+    /// Arena counterpart of [`Linear::forward`]: `x·W` then the in-place
+    /// bias broadcast — the same two evaluation steps, bit-identical.
+    pub fn forward_soa(&self, arena: &mut Arena, store: &ParamStore, x: MatId) -> MatId {
+        let xw = arena.matmul(x, store.get(self.w));
+        arena.add_bias(xw, store.get(self.b));
+        xw
+    }
 }
 
 /// Activation functions available to [`Mlp`].
@@ -223,6 +232,17 @@ impl Activation {
             Activation::Relu => tape.relu(x),
             Activation::Tanh => tape.tanh(x),
             Activation::Identity => x,
+        }
+    }
+
+    /// In-place arena counterpart of [`Activation::apply`]; each arm is
+    /// the exact scalar expression its tape op evaluates.
+    pub fn apply_soa(self, arena: &mut Arena, x: MatId) {
+        match self {
+            Activation::Elu => arena.apply(x, |v| if v > 0.0 { v } else { v.exp() - 1.0 }),
+            Activation::Relu => arena.apply(x, |v| v.max(0.0)),
+            Activation::Tanh => arena.apply(x, f32::tanh),
+            Activation::Identity => {}
         }
     }
 }
@@ -294,6 +314,22 @@ impl Mlp {
                 if self.dropout > 0.0 {
                     h = tape.dropout(h, self.dropout, rng);
                 }
+            }
+        }
+        h
+    }
+
+    /// Inference-mode arena counterpart of [`Mlp::forward`]: the same
+    /// layer/activation cadence, with dropout omitted outright — on an
+    /// inference tape (`Tape::new`) dropout is an identity that consumes
+    /// no randomness, so skipping it changes nothing.
+    pub fn infer_soa(&self, arena: &mut Arena, store: &ParamStore, x: MatId) -> MatId {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_soa(arena, store, h);
+            if i < last || self.activate_last {
+                self.activation.apply_soa(arena, h);
             }
         }
         h
@@ -424,6 +460,52 @@ impl LstmCell {
             state = self.step(tape, store, x, state);
         }
         state
+    }
+
+    /// One gate preactivation on the arena: `(x·Wx + h·Wh) + b`, the
+    /// association [`LstmCell::step`] produces (`add` of the two
+    /// products, then the bias broadcast).
+    fn gate_soa(
+        &self,
+        arena: &mut Arena,
+        store: &ParamStore,
+        idx: usize,
+        x: MatId,
+        h: MatId,
+    ) -> MatId {
+        let xw = arena.matmul(x, store.get(self.wx[idx]));
+        let hw = arena.matmul(h, store.get(self.wh[idx]));
+        arena.add_assign(xw, hw);
+        arena.add_bias(xw, store.get(self.b[idx]));
+        xw
+    }
+
+    /// Arena counterpart of [`LstmCell::run`] (inference): returns the
+    /// final hidden state, a zeroed `rows x hidden_dim` matrix for an
+    /// empty sequence — exactly what the tape's zero initial state
+    /// yields.
+    pub fn run_soa(
+        &self,
+        arena: &mut Arena,
+        store: &ParamStore,
+        inputs: &[MatId],
+        rows: usize,
+    ) -> MatId {
+        let mut h = arena.alloc(rows, self.hidden_dim);
+        let mut c = arena.alloc(rows, self.hidden_dim);
+        for &x in inputs {
+            let i_pre = self.gate_soa(arena, store, 0, x, h);
+            let f_pre = self.gate_soa(arena, store, 1, x, h);
+            let g_pre = self.gate_soa(arena, store, 2, x, h);
+            let o_pre = self.gate_soa(arena, store, 3, x, h);
+            arena.apply(i_pre, |v| 1.0 / (1.0 + (-v).exp()));
+            arena.apply(f_pre, |v| 1.0 / (1.0 + (-v).exp()));
+            arena.apply(g_pre, f32::tanh);
+            arena.apply(o_pre, |v| 1.0 / (1.0 + (-v).exp()));
+            c = arena.lstm_cell_state(f_pre, c, i_pre, g_pre);
+            h = arena.lstm_hidden(o_pre, c);
+        }
+        h
     }
 }
 

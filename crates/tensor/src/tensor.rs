@@ -201,31 +201,9 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; m * n];
-        let a = &self.data;
-        let b = &other.data;
-        let row_kernel = |i: usize, orow: &mut [f32]| {
-            let arow = &a[i * k..(i + 1) * k];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
-                }
-            }
-        };
-        if m * k * n >= 1 << 20 {
-            // Large products: split output rows across threads.
-            use rayon::prelude::*;
-            out.par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(i, orow)| row_kernel(i, orow));
-        } else {
-            for (i, orow) in out.chunks_mut(n).enumerate() {
-                row_kernel(i, orow);
-            }
-        }
+        // The inner loop lives in `kernel::matmul_into`, shared with the
+        // arena inference path so tape and SoA products cannot drift.
+        crate::kernel::matmul_into(&self.data, m, k, &other.data, n, &mut out);
         Tensor::from_vec(m, n, out)
     }
 
