@@ -19,7 +19,20 @@
 //!   `dlcm_net::NetServer` and run in the foreground until a client
 //!   sends the protocol's `Shutdown` frame (which `loadgen --shutdown`
 //!   does), then drain and print the final serving counters. Drive it
-//!   with the `loadgen` binary or any `dlcm_net::NetClient`.
+//!   with the `loadgen` binary or any `dlcm_net::NetClient`;
+//! - `reload ADDR --artifact DIR` — hot-swap a **running** server onto
+//!   the artifact at `DIR` (a path on the server's filesystem) without
+//!   dropping connections. A rejected reload (corrupt artifact,
+//!   mismatched featurizer schema, mid-drain) exits nonzero and the
+//!   incumbent keeps serving;
+//! - `promote ADDR --artifact DIR` — the shadow A/B gate: mirror a
+//!   fixed-seed query window to the incumbent (over the wire) and the
+//!   candidate (in-process), compare both against deterministic
+//!   simulated ground truth, and promote the candidate — an atomic
+//!   `Reload` plus a bit-identical post-swap probe — only if it scores
+//!   strictly better. The decision and both sides' metrics land in
+//!   `results/promotion.json`; `--dry-run` records the verdict without
+//!   swapping.
 //!
 //! ```text
 //! modelctl train [--quick] [--threads N] [--shards K] [--epochs N] [--out DIR]
@@ -28,22 +41,27 @@
 //! modelctl serve --bench [--quick] [--artifact DIR] [--clients N] [--threads N] [--rounds N]
 //! modelctl serve --listen ADDR [--artifact DIR] [--threads N] [--cache-capacity N]
 //!                [--max-connections N] [--max-in-flight N]
+//! modelctl reload ADDR --artifact DIR
+//! modelctl promote ADDR --artifact DIR [--window N] [--dry-run] [--quick]
 //! ```
 //!
 //! `DIR` defaults to `results/model_artifact` (what `train` and
-//! `exp_accuracy` write).
+//! `exp_accuracy` write); `ADDR` defaults to `127.0.0.1:7199`
+//! (loadgen's default) and may also be passed as `--addr ADDR`.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+use dlcm_bench::harness;
 use dlcm_bench::{
     evaluate_artifact, load_artifact, model_artifact_dir, positive_flag, quick_mode, shards,
     string_flag, threads, train_from_corpus, write_json,
 };
 use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
 use dlcm_eval::pool::parallel_map;
-use dlcm_eval::SyncEvaluator;
-use dlcm_net::{NetConfig, NetServer};
+use dlcm_eval::{Evaluator, ExecutionEvaluator, ModelEvaluator, SyncEvaluator};
+use dlcm_ir::fingerprint::to_hex;
+use dlcm_net::{NetClient, NetConfig, NetServer};
 use dlcm_serve::{InferenceService, ServeConfig, ServeStats};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -53,6 +71,18 @@ fn artifact_dir_arg() -> PathBuf {
     string_flag("artifact")
         .or_else(|| string_flag("out"))
         .map_or_else(model_artifact_dir, PathBuf::from)
+}
+
+/// The `ADDR` for `reload`/`promote`: `--addr HOST:PORT`, or the first
+/// positional that looks like one, defaulting to loadgen's port.
+fn addr_arg() -> String {
+    string_flag("addr")
+        .or_else(|| {
+            std::env::args()
+                .skip(2)
+                .find(|a| !a.starts_with("--") && a.contains(':'))
+        })
+        .unwrap_or_else(|| "127.0.0.1:7199".into())
 }
 
 fn main() {
@@ -65,10 +95,13 @@ fn main() {
         "info" => info(),
         "eval" => eval(),
         "serve" => serve(),
+        "reload" => reload(),
+        "promote" => promote(),
         other => {
             eprintln!("unknown or missing subcommand {other:?}");
             eprintln!(
-                "usage: modelctl <train|info|eval|serve> [options]  (see --bin modelctl docs)"
+                "usage: modelctl <train|info|eval|serve|reload|promote> [options]  \
+                 (see --bin modelctl docs)"
             );
             std::process::exit(2);
         }
@@ -234,6 +267,216 @@ fn serve() {
         1e3 * stats.mean_latency,
     );
     write_json("serve_bench.json", &report);
+}
+
+fn connect(addr: &str, verb: &str) -> NetClient {
+    NetClient::connect(addr).unwrap_or_else(|e| {
+        eprintln!("modelctl {verb}: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// `reload ADDR --artifact DIR`: hot-swap a running server onto a new
+/// artifact. Any refusal — corrupt artifact, schema mismatch, mid-drain
+/// — exits nonzero with the server's typed reason; the incumbent keeps
+/// serving either way.
+fn reload() {
+    let addr = addr_arg();
+    let dir = artifact_dir_arg();
+    // The server resolves this path on *its* filesystem; send it
+    // absolute so the swap does not depend on the server's working
+    // directory (this CLI targets the same-host CI/dev shape).
+    let dir = dir.canonicalize().unwrap_or(dir);
+    eprintln!("=== modelctl reload (addr={addr}, artifact={dir:?}) ===");
+    let mut client = connect(&addr, "reload");
+    let before = client.model_info().expect("model info");
+    match client.reload(dir.to_str().expect("utf-8 artifact path")) {
+        Ok(info) => println!(
+            "reloaded {addr}: model {} -> {} (swap #{})",
+            before.fingerprint, info.fingerprint, info.model_swaps
+        ),
+        Err(e) => {
+            eprintln!("modelctl reload REFUSED ({e}); the incumbent model keeps serving");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One side of the promotion gate in `results/promotion.json`.
+#[derive(Serialize)]
+struct PromotionSide {
+    fingerprint: String,
+    mape_vs_ground_truth: f64,
+    /// Informational only (wall-clock, machine-dependent): the verdict
+    /// is computed purely from the deterministic score metrics.
+    mean_latency_us: f64,
+}
+
+/// What `promote` writes to `results/promotion.json`.
+#[derive(Serialize)]
+struct PromotionReport {
+    addr: String,
+    window_requests: usize,
+    wave_len: usize,
+    queries: usize,
+    incumbent: PromotionSide,
+    candidate: PromotionSide,
+    mean_abs_score_delta: f64,
+    max_abs_score_delta: f64,
+    verdict: String,
+    action: String,
+    post_swap_fingerprint: Option<String>,
+}
+
+/// `promote ADDR --artifact DIR`: the shadow A/B gate. A fixed-seed
+/// query window is mirrored to the incumbent (served, over the wire)
+/// and the candidate (in-process); both are scored against the
+/// deterministic simulated-execution ground truth, and the candidate is
+/// promoted — an atomic `Reload` plus a bit-identical post-swap probe —
+/// only if its window error is strictly lower. Latency is recorded but
+/// never decides: the verdict is a pure function of the artifacts and
+/// the window, so two runs of the gate agree.
+fn promote() {
+    let addr = addr_arg();
+    let dir = artifact_dir_arg();
+    let quick = quick_mode();
+    let dry_run = std::env::args().any(|a| a == "--dry-run");
+    let window = positive_flag("window", if quick { 6 } else { 24 });
+    let wave_len = 6;
+    eprintln!(
+        "=== modelctl promote (addr={addr}, candidate={dir:?}, window={window}, \
+         dry_run={dry_run}) ==="
+    );
+
+    let dir = dir.canonicalize().unwrap_or(dir);
+    let artifact = load_artifact(&dir);
+    let candidate_fp = to_hex(artifact.weights_fingerprint());
+    let featurizer = artifact.featurizer();
+    let candidate_model = artifact.into_model();
+    let mut candidate_eval = ModelEvaluator::new(&candidate_model, featurizer);
+    // Paper-protocol measurement harness under a fixed seed: the ground
+    // truth for the window is deterministic, so the verdict is too.
+    let mut truth_eval = ExecutionEvaluator::new(harness(), 0);
+
+    let mut client = connect(&addr, "promote");
+    let incumbent_fp = client.model_info().expect("model info").fingerprint;
+    if incumbent_fp == candidate_fp {
+        eprintln!("modelctl promote: candidate is the incumbent ({incumbent_fp}); nothing to gate");
+    }
+
+    // Mirrored traffic: the serve bench's fixed program pool (seed 17)
+    // with promote-reserved wave seeds, so the window never collides
+    // with loadgen's keys and replays identically across runs.
+    let generator = ProgramGenerator::new(ProgramGenConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let programs: Vec<dlcm_ir::Program> = (0..8)
+        .map(|i| generator.generate(&mut rng, &format!("serve{i}")))
+        .collect();
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+
+    let mut incumbent_err = 0.0f64;
+    let mut candidate_err = 0.0f64;
+    let mut delta_sum = 0.0f64;
+    let mut delta_max = 0.0f64;
+    let mut incumbent_us = 0.0f64;
+    let mut candidate_us = 0.0f64;
+    let mut probe: Option<(dlcm_ir::Program, Vec<dlcm_ir::Schedule>, Vec<f64>)> = None;
+    for round in 0..window {
+        let program = &programs[round % programs.len()];
+        let mut wave_rng = ChaCha8Rng::seed_from_u64(0xAB00 + round as u64);
+        let wave = schedgen.generate_distinct(program, wave_len, &mut wave_rng);
+
+        let sent = Instant::now();
+        let incumbent = client.speedups(program, &wave).unwrap_or_else(|e| {
+            eprintln!("modelctl promote: incumbent query failed: {e}");
+            std::process::exit(1);
+        });
+        incumbent_us += sent.elapsed().as_secs_f64() * 1e6;
+        let sent = Instant::now();
+        let candidate = candidate_eval.speedup_batch(program, &wave);
+        candidate_us += sent.elapsed().as_secs_f64() * 1e6;
+        let truth = truth_eval.speedup_batch(program, &wave);
+
+        for ((i, c), t) in incumbent.iter().zip(&candidate).zip(&truth) {
+            incumbent_err += (i - t).abs() / t;
+            candidate_err += (c - t).abs() / t;
+            let delta = (c - i).abs();
+            delta_sum += delta;
+            delta_max = delta_max.max(delta);
+        }
+        if probe.is_none() {
+            probe = Some((program.clone(), wave, candidate));
+        }
+    }
+    let queries = window * wave_len;
+    let incumbent_mape = incumbent_err / queries as f64;
+    let candidate_mape = candidate_err / queries as f64;
+
+    let promote = candidate_mape < incumbent_mape;
+    let verdict = if promote { "promote" } else { "rollback" };
+    let (action, post_swap_fingerprint) = if dry_run {
+        ("dry-run", None)
+    } else if promote {
+        let info = client
+            .reload(dir.to_str().expect("utf-8 artifact path"))
+            .unwrap_or_else(|e| {
+                eprintln!("modelctl promote: swap refused ({e}); the incumbent keeps serving");
+                std::process::exit(1);
+            });
+        // Post-swap probe: the first window request, replayed through
+        // the server, must now answer from the candidate bit-for-bit.
+        let (program, wave, expected) = probe.as_ref().expect("window is nonempty");
+        let served = client.speedups(program, wave).unwrap_or_else(|e| {
+            eprintln!("modelctl promote: post-swap probe failed: {e}");
+            std::process::exit(1);
+        });
+        let served_bits: Vec<u64> = served.iter().map(|s| s.to_bits()).collect();
+        let expected_bits: Vec<u64> = expected.iter().map(|s| s.to_bits()).collect();
+        if served_bits != expected_bits {
+            eprintln!(
+                "modelctl promote: post-swap probe MISMATCH: served {served:?} vs candidate \
+                 {expected:?}"
+            );
+            std::process::exit(1);
+        }
+        ("swapped", Some(info.fingerprint))
+    } else {
+        ("none", None)
+    };
+
+    let report = PromotionReport {
+        addr: addr.clone(),
+        window_requests: window,
+        wave_len,
+        queries,
+        incumbent: PromotionSide {
+            fingerprint: incumbent_fp,
+            mape_vs_ground_truth: incumbent_mape,
+            mean_latency_us: incumbent_us / window as f64,
+        },
+        candidate: PromotionSide {
+            fingerprint: candidate_fp,
+            mape_vs_ground_truth: candidate_mape,
+            mean_latency_us: candidate_us / window as f64,
+        },
+        mean_abs_score_delta: delta_sum / queries as f64,
+        max_abs_score_delta: delta_max,
+        verdict: verdict.into(),
+        action: action.into(),
+        post_swap_fingerprint,
+    };
+    println!(
+        "promotion verdict: {verdict} (action: {action}) over {queries} mirrored queries — \
+         incumbent MAPE {:.4} ({:.0}us/req served), candidate MAPE {:.4} ({:.0}us/req \
+         in-process), mean |Δscore| {:.4}, max {:.4}",
+        report.incumbent.mape_vs_ground_truth,
+        report.incumbent.mean_latency_us,
+        report.candidate.mape_vs_ground_truth,
+        report.candidate.mean_latency_us,
+        report.mean_abs_score_delta,
+        report.max_abs_score_delta,
+    );
+    write_json("promotion.json", &report);
 }
 
 /// `serve --listen ADDR`: the artifact on a TCP socket, in the

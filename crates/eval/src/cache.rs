@@ -15,6 +15,7 @@
 //! asserts this over randomized schedule sequences.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
 
 use dlcm_ir::{Program, Schedule};
 
@@ -23,7 +24,8 @@ use crate::{EvalStats, Evaluator};
 
 /// Default entry bound for both result-cache tiers ([`CachedEvaluator`]
 /// and [`crate::SharedCachedEvaluator`]) and for the serving tier built
-/// on them. An entry is a `((u64, u64), f64)` plus map/list overhead —
+/// on them. An entry is a small fingerprint tuple plus an `f64` and
+/// map/list overhead —
 /// on the order of 100 bytes — so the default bounds a cache at roughly
 /// 100 MB while staying far above any search's working set (suite runs
 /// observe tens of thousands of unique candidates; exact hit/miss
@@ -64,30 +66,32 @@ pub(crate) fn memoized<T: Copy>(
 /// deduplicated sub-batch. The ordered `Vec` carries the batch order; the
 /// `HashSet` answers the "already queued?" probe in O(1) (a linear
 /// `fresh.contains` made large batches quadratic). Shared by both cache
-/// tiers; `lookup` is called exactly once per batch position, and hit
-/// values come back in `cached`, so the sharded tier pays one lock
+/// tiers — generic over the key tuple because the exclusive tier keys by
+/// `(program, schedule)` while the sharded tier prepends the model
+/// fingerprint; `lookup` is called exactly once per batch position, and
+/// hit values come back in `cached`, so the sharded tier pays one lock
 /// round-trip per candidate, not two.
-pub(crate) struct FreshSplit {
+pub(crate) struct FreshSplit<K> {
     /// Per batch position: the cached value, or `None` for candidates the
     /// wrapped evaluator must score (first occurrences *and* their
     /// in-batch duplicates — resolve the latter from the fresh values).
     pub cached: Vec<Option<f64>>,
     /// Unique missing keys, in first-occurrence batch order.
-    pub fresh: Vec<(u64, u64)>,
+    pub fresh: Vec<K>,
     /// The schedules behind `fresh`, index-aligned.
     pub fresh_schedules: Vec<Schedule>,
     /// Candidates answered without touching the wrapped evaluator.
     pub hits: usize,
 }
 
-pub(crate) fn split_fresh(
-    keys: &[(u64, u64)],
+pub(crate) fn split_fresh<K: Copy + Eq + Hash>(
+    keys: &[K],
     schedules: &[Schedule],
-    mut lookup: impl FnMut(&(u64, u64)) -> Option<f64>,
-) -> FreshSplit {
+    mut lookup: impl FnMut(&K) -> Option<f64>,
+) -> FreshSplit<K> {
     let mut cached: Vec<Option<f64>> = Vec::with_capacity(keys.len());
-    let mut fresh: Vec<(u64, u64)> = Vec::new();
-    let mut fresh_set: HashSet<(u64, u64)> = HashSet::new();
+    let mut fresh: Vec<K> = Vec::new();
+    let mut fresh_set: HashSet<K> = HashSet::new();
     let mut fresh_schedules: Vec<Schedule> = Vec::new();
     let mut hits = 0;
     for (key, schedule) in keys.iter().zip(schedules) {

@@ -98,7 +98,7 @@ pub use exec::ExecutionEvaluator;
 pub use lru::LruMap;
 pub use model::ModelEvaluator;
 pub use parallel::{ParallelEvaluator, DEFAULT_PAR_CUTOVER};
-pub use shared::{ScopedEvaluator, SharedCachedEvaluator, SyncEvaluator};
+pub use shared::{ScopedEvaluator, SharedCacheKey, SharedCachedEvaluator, SyncEvaluator};
 pub use stats::EvalStats;
 
 /// Scores `(program, schedule)` candidates during search and evaluation.

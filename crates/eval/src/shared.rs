@@ -25,13 +25,14 @@
 //!   correct; fine for model evaluators whose batches are microseconds).
 //!
 //! [`SharedCachedEvaluator`] is the centerpiece: the concurrent analogue
-//! of [`crate::CachedEvaluator`], memoizing speedups under the same
-//! `(program content fingerprint, normalized schedule)` keys behind
-//! sharded locks so concurrent searches share measurements without
-//! serializing on one table.
+//! of [`crate::CachedEvaluator`], memoizing speedups under `(model
+//! fingerprint, program content fingerprint, normalized schedule)` keys
+//! behind sharded locks so concurrent searches share measurements without
+//! serializing on one table — and so a serving tier that hot-swaps model
+//! artifacts can never alias entries across them.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use dlcm_ir::{Program, Schedule};
@@ -194,14 +195,23 @@ impl<E: SyncEvaluator + ?Sized> Evaluator for ScopedEvaluator<'_, E> {
 /// searches) without bloating the struct.
 const CACHE_SHARDS: usize = 16;
 
+/// Cache key of the sharded tier: `(model fingerprint, program content
+/// fingerprint, normalized schedule key)`. The leading model component is
+/// what keeps entries from aliasing across model swaps — two artifacts
+/// scoring the identical `(program, schedule)` produce different values,
+/// so they must occupy different entries. Evaluators that never swap
+/// models leave it at the default `0`.
+pub type SharedCacheKey = (u64, u64, u64);
+
 /// Thread-safe memoizing decorator over any [`SyncEvaluator`]: the
 /// concurrent counterpart of [`crate::CachedEvaluator`].
 ///
-/// Cache keys are the same content-derived pairs —
-/// ([`Program::content_fingerprint`], [`Schedule::cache_key`]) — held in
-/// 16 independently locked shards selected by key hash, so
-/// concurrent searches hit disjoint shards with high probability and
-/// never serialize on one table.
+/// Cache keys are content-derived triples — the active model fingerprint
+/// (see [`SharedCachedEvaluator::set_model_fingerprint`]; `0` for
+/// evaluators whose model never changes), [`Program::content_fingerprint`],
+/// [`Schedule::cache_key`] — held in 16 independently locked shards
+/// selected by key hash, so concurrent searches hit disjoint shards with
+/// high probability and never serialize on one table.
 ///
 /// Lock traffic is **batched**: each `speedup_batch_shared` call builds a
 /// local view of its keys with one lock acquisition per *touched* shard
@@ -236,10 +246,15 @@ const CACHE_SHARDS: usize = 16;
 /// depend on access order, values never do.
 pub struct SharedCachedEvaluator<E> {
     inner: E,
-    shards: Vec<Mutex<LruMap<(u64, u64), f64>>>,
+    shards: Vec<Mutex<LruMap<SharedCacheKey, f64>>>,
     /// Content-fingerprint memo, keyed by the program itself (a map, not
     /// a last-seen slot: concurrent searches interleave programs).
     programs: Mutex<Vec<(Program, u64)>>,
+    /// Model component of every key built by the un-pinned
+    /// [`SyncEvaluator`] path. Callers that swap models mid-flight must
+    /// use [`SharedCachedEvaluator::speedup_batch_pinned`] instead, which
+    /// takes the fingerprint explicitly per call.
+    model_fingerprint: AtomicU64,
     hits: AtomicUsize,
     misses: AtomicUsize,
     evictions: AtomicUsize,
@@ -265,10 +280,33 @@ impl<E: SyncEvaluator> SharedCachedEvaluator<E> {
                 .map(|_| Mutex::new(LruMap::with_capacity(per_shard)))
                 .collect(),
             programs: Mutex::new(Vec::new()),
+            model_fingerprint: AtomicU64::new(0),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
         }
+    }
+
+    /// The model fingerprint the un-pinned [`SyncEvaluator`] path keys
+    /// entries under (`0` until [`set_model_fingerprint`] is called).
+    ///
+    /// [`set_model_fingerprint`]: SharedCachedEvaluator::set_model_fingerprint
+    pub fn model_fingerprint(&self) -> u64 {
+        self.model_fingerprint.load(Ordering::Relaxed)
+    }
+
+    /// Declares the identity of the model the wrapped evaluator now
+    /// answers with: subsequent un-pinned calls key their entries under
+    /// `fingerprint`, so values cached for the previous model can no
+    /// longer be returned (they age out of the LRU shards naturally).
+    ///
+    /// This alone is not an atomic swap — a caller racing this update can
+    /// build keys under one fingerprint and score against the other
+    /// model. A serving tier must pin each call instead:
+    /// [`SharedCachedEvaluator::speedup_batch_pinned`] takes the
+    /// fingerprint *and* the scoring closure from the same pinned epoch.
+    pub fn set_model_fingerprint(&self, fingerprint: u64) {
+        self.model_fingerprint.store(fingerprint, Ordering::Relaxed);
     }
 
     /// The wrapped evaluator.
@@ -316,13 +354,14 @@ impl<E: SyncEvaluator> SharedCachedEvaluator<E> {
         self.misses.load(Ordering::Relaxed)
     }
 
-    fn shard_index(&self, key: (u64, u64)) -> usize {
+    fn shard_index(&self, key: SharedCacheKey) -> usize {
         // The raw FNV fingerprints have poor low-bit dispersion for
         // near-identical schedules (e.g. a tile-size sweep lands on a few
         // even shards only), which both skews lock contention and starves
         // per-shard LRU budgets. A splitmix64 finalizer spreads the key
-        // across all shards before the modulus.
-        let mut h = key.0 ^ key.1;
+        // across all shards before the modulus. (XOR keeps the routing of
+        // fingerprint-0 evaluators identical to the pre-model-key layout.)
+        let mut h = key.0 ^ key.1 ^ key.2;
         h ^= h >> 30;
         h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
         h ^= h >> 27;
@@ -335,16 +374,33 @@ impl<E: SyncEvaluator> SharedCachedEvaluator<E> {
         let mut memo = self.programs.lock().expect("fingerprint memo");
         crate::cache::memoized(&mut memo, program, || program.content_fingerprint()).0
     }
-}
 
-impl<E: SyncEvaluator> SyncEvaluator for SharedCachedEvaluator<E> {
-    fn speedup_batch_shared(
+    /// Scores a batch with the model identity **pinned for the whole
+    /// call**: every cache key carries `model_fp`, and every miss is
+    /// scored by `score` — a closure the caller derives from the same
+    /// pinned model. This is the hot-swap-safe entry point: a model swap
+    /// landing mid-call can neither mix fingerprints within the batch nor
+    /// make keyed-under-A entries hold model-B values, because both the
+    /// keys and the scorer come from one epoch the caller captured up
+    /// front.
+    ///
+    /// `score` receives the deduplicated fresh sub-batch (first-occurrence
+    /// order) and must return one value per schedule plus the stats delta
+    /// it charged. The plain [`SyncEvaluator`] path is this method with
+    /// `model_fp` = [`SharedCachedEvaluator::model_fingerprint`] and
+    /// `score` = the wrapped evaluator.
+    pub fn speedup_batch_pinned(
         &self,
+        model_fp: u64,
         program: &Program,
         schedules: &[Schedule],
+        score: impl FnOnce(&[Schedule]) -> (Vec<f64>, EvalStats),
     ) -> (Vec<f64>, EvalStats) {
         let pfp = self.program_fingerprint(program);
-        let keys: Vec<(u64, u64)> = schedules.iter().map(|s| (pfp, s.cache_key())).collect();
+        let keys: Vec<SharedCacheKey> = schedules
+            .iter()
+            .map(|s| (model_fp, pfp, s.cache_key()))
+            .collect();
 
         // Build this caller's local cache view: dedupe keys in
         // first-occurrence order, group them by shard, and take each
@@ -354,18 +410,18 @@ impl<E: SyncEvaluator> SyncEvaluator for SharedCachedEvaluator<E> {
         // unique key is still probed exactly once, in first-occurrence
         // order within its shard, so per-shard LRU recency is updated in
         // the same relative order as per-candidate probing produced.
-        let mut unique: Vec<(u64, u64)> = Vec::with_capacity(keys.len());
-        let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(keys.len());
+        let mut unique: Vec<SharedCacheKey> = Vec::with_capacity(keys.len());
+        let mut seen: HashSet<SharedCacheKey> = HashSet::with_capacity(keys.len());
         for &key in &keys {
             if seen.insert(key) {
                 unique.push(key);
             }
         }
-        let mut by_shard: Vec<Vec<(u64, u64)>> = vec![Vec::new(); CACHE_SHARDS];
+        let mut by_shard: Vec<Vec<SharedCacheKey>> = vec![Vec::new(); CACHE_SHARDS];
         for &key in &unique {
             by_shard[self.shard_index(key)].push(key);
         }
-        let mut view: HashMap<(u64, u64), f64> = HashMap::with_capacity(unique.len());
+        let mut view: HashMap<SharedCacheKey, f64> = HashMap::with_capacity(unique.len());
         for (idx, shard_keys) in by_shard.iter().enumerate() {
             if shard_keys.is_empty() {
                 continue;
@@ -395,9 +451,9 @@ impl<E: SyncEvaluator> SyncEvaluator for SharedCachedEvaluator<E> {
             cache_misses: fresh.len(),
             ..EvalStats::default()
         };
-        let mut fresh_values: HashMap<(u64, u64), f64> = HashMap::new();
+        let mut fresh_values: HashMap<SharedCacheKey, f64> = HashMap::new();
         if !fresh_schedules.is_empty() {
-            let (values, inner_delta) = self.inner.speedup_batch_shared(program, &fresh_schedules);
+            let (values, inner_delta) = score(&fresh_schedules);
             debug_assert_eq!(values.len(), fresh.len());
             delta += inner_delta;
             // Deterministic merge at batch end: fresh values are grouped
@@ -406,7 +462,7 @@ impl<E: SyncEvaluator> SyncEvaluator for SharedCachedEvaluator<E> {
             // values being pure per key, a concurrent caller racing on the
             // same keys inserts the identical values — merge order only
             // moves the already-caveated hit/miss split, never a score.
-            let mut merges: Vec<Vec<((u64, u64), f64)>> = vec![Vec::new(); CACHE_SHARDS];
+            let mut merges: Vec<Vec<(SharedCacheKey, f64)>> = vec![Vec::new(); CACHE_SHARDS];
             for (key, value) in fresh.into_iter().zip(values) {
                 fresh_values.insert(key, value);
                 merges[self.shard_index(key)].push((key, value));
@@ -430,6 +486,21 @@ impl<E: SyncEvaluator> SyncEvaluator for SharedCachedEvaluator<E> {
             .map(|(key, known)| known.unwrap_or_else(|| fresh_values[key]))
             .collect();
         (out, delta)
+    }
+}
+
+impl<E: SyncEvaluator> SyncEvaluator for SharedCachedEvaluator<E> {
+    fn speedup_batch_shared(
+        &self,
+        program: &Program,
+        schedules: &[Schedule],
+    ) -> (Vec<f64>, EvalStats) {
+        // The un-pinned path: key under the evaluator's current model
+        // fingerprint and score misses with the wrapped evaluator. Safe
+        // because callers of this path never swap the model mid-flight.
+        self.speedup_batch_pinned(self.model_fingerprint(), program, schedules, |fresh| {
+            self.inner.speedup_batch_shared(program, fresh)
+        })
     }
 
     fn total_stats(&self) -> EvalStats {
@@ -612,6 +683,66 @@ mod tests {
             1,
         ));
         assert_eq!(recomputed, fresh.speedup_shared(&p, &tile(1)).0);
+    }
+
+    #[test]
+    fn distinct_model_fingerprints_never_alias_entries() {
+        // Regression: keys used to be (program, schedule) only, so two
+        // models scoring the identical candidate would alias one entry —
+        // the second model silently served the first model's value. With
+        // the model fingerprint in the key, changing it must force a
+        // recompute (a miss), and switching back must find the original
+        // entry still resident.
+        let p = program("p", 96);
+        let shared = SharedCachedEvaluator::new(ParallelEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+            1,
+        ));
+        assert_eq!(shared.model_fingerprint(), 0);
+        let (_, first) = shared.speedup_batch_shared(&p, &wave());
+        assert_eq!(first.cache_misses, 3);
+
+        shared.set_model_fingerprint(0xfeed);
+        let (_, other_model) = shared.speedup_batch_shared(&p, &wave());
+        assert_eq!(
+            other_model.cache_misses, 3,
+            "a new model identity must never be answered from the old model's entries"
+        );
+        assert_eq!(shared.len(), 6, "both models' entries coexist");
+
+        shared.set_model_fingerprint(0);
+        let (_, back) = shared.speedup_batch_shared(&p, &wave());
+        assert_eq!(back.cache_misses, 0, "original entries stayed resident");
+    }
+
+    #[test]
+    fn pinned_calls_key_and_score_against_the_pinned_model() {
+        // The hot-swap-safe entry point: the caller pins a fingerprint and
+        // supplies the matching scorer. Scores and hit/miss accounting
+        // must follow the *pinned* identity, not the evaluator-wide
+        // current fingerprint.
+        let p = program("p", 96);
+        let shared = SharedCachedEvaluator::new(ParallelEvaluator::new(
+            Measurement::exact(Machine::default()),
+            0,
+            1,
+        ));
+        let score_as = |bias: f64| {
+            move |fresh: &[Schedule]| {
+                let values = vec![bias; fresh.len()];
+                (values, EvalStats::default())
+            }
+        };
+        let (a, _) = shared.speedup_batch_pinned(1, &p, &wave(), score_as(1.25));
+        let (b, _) = shared.speedup_batch_pinned(2, &p, &wave(), score_as(2.5));
+        assert!(a.iter().all(|v| *v == 1.25));
+        assert!(b.iter().all(|v| *v == 2.5));
+        // Warm repeats under each pin return that model's values, scorer
+        // untouched (a panicking scorer proves full hits).
+        let boom = |_: &[Schedule]| -> (Vec<f64>, EvalStats) { panic!("must not score") };
+        assert_eq!(shared.speedup_batch_pinned(1, &p, &wave(), boom).0, a);
+        assert_eq!(shared.speedup_batch_pinned(2, &p, &wave(), boom).0, b);
     }
 
     #[test]

@@ -256,6 +256,17 @@ impl ModelArtifact {
         parse_hex(&self.manifest.corpus_fingerprint)
     }
 
+    /// The weights fingerprint, parsed back to a `u64`: the artifact's
+    /// identity for cache keying and hot-swap reporting. Distinct weights
+    /// have distinct fingerprints (byte-level FNV-1a of `weights.json`),
+    /// and the value survives a save/load round trip unchanged.
+    pub fn weights_fingerprint(&self) -> u64 {
+        // The manifest field is written by `to_hex` at construction, so
+        // it always parses; 0 would only appear for a hand-edited
+        // manifest that `load` has already rejected as corrupt.
+        parse_hex(&self.manifest.weights_fingerprint).unwrap_or(0)
+    }
+
     /// Path of the manifest inside an artifact directory.
     pub fn manifest_path(dir: &Path) -> PathBuf {
         dir.join(MANIFEST_FILE)

@@ -7,7 +7,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use dlcm_ir::{Program, Schedule};
 
 use crate::wire::{
-    self, ErrorReply, FrameError, FrameKind, Request, Response, StatsReport, DEFAULT_MAX_FRAME_LEN,
+    self, ErrorReply, FrameError, FrameKind, ModelInfoReport, Request, Response, StatsReport,
+    DEFAULT_MAX_FRAME_LEN,
 };
 
 /// Why a client call failed.
@@ -140,6 +141,36 @@ impl NetClient {
             Response::Pong => Ok(()),
             other => Err(NetError::Protocol(format!(
                 "expected Pong reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Identifies the model generation the server is currently serving:
+    /// its artifact fingerprint (16 hex digits) and how many hot swaps
+    /// it has performed since binding.
+    pub fn model_info(&mut self) -> Result<ModelInfoReport, NetError> {
+        match self.call(&Request::ModelInfo)? {
+            Response::ModelInfo(info) => Ok(info),
+            other => Err(NetError::Protocol(format!(
+                "expected ModelInfo reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to hot-swap its model to the artifact at
+    /// `artifact_dir` **on the server's filesystem**. Returns the
+    /// post-swap model identity on success; a rejected reload
+    /// ([`ErrorReply::ReloadRejected`], [`ErrorReply::ShuttingDown`])
+    /// comes back as [`NetError::Remote`] and guarantees the incumbent
+    /// model is still serving, untouched.
+    pub fn reload(&mut self, artifact_dir: &str) -> Result<ModelInfoReport, NetError> {
+        let response = self.call(&Request::Reload {
+            artifact_dir: artifact_dir.to_owned(),
+        })?;
+        match response {
+            Response::Reloaded(info) => Ok(info),
+            other => Err(NetError::Protocol(format!(
+                "expected Reloaded reply, got {other:?}"
             ))),
         }
     }

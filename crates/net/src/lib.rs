@@ -21,6 +21,16 @@
 //! - [`NetServer`] — bounded-worker acceptor + admission control.
 //! - [`NetClient`] — blocking client, one request in flight at a time.
 //!
+//! The model behind a running server is **hot-swappable** without
+//! dropping connections: [`Request::Reload`] names an artifact directory
+//! on the server's filesystem, the server loads and validates it off the
+//! hot path, and atomically swaps on success ([`Response::Reloaded`]
+//! carries the new identity; [`Request::ModelInfo`] queries it any
+//! time). A corrupt or schema-mismatched artifact is rejected with a
+//! typed [`ErrorReply::ReloadRejected`] and the incumbent keeps serving
+//! untouched — `tests/lifecycle.rs` drives the full contract over the
+//! wire.
+//!
 //! Everything memory-bearing is bounded: the accept queue, in-flight
 //! evaluation permits, the frame length, and (via
 //! `ServeConfig::cache_capacity`) every result-cache tier underneath.
@@ -31,4 +41,7 @@ pub mod wire;
 
 pub use client::{NetClient, NetError};
 pub use server::{NetConfig, NetServer};
-pub use wire::{ErrorReply, FrameError, NetStats, Request, Response, StatsReport};
+pub use wire::{
+    ErrorReply, FrameError, ModelInfoReport, NetStats, ReloadRejectKind, Request, Response,
+    StatsReport,
+};

@@ -58,12 +58,13 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use dlcm_eval::SyncEvaluator;
-use dlcm_model::SpeedupPredictor;
-use dlcm_serve::InferenceService;
+use dlcm_ir::fingerprint::to_hex;
+use dlcm_model::{ModelArtifact, SpeedupPredictor};
+use dlcm_serve::{ArtifactReloadable, InferenceService, ReloadError};
 
 use crate::wire::{
-    self, ErrorReply, FrameError, FrameKind, NetStats, Request, Response, StatsReport,
-    DEFAULT_MAX_FRAME_LEN,
+    self, ErrorReply, FrameError, FrameKind, ModelInfoReport, NetStats, ReloadRejectKind, Request,
+    Response, StatsReport, DEFAULT_MAX_FRAME_LEN,
 };
 
 /// How often idle workers and the acceptor wake to poll the shutdown
@@ -161,6 +162,13 @@ impl<M: SpeedupPredictor> Shared<M> {
         }
     }
 
+    fn model_info(&self) -> ModelInfoReport {
+        ModelInfoReport {
+            fingerprint: to_hex(self.service.active_model_fingerprint()),
+            model_swaps: self.service.model_swaps(),
+        }
+    }
+
     fn send_error(&self, stream: &mut TcpStream, reply: &ErrorReply) {
         // Best-effort: the peer may already be gone; rejection delivery
         // is advisory, the counter is the record.
@@ -190,14 +198,20 @@ impl<M: SpeedupPredictor> Shared<M> {
 /// client.ping().unwrap();
 /// server.shutdown();
 /// ```
-pub struct NetServer<M: SpeedupPredictor + Send + Sync + 'static> {
+pub struct NetServer<M: SpeedupPredictor + Send + Sync + 'static>
+where
+    InferenceService<M>: ArtifactReloadable,
+{
     addr: SocketAddr,
     shared: Arc<Shared<M>>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl<M: SpeedupPredictor + Send + Sync + 'static> NetServer<M> {
+impl<M: SpeedupPredictor + Send + Sync + 'static> NetServer<M>
+where
+    InferenceService<M>: ArtifactReloadable,
+{
     /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
     /// acceptor plus `cfg.max_connections` worker threads.
     pub fn bind(
@@ -310,7 +324,10 @@ impl<M: SpeedupPredictor + Send + Sync + 'static> NetServer<M> {
     }
 }
 
-impl<M: SpeedupPredictor + Send + Sync + 'static> Drop for NetServer<M> {
+impl<M: SpeedupPredictor + Send + Sync + 'static> Drop for NetServer<M>
+where
+    InferenceService<M>: ArtifactReloadable,
+{
     fn drop(&mut self) {
         self.drain();
     }
@@ -351,7 +368,10 @@ fn accept_loop<M: SpeedupPredictor>(shared: &Shared<M>, listener: TcpListener) {
 /// Pops sockets off the accept queue and serves each connection to
 /// completion. Exits when shutdown is flagged and the current
 /// connection (if any) has finished its in-flight request.
-fn worker_loop<M: SpeedupPredictor>(shared: &Shared<M>) {
+fn worker_loop<M: SpeedupPredictor>(shared: &Shared<M>)
+where
+    InferenceService<M>: ArtifactReloadable,
+{
     loop {
         let stream = {
             let mut queue = shared.queue.lock().expect("accept queue");
@@ -383,7 +403,10 @@ fn worker_loop<M: SpeedupPredictor>(shared: &Shared<M>) {
 /// Serves one connection request-by-request until the client hangs up,
 /// a framing error makes the stream unrecoverable, or shutdown drains
 /// it.
-fn serve_connection<M: SpeedupPredictor>(shared: &Shared<M>, mut stream: TcpStream) {
+fn serve_connection<M: SpeedupPredictor>(shared: &Shared<M>, mut stream: TcpStream)
+where
+    InferenceService<M>: ArtifactReloadable,
+{
     let _unused = stream.set_nodelay(true);
     // The read timeout is what lets an idle connection notice shutdown:
     // `read_frame` surfaces it as `FrameError::Idle` between frames.
@@ -468,6 +491,59 @@ fn serve_connection<M: SpeedupPredictor>(shared: &Shared<M>, mut stream: TcpStre
                 let _unused =
                     wire::write_message(&mut stream, FrameKind::Response, &Response::ShuttingDown);
                 return;
+            }
+            Request::ModelInfo => {
+                let info = shared.model_info();
+                if wire::write_message(&mut stream, FrameKind::Response, &Response::ModelInfo(info))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Request::Reload { artifact_dir } => {
+                // A drain that raced this frame wins: once shutdown is
+                // flagged no new model generation may be installed.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    shared.send_error(&mut stream, &ErrorReply::ShuttingDown);
+                    return;
+                }
+                // Load-and-validate happens here, off the hot path: other
+                // workers keep answering queries from the incumbent while
+                // this worker deserializes the candidate. The swap only
+                // lands on success; any failure leaves the incumbent
+                // serving untouched.
+                let loaded = ModelArtifact::load(std::path::Path::new(&artifact_dir));
+                let swapped = loaded
+                    .map_err(|e| (ReloadRejectKind::ArtifactInvalid, e.to_string()))
+                    .and_then(|artifact| {
+                        shared.service.reload_artifact(artifact).map_err(|e| {
+                            let kind = match e {
+                                ReloadError::SchemaMismatch { .. } => {
+                                    ReloadRejectKind::SchemaMismatch
+                                }
+                            };
+                            (kind, e.to_string())
+                        })
+                    });
+                match swapped {
+                    Ok(_fingerprint) => {
+                        let info = shared.model_info();
+                        if wire::write_message(
+                            &mut stream,
+                            FrameKind::Response,
+                            &Response::Reloaded(info),
+                        )
+                        .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err((kind, detail)) => {
+                        shared
+                            .send_error(&mut stream, &ErrorReply::ReloadRejected { kind, detail });
+                        continue;
+                    }
+                }
             }
             Request::Speedups {
                 program,

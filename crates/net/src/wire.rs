@@ -114,6 +114,21 @@ pub enum Request {
     },
     /// Snapshot the server's serving and network counters.
     Stats,
+    /// Identify the active model: its weights fingerprint and how many
+    /// hot swaps the server has completed.
+    ModelInfo,
+    /// Hot-swap the served model to the artifact saved under
+    /// `artifact_dir` (a path on the **server's** filesystem — this is a
+    /// control-plane operation for operators co-located with the
+    /// server, not a data-plane upload). The server loads and validates
+    /// the artifact off the hot path and swaps only on success; any
+    /// failure leaves the incumbent model serving and comes back as a
+    /// typed [`ErrorReply::ReloadRejected`].
+    Reload {
+        /// Artifact directory (`manifest.json` + `weights.json`) on the
+        /// server's filesystem.
+        artifact_dir: String,
+    },
     /// Liveness probe.
     Ping,
     /// Ask the server to shut down gracefully: stop accepting, drain
@@ -133,6 +148,12 @@ pub enum Response {
     },
     /// Counters for a [`Request::Stats`].
     Stats(StatsReport),
+    /// Identity of the active model, for a [`Request::ModelInfo`].
+    ModelInfo(ModelInfoReport),
+    /// Acknowledges a completed [`Request::Reload`]: the swap has
+    /// happened and every query answered after this frame is scored by
+    /// the new model.
+    Reloaded(ModelInfoReport),
     /// Reply to [`Request::Ping`].
     Pong,
     /// Acknowledges a [`Request::Shutdown`]; the connection closes after
@@ -148,6 +169,18 @@ pub struct StatsReport {
     pub serve: ServeStats,
     /// Network-tier counters (connections, accept queue).
     pub net: NetStats,
+}
+
+/// Identity of the model a server is currently answering with: the body
+/// of [`Response::ModelInfo`] and [`Response::Reloaded`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfoReport {
+    /// Weights fingerprint of the active model, as the 16-hex-digit
+    /// string artifact manifests use (`u64` fingerprints do not survive
+    /// JSON's doubles above 2^53).
+    pub fingerprint: String,
+    /// Hot swaps completed since the server started.
+    pub model_swaps: usize,
 }
 
 /// Connection-level counters owned by the network tier. Admission
@@ -210,8 +243,31 @@ pub enum ErrorReply {
         /// Version this side speaks.
         expected: u8,
     },
+    /// A [`Request::Reload`] was refused; the incumbent model is still
+    /// serving, untouched.
+    ReloadRejected {
+        /// Machine-readable failure class.
+        kind: ReloadRejectKind,
+        /// Human-readable detail (the underlying artifact or schema
+        /// error), diagnostic only.
+        detail: String,
+    },
     /// The server is draining for shutdown and not taking new work.
     ShuttingDown,
+}
+
+/// Machine-readable class of a refused reload: what a deployment
+/// pipeline branches on (retrain vs. fix the artifact path), while
+/// `detail` stays human-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReloadRejectKind {
+    /// The artifact could not be loaded: missing or unreadable files,
+    /// parse failures, unsupported format version, or a weights
+    /// fingerprint mismatch (corrupt/tampered `weights.json`).
+    ArtifactInvalid,
+    /// The artifact loaded cleanly but was trained under a different
+    /// featurizer schema than the server encodes queries with.
+    SchemaMismatch,
 }
 
 impl fmt::Display for ErrorReply {
@@ -229,6 +285,13 @@ impl fmt::Display for ErrorReply {
             }
             ErrorReply::UnsupportedVersion { got, expected } => {
                 write!(f, "wire version {got} unsupported (expected {expected})")
+            }
+            ErrorReply::ReloadRejected { kind, detail } => {
+                let kind = match kind {
+                    ReloadRejectKind::ArtifactInvalid => "invalid artifact",
+                    ReloadRejectKind::SchemaMismatch => "featurizer schema mismatch",
+                };
+                write!(f, "reload rejected ({kind}): {detail}")
             }
             ErrorReply::ShuttingDown => write!(f, "server is shutting down"),
         }

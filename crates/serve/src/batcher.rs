@@ -10,6 +10,14 @@
 //! run concurrently on disjoint drains, so service throughput scales
 //! with client threads instead of serializing on one inference lock.
 //!
+//! Every row carries the [`ModelEpoch`] its client pinned at call entry,
+//! and grouping is by *(epoch fingerprint, structure key)* — so when a
+//! hot swap lands while rows are queued, a leader's drain may legally
+//! hold rows pinned to different model generations, but each forward
+//! pass scores its rows against exactly the epoch they were submitted
+//! under. In-flight calls therefore finish on the model they started
+//! with, never on a mix.
+//!
 //! Determinism: each forward row is computed on an inference tape with
 //! the fixed seed used by `SpeedupPredictor::predict` and rows are
 //! independent inside a batch, so a query's score does not depend on
@@ -25,13 +33,16 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use dlcm_eval::pool::parallel_map;
-use dlcm_model::{group_by_structure, infer_scores, ProgramFeatures, SpeedupPredictor};
+use dlcm_model::{infer_scores, ProgramFeatures, SpeedupPredictor};
 
-/// One queued query row: the encoded candidate plus the slot its score
-/// lands in.
-struct PendingRow {
+use crate::epoch::ModelEpoch;
+
+/// One queued query row: the encoded candidate, the model epoch its
+/// client pinned, and the slot its score lands in.
+struct PendingRow<M> {
     feats: ProgramFeatures,
     caller: usize,
+    epoch: Arc<ModelEpoch<M>>,
     slot: Arc<RowSlot>,
 }
 
@@ -41,10 +52,11 @@ struct RowSlot {
     value: Mutex<Option<f64>>,
 }
 
-/// Coalesces concurrently submitted query rows into structure-pure
-/// micro-batches. See the module docs for the leading protocol.
-pub(crate) struct MicroBatcher {
-    queue: Mutex<VecDeque<PendingRow>>,
+/// Coalesces concurrently submitted query rows into structure-pure,
+/// epoch-pure micro-batches. See the module docs for the leading
+/// protocol.
+pub(crate) struct MicroBatcher<M> {
+    queue: Mutex<VecDeque<PendingRow<M>>>,
     /// Signals both "new rows arrived" (a waiter may lead) and "a batch
     /// finished" (a waiter's slots may be filled).
     work: Condvar,
@@ -61,7 +73,7 @@ pub(crate) struct MicroBatcher {
     poisoned: AtomicBool,
 }
 
-impl MicroBatcher {
+impl<M: SpeedupPredictor> MicroBatcher<M> {
     pub(crate) fn new(max_batch: usize, threads: usize) -> Self {
         Self {
             queue: Mutex::new(VecDeque::new()),
@@ -98,12 +110,13 @@ impl MicroBatcher {
         self.queue.lock().expect("batcher queue").len()
     }
 
-    /// Scores `feats` through the shared queue, blocking until every row
-    /// of this call is answered. The calling thread helps lead batches
-    /// (its own or other clients') while it waits.
+    /// Scores `feats` against `epoch` through the shared queue, blocking
+    /// until every row of this call is answered. The calling thread helps
+    /// lead batches (its own or other clients', possibly pinned to other
+    /// epochs) while it waits.
     pub(crate) fn score_rows(
         &self,
-        model: &dyn SpeedupPredictor,
+        epoch: &Arc<ModelEpoch<M>>,
         feats: Vec<ProgramFeatures>,
     ) -> Vec<f64> {
         if feats.is_empty() {
@@ -124,6 +137,7 @@ impl MicroBatcher {
                 queue.push_back(PendingRow {
                     feats,
                     caller,
+                    epoch: Arc::clone(epoch),
                     slot: Arc::clone(slot),
                 });
             }
@@ -148,7 +162,7 @@ impl MicroBatcher {
                 let _unused = self.work.wait(queue).expect("batcher queue");
                 continue;
             }
-            let batch: Vec<PendingRow> = {
+            let batch: Vec<PendingRow<M>> = {
                 let take = queue.len().min(self.max_batch);
                 queue.drain(..take).collect()
             };
@@ -157,9 +171,7 @@ impl MicroBatcher {
             // must not strand the other clients whose rows this drain
             // took: poison the batcher and wake everyone before
             // re-raising on this (leader) thread.
-            if let Err(payload) =
-                panic::catch_unwind(AssertUnwindSafe(|| self.run_batch(model, batch)))
-            {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| self.run_batch(batch))) {
                 self.poisoned.store(true, Ordering::SeqCst);
                 let _guard = self.queue.lock().expect("batcher queue");
                 self.work.notify_all();
@@ -178,14 +190,27 @@ impl MicroBatcher {
             .collect()
     }
 
-    /// Groups a drained batch by structure key (first-seen order) and
-    /// fans one forward pass per group across the evaluation pool. Both
+    /// Groups a drained batch by (epoch fingerprint, structure key) in
+    /// first-seen order and fans one forward pass per group across the
+    /// evaluation pool, each against its rows' own pinned epoch. Both
     /// the grouping and the per-group scoring go through the shared
     /// `dlcm_model` inference kernel — the exact code path
     /// `dlcm_eval::ModelEvaluator` scores with, which is what makes
     /// served and in-process answers bit-identical by construction.
-    fn run_batch(&self, model: &dyn SpeedupPredictor, batch: Vec<PendingRow>) {
-        let groups = group_by_structure(batch.iter().map(|row| row.feats.structure_key()));
+    fn run_batch(&self, batch: Vec<PendingRow<M>>) {
+        // Like `dlcm_model::group_by_structure`, but on the composite
+        // (epoch, structure) key: a drain spanning a hot swap holds rows
+        // pinned to different models, and mixing them into one forward
+        // pass would score some rows against a model they were never
+        // submitted under.
+        let mut groups: Vec<((u64, u64), Vec<usize>)> = Vec::new();
+        for (i, row) in batch.iter().enumerate() {
+            let key = (row.epoch.fingerprint(), row.feats.structure_key());
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
         self.micro_batches
             .fetch_add(groups.len(), Ordering::Relaxed);
         self.forward_rows.fetch_add(batch.len(), Ordering::Relaxed);
@@ -202,7 +227,7 @@ impl MicroBatcher {
         let scored: Vec<Vec<f64>> = parallel_map(self.threads, groups.len(), |g| {
             let idxs = &groups[g].1;
             let rows: Vec<&ProgramFeatures> = idxs.iter().map(|&i| &batch[i].feats).collect();
-            infer_scores(model, &rows)
+            infer_scores(batch[idxs[0]].epoch.model(), &rows)
         });
         for ((_, idxs), values) in groups.iter().zip(scored) {
             for (&i, value) in idxs.iter().zip(values) {

@@ -1,0 +1,100 @@
+//! The hot-swap primitive behind [`crate::InferenceService`]: an
+//! immutable *model epoch* (the model plus its identity fingerprint)
+//! held in an atomically swappable slot.
+//!
+//! Readers pin an epoch with one `Arc` clone and keep using it for as
+//! long as they like — a swap landing meanwhile publishes a new epoch to
+//! *future* pins without invalidating anything already pinned, so
+//! in-flight work always finishes on the model it started with and the
+//! old model is dropped only when its last pinned reference goes away.
+//! The slot's lock is held exactly long enough to clone or replace an
+//! `Arc` (no model code runs under it), so readers never block behind a
+//! reload: validating and deserializing a candidate artifact happens
+//! entirely off this path, and only the final pointer swap goes through
+//! the slot.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One immutable generation of the served model: the weights plus the
+/// fingerprint that identifies them in cache keys and reports.
+///
+/// Epochs are never mutated — a reload builds a fresh epoch and swaps
+/// the slot pointer — so everything derived from a pinned epoch (cache
+/// keys, forward passes, stats attribution) is consistent by
+/// construction.
+pub struct ModelEpoch<M> {
+    model: M,
+    fingerprint: u64,
+}
+
+impl<M> ModelEpoch<M> {
+    /// Bundles a model with its identity fingerprint.
+    pub fn new(model: M, fingerprint: u64) -> Self {
+        Self { model, fingerprint }
+    }
+
+    /// The model of this epoch.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The identity fingerprint of this epoch: for artifact-backed
+    /// services the artifact's weights fingerprint, `0` for models
+    /// constructed in-process without one.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// The swappable slot holding the active [`ModelEpoch`].
+pub(crate) struct ModelSlot<M> {
+    current: Mutex<Arc<ModelEpoch<M>>>,
+    swaps: AtomicUsize,
+}
+
+impl<M> ModelSlot<M> {
+    pub(crate) fn new(model: M, fingerprint: u64) -> Self {
+        Self {
+            current: Mutex::new(Arc::new(ModelEpoch::new(model, fingerprint))),
+            swaps: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pins the active epoch: the returned `Arc` stays valid (and
+    /// unchanged) across any number of concurrent swaps.
+    pub(crate) fn load(&self) -> Arc<ModelEpoch<M>> {
+        Arc::clone(&self.current.lock().expect("model slot"))
+    }
+
+    /// Publishes a new epoch; future [`ModelSlot::load`] calls see it,
+    /// already-pinned epochs are unaffected.
+    pub(crate) fn swap(&self, model: M, fingerprint: u64) {
+        let next = Arc::new(ModelEpoch::new(model, fingerprint));
+        *self.current.lock().expect("model slot") = next;
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Swaps completed since construction.
+    pub(crate) fn swaps(&self) -> usize {
+        self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_epochs_survive_swaps() {
+        let slot = ModelSlot::new("A".to_string(), 1);
+        let pinned = slot.load();
+        slot.swap("B".to_string(), 2);
+        assert_eq!(pinned.model(), "A", "pinned epoch is immutable");
+        assert_eq!(pinned.fingerprint(), 1);
+        let fresh = slot.load();
+        assert_eq!(fresh.model(), "B");
+        assert_eq!(fresh.fingerprint(), 2);
+        assert_eq!(slot.swaps(), 1);
+    }
+}

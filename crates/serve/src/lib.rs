@@ -16,8 +16,18 @@
 //!   persistent evaluation pool (`dlcm_eval::pool`);
 //! - [`ServeConfig`] tunes the pool width, micro-batch cap, and the
 //!   deterministic simulated per-query inference charge;
-//! - [`ServeStats`] exposes throughput, latency, batch-coalescing, and
-//!   cache hit-rate counters.
+//! - [`ServeStats`] exposes throughput, latency, batch-coalescing,
+//!   cache hit-rate, and model-swap counters.
+//!
+//! The served model is **hot-swappable** ([`InferenceService::reload`] /
+//! [`ArtifactReloadable::reload_artifact`]): the active model lives in an
+//! atomically swappable epoch slot ([`ModelEpoch`]), each client call
+//! pins one epoch for its whole lifetime (cache keys carry the epoch's
+//! fingerprint, misses score against the epoch's model, queued
+//! micro-batch rows group by epoch), and a failed reload — corrupt
+//! artifact, mismatched featurizer schema ([`ReloadError`]) — leaves the
+//! incumbent serving untouched. `tests/lifecycle.rs` enforces swap
+//! atomicity under concurrent load.
 //!
 //! The service implements `dlcm_eval::SyncEvaluator`, the same `&self`
 //! tier the concurrent suite driver (`dlcm_search::SearchDriver`) and
@@ -34,9 +44,11 @@
 #![warn(missing_docs)]
 
 mod batcher;
+mod epoch;
 mod service;
 
-pub use service::{InferenceService, ServeConfig, ServeStats};
+pub use epoch::ModelEpoch;
+pub use service::{ArtifactReloadable, InferenceService, ReloadError, ServeConfig, ServeStats};
 
 // The whole point of the service is to be shared across client threads;
 // keep that guaranteed at compile time.

@@ -1,7 +1,9 @@
-//! The inference service: cached, coalescing, concurrent speedup queries.
+//! The inference service: cached, coalescing, concurrent speedup queries
+//! over a hot-swappable model.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dlcm_eval::pool::parallel_map;
@@ -11,6 +13,7 @@ use dlcm_model::{Featurizer, ModelArtifact, ProgramFeatures, SpeedupPredictor};
 use serde::{Deserialize, Serialize};
 
 use crate::batcher::MicroBatcher;
+use crate::epoch::{ModelEpoch, ModelSlot};
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -108,6 +111,9 @@ pub struct ServeStats {
     /// Requests that completed evaluation but blew their deadline doing
     /// so (see [`InferenceService::note_deadline_missed`]).
     pub deadline_missed: usize,
+    /// Hot model swaps completed since the service started (see
+    /// [`InferenceService::reload`]).
+    pub model_swaps: usize,
     /// Summed wall-clock seconds spent inside client calls.
     pub total_latency: f64,
     /// Mean wall-clock seconds per client call.
@@ -125,19 +131,24 @@ struct ClientLedger {
 }
 
 /// The miss path under the service's cache: featurize over the pool,
-/// score through the coalescing micro-batcher.
+/// score through the coalescing micro-batcher against a pinned epoch.
 struct ServeCore<M> {
-    model: M,
+    slot: ModelSlot<M>,
     featurizer: Featurizer,
     threads: usize,
     sim_infer_cost: Option<f64>,
-    batcher: MicroBatcher,
+    batcher: MicroBatcher<M>,
     totals: Mutex<EvalStats>,
 }
 
-impl<M: SpeedupPredictor> SyncEvaluator for ServeCore<M> {
-    fn speedup_batch_shared(
+impl<M: SpeedupPredictor> ServeCore<M> {
+    /// Scores `schedules` against exactly `epoch` — the hot-swap-safe
+    /// miss path. The caller pins the epoch before building cache keys,
+    /// so keys and forward passes always agree on the model identity no
+    /// matter when a swap lands.
+    fn speedup_batch_epoch(
         &self,
+        epoch: &Arc<ModelEpoch<M>>,
         program: &Program,
         schedules: &[Schedule],
     ) -> (Vec<f64>, EvalStats) {
@@ -145,7 +156,7 @@ impl<M: SpeedupPredictor> SyncEvaluator for ServeCore<M> {
         let feats: Vec<ProgramFeatures> = parallel_map(self.threads, schedules.len(), |i| {
             self.featurizer.featurize(program, &schedules[i])
         });
-        let values = self.batcher.score_rows(&self.model, feats);
+        let values = self.batcher.score_rows(epoch, feats);
         let dt = start.elapsed().as_secs_f64();
         let delta = EvalStats {
             num_evals: schedules.len(),
@@ -163,10 +174,63 @@ impl<M: SpeedupPredictor> SyncEvaluator for ServeCore<M> {
         *self.totals.lock().expect("serve totals") += delta;
         (values, delta)
     }
+}
+
+impl<M: SpeedupPredictor> SyncEvaluator for ServeCore<M> {
+    fn speedup_batch_shared(
+        &self,
+        program: &Program,
+        schedules: &[Schedule],
+    ) -> (Vec<f64>, EvalStats) {
+        // Un-pinned entry (not used by the service's own hot path, which
+        // pins an epoch *before* key construction): pin here so at least
+        // this one call is internally consistent.
+        let epoch = self.slot.load();
+        self.speedup_batch_epoch(&epoch, program, schedules)
+    }
 
     fn total_stats(&self) -> EvalStats {
         *self.totals.lock().expect("serve totals")
     }
+}
+
+/// Typed failure of [`InferenceService::reload`]-family operations. A
+/// failed reload never touches the incumbent model: the service keeps
+/// serving exactly what it served before the attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReloadError {
+    /// The candidate artifact was trained under a different featurizer
+    /// schema than the one this service encodes queries with — its
+    /// scores would be meaningless for the feature vectors the service
+    /// produces.
+    SchemaMismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReloadError::SchemaMismatch { detail } => {
+                write!(f, "artifact featurizer schema mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
+/// Artifact-driven hot reload, as a trait so front ends generic over the
+/// model type (the `dlcm-net` server) can require it without naming
+/// `CostModel`. Implemented by [`InferenceService`] over
+/// `dlcm_model::CostModel` — the model type artifacts deserialize to.
+pub trait ArtifactReloadable {
+    /// Validates `artifact` against the service's query schema and, on
+    /// success, atomically swaps it in (returning its weights
+    /// fingerprint). On error the incumbent model keeps serving,
+    /// untouched.
+    fn reload_artifact(&self, artifact: ModelArtifact) -> Result<u64, ReloadError>;
 }
 
 /// A served cost model: answers concurrent `(program, schedule)` speedup
@@ -222,26 +286,72 @@ pub struct InferenceService<M: SpeedupPredictor> {
 
 impl<M: SpeedupPredictor> InferenceService<M> {
     /// Builds a service over a model and the featurizer schema its
-    /// queries must be encoded with.
+    /// queries must be encoded with. The model gets identity fingerprint
+    /// `0`; artifact-backed services
+    /// ([`InferenceService::from_artifact`]) carry their artifact's
+    /// weights fingerprint instead, and
+    /// [`InferenceService::with_model_fingerprint`] sets one explicitly.
     pub fn new(model: M, featurizer: Featurizer, cfg: ServeConfig) -> Self {
+        Self::with_model_fingerprint(model, 0, featurizer, cfg)
+    }
+
+    /// [`InferenceService::new`] with an explicit model identity
+    /// fingerprint: the value cache keys carry and
+    /// [`ServeStats`]/reload reports identify the model by.
+    pub fn with_model_fingerprint(
+        model: M,
+        fingerprint: u64,
+        featurizer: Featurizer,
+        cfg: ServeConfig,
+    ) -> Self {
+        let cache = SharedCachedEvaluator::with_capacity(
+            ServeCore {
+                slot: ModelSlot::new(model, fingerprint),
+                featurizer,
+                threads: cfg.threads.max(1),
+                sim_infer_cost: cfg.sim_infer_cost,
+                batcher: MicroBatcher::new(cfg.max_batch, cfg.threads),
+                totals: Mutex::new(EvalStats::default()),
+            },
+            cfg.cache_capacity,
+        );
+        cache.set_model_fingerprint(fingerprint);
         Self {
-            cache: SharedCachedEvaluator::with_capacity(
-                ServeCore {
-                    model,
-                    featurizer,
-                    threads: cfg.threads.max(1),
-                    sim_infer_cost: cfg.sim_infer_cost,
-                    batcher: MicroBatcher::new(cfg.max_batch, cfg.threads),
-                    totals: Mutex::new(EvalStats::default()),
-                },
-                cfg.cache_capacity,
-            ),
+            cache,
             sim_infer_cost: cfg.sim_infer_cost,
             ledger: Mutex::new(ClientLedger::default()),
             rejected_overload: AtomicUsize::new(0),
             rejected_deadline: AtomicUsize::new(0),
             deadline_missed: AtomicUsize::new(0),
         }
+    }
+
+    /// Atomically replaces the served model: queries that pinned the old
+    /// epoch finish on it (and their scores stay cached under *its*
+    /// fingerprint), queries arriving after the swap pin the new epoch.
+    /// Readers never block — the swap is one pointer replacement — and
+    /// no cache entry can leak across the boundary, because every entry
+    /// is keyed by the fingerprint of the epoch that produced it.
+    ///
+    /// The caller vouches that `fingerprint` identifies `model` (and
+    /// differs whenever the weights differ); artifact-driven reloads get
+    /// this from the artifact's manifest. Validation belongs *before*
+    /// this call — see [`ArtifactReloadable::reload_artifact`] for the
+    /// checked path.
+    pub fn reload(&self, model: M, fingerprint: u64) {
+        self.cache.inner().slot.swap(model, fingerprint);
+        // Keep the un-pinned cache path coherent with the new epoch.
+        self.cache.set_model_fingerprint(fingerprint);
+    }
+
+    /// Fingerprint of the epoch new queries currently pin.
+    pub fn active_model_fingerprint(&self) -> u64 {
+        self.cache.inner().slot.load().fingerprint()
+    }
+
+    /// Hot swaps completed since the service started.
+    pub fn model_swaps(&self) -> usize {
+        self.cache.inner().slot.swaps()
     }
 
     /// Records a request an admission-controlled front end turned away
@@ -263,12 +373,16 @@ impl<M: SpeedupPredictor> InferenceService<M> {
         self.deadline_missed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The served model.
-    pub fn model(&self) -> &M {
-        &self.cache.inner().model
+    /// Pins and returns the currently served model epoch: a stable
+    /// snapshot of (model, fingerprint) that later reloads do not touch.
+    pub fn active_epoch(&self) -> Arc<ModelEpoch<M>> {
+        self.cache.inner().slot.load()
     }
 
-    /// The featurizer queries are encoded with.
+    /// The featurizer queries are encoded with. Fixed for the service's
+    /// lifetime: reloaded artifacts must match this schema
+    /// ([`ReloadError::SchemaMismatch`] otherwise), because clients
+    /// encode queries against it.
     pub fn featurizer(&self) -> &Featurizer {
         &self.cache.inner().featurizer
     }
@@ -304,6 +418,7 @@ impl<M: SpeedupPredictor> InferenceService<M> {
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            model_swaps: core.slot.swaps(),
             total_latency: ledger.latency,
             mean_latency: if ledger.calls > 0 {
                 ledger.latency / ledger.calls as f64
@@ -317,10 +432,33 @@ impl<M: SpeedupPredictor> InferenceService<M> {
 impl InferenceService<dlcm_model::CostModel> {
     /// Builds a service straight from a saved [`ModelArtifact`]: the
     /// featurizer comes from the artifact's manifest schema, so queries
-    /// are guaranteed to be encoded the way the model was trained.
+    /// are guaranteed to be encoded the way the model was trained, and
+    /// the artifact's weights fingerprint becomes the model identity in
+    /// cache keys and reload reports.
     pub fn from_artifact(artifact: ModelArtifact, cfg: ServeConfig) -> Self {
         let featurizer = artifact.featurizer();
-        Self::new(artifact.into_model(), featurizer, cfg)
+        let fingerprint = artifact.weights_fingerprint();
+        Self::with_model_fingerprint(artifact.into_model(), fingerprint, featurizer, cfg)
+    }
+}
+
+impl ArtifactReloadable for InferenceService<dlcm_model::CostModel> {
+    fn reload_artifact(&self, artifact: ModelArtifact) -> Result<u64, ReloadError> {
+        // Validation happens entirely before the swap (the artifact
+        // itself was already integrity-checked by `ModelArtifact::load`):
+        // a rejected candidate leaves the incumbent epoch untouched.
+        let expected = self.featurizer().config();
+        let found = artifact.manifest().featurizer;
+        if found != expected {
+            return Err(ReloadError::SchemaMismatch {
+                detail: format!(
+                    "service encodes queries with {expected:?}, artifact was trained with {found:?}"
+                ),
+            });
+        }
+        let fingerprint = artifact.weights_fingerprint();
+        self.reload(artifact.into_model(), fingerprint);
+        Ok(fingerprint)
     }
 }
 
@@ -331,7 +469,18 @@ impl<M: SpeedupPredictor> SyncEvaluator for InferenceService<M> {
         schedules: &[Schedule],
     ) -> (Vec<f64>, EvalStats) {
         let start = Instant::now();
-        let (values, mut delta) = self.cache.speedup_batch_shared(program, schedules);
+        // Pin the model epoch ONCE, before any cache key exists: keys are
+        // built under the pinned fingerprint AND misses are scored
+        // against the same pinned model, so a reload landing anywhere in
+        // this call can neither mix models within the batch nor poison
+        // the cache with wrong-keyed entries.
+        let core = self.cache.inner();
+        let epoch = core.slot.load();
+        let (values, mut delta) =
+            self.cache
+                .speedup_batch_pinned(epoch.fingerprint(), program, schedules, |fresh| {
+                    core.speedup_batch_epoch(&epoch, program, fresh)
+                });
         // With a simulated cost configured, every queried candidate —
         // hit or miss — charges the same deterministic amount, so a
         // served search's search_time is a pure function of its own

@@ -9,11 +9,20 @@ use dlcm::model::{
 };
 use dlcm::search::{BeamSearch, SearchSpace};
 
+/// Scaled-down workloads under `DLCM_TEST_QUICK` (the tier-1 wall-clock
+/// knob): the two slowest tests in the workspace live here, and quick
+/// mode trims their training/measurement volume while keeping every
+/// assertion meaningful.
+fn quick() -> bool {
+    std::env::var_os("DLCM_TEST_QUICK").is_some()
+}
+
 fn small_dataset(seed: u64) -> Dataset {
+    let (num_programs, schedules_per_program) = if quick() { (8, 12) } else { (16, 24) };
     Dataset::generate(
         &DatasetConfig {
-            num_programs: 16,
-            schedules_per_program: 24,
+            num_programs,
+            schedules_per_program,
             seed,
             ..DatasetConfig::tiny(seed)
         },
@@ -48,9 +57,14 @@ fn trained_model_ranks_held_out_schedules_of_seen_programs() {
     // speedup distribution.
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
     let program = progen.generate(&mut rng, "p");
-    let schedules = schedgen.generate_distinct(&program, 200, &mut rng);
+    let (pool, train_n, epochs) = if quick() {
+        (120, 90, 60)
+    } else {
+        (200, 150, 120)
+    };
+    let schedules = schedgen.generate_distinct(&program, pool, &mut rng);
     assert!(
-        schedules.len() >= 200,
+        schedules.len() >= pool,
         "schedule space too small for the ranking property: {}",
         schedules.len()
     );
@@ -64,7 +78,7 @@ fn trained_model_ranks_held_out_schedules_of_seen_programs() {
             group: 0,
         })
         .collect();
-    let (train_set, test_set) = samples.split_at(150);
+    let (train_set, test_set) = samples.split_at(train_n);
 
     let mut model = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 0);
     let (before, _) = evaluate(&model, test_set);
@@ -73,7 +87,7 @@ fn trained_model_ranks_held_out_schedules_of_seen_programs() {
         train_set,
         &[],
         &TrainConfig {
-            epochs: 120,
+            epochs,
             batch_size: 32,
             max_lr: 2e-3,
             seed: 0,
@@ -109,7 +123,7 @@ fn model_guided_beam_search_runs_on_unseen_program() {
         &train_set,
         &[],
         &TrainConfig {
-            epochs: 6,
+            epochs: if quick() { 3 } else { 6 },
             batch_size: 16,
             ..TrainConfig::default()
         },
@@ -117,17 +131,18 @@ fn model_guided_beam_search_runs_on_unseen_program() {
 
     let program = dlcm::benchsuite::heat2d(0.1);
     let space = SearchSpace {
-        tile_sizes: vec![16, 32],
+        tile_sizes: if quick() { vec![16] } else { vec![16, 32] },
         unroll_factors: vec![4],
         ..SearchSpace::default()
     };
+    let beam = if quick() { 2 } else { 3 };
 
     let mut model_ev = ModelEvaluator::new(&model, featurizer.clone());
-    let bsm = BeamSearch::new(3, space.clone()).search(&program, &mut model_ev);
+    let bsm = BeamSearch::new(beam, space.clone()).search(&program, &mut model_ev);
     assert!(dlcm::ir::apply_schedule(&program, &bsm.schedule).is_ok());
 
     let mut exec_ev = ExecutionEvaluator::new(Measurement::exact(Machine::default()), 0);
-    let bse = BeamSearch::new(3, space).search(&program, &mut exec_ev);
+    let bse = BeamSearch::new(beam, space).search(&program, &mut exec_ev);
     assert!(
         bse.stats.search_time > bsm.stats.search_time,
         "execution search ({:.1}s simulated) should cost more than model search ({:.4}s)",
