@@ -10,7 +10,10 @@ use dlcm_eval::{
 };
 use dlcm_ir::{apply_schedule, interpret, synthetic_inputs, CompId, Schedule, Transform};
 use dlcm_machine::{analyze_program, Machine, Measurement};
-use dlcm_model::{CostModel, CostModelConfig, Featurizer, FeaturizerConfig, SpeedupPredictor};
+use dlcm_model::{
+    train, CostModel, CostModelConfig, Featurizer, FeaturizerConfig, LabeledFeatures,
+    SpeedupPredictor, TrainConfig,
+};
 use dlcm_search::{BeamSearch, SearchDriver, SearchJob, SearchSpace, SearchSpec};
 use dlcm_serve::{InferenceService, ServeConfig};
 use rand::SeedableRng;
@@ -168,11 +171,15 @@ fn generation(c: &mut Criterion) {
 
 /// Batched execution evaluation: sequential vs parallel vs cached.
 ///
-/// One fixed 16-candidate wave (4 tile sizes × 4 unroll factors) over a
+/// One fixed 64-candidate wave (8 tile sizes × 8 unroll factors) over a
 /// 512×512 elementwise program, measured with the paper's median-of-30
 /// protocol. `..._par4` runs the same wave through the 4-worker pool —
-/// the Table 2 throughput lever — and `cached_exec_rescore_16` re-scores
-/// a warm wave (pure cache hits).
+/// the Table 2 throughput lever — and `cached_exec_rescore_64` re-scores
+/// a warm wave (pure cache hits). The wave is deliberately coarse: 16
+/// candidates over 4 workers left each chunk too small to amortize
+/// dispatch, so the gated 1.5× floor measured scheduling overhead
+/// rather than fan-out; at 64 candidates each worker owns a chunk big
+/// enough that the floor measures the pool.
 fn parallel_eval(c: &mut Criterion) {
     let program = {
         let mut b = dlcm_ir::ProgramBuilder::new("wave");
@@ -190,10 +197,13 @@ fn parallel_eval(c: &mut Criterion) {
         );
         b.build().unwrap()
     };
-    let wave: Vec<Schedule> = [16, 32, 64, 128]
+    // Every unroll factor must stay ≤ the smallest tile size: after
+    // tiling, the innermost loop extent is the tile size, and unroll
+    // factors beyond it are rejected as illegal.
+    let wave: Vec<Schedule> = [12, 16, 24, 32, 48, 64, 96, 128]
         .iter()
         .flat_map(|&tile| {
-            [2, 4, 8, 16].iter().map(move |&unroll| {
+            [2, 3, 4, 5, 6, 8, 10, 12].iter().map(move |&unroll| {
                 Schedule::new(vec![
                     Transform::Tile {
                         comp: CompId(0),
@@ -210,21 +220,21 @@ fn parallel_eval(c: &mut Criterion) {
             })
         })
         .collect();
-    assert_eq!(wave.len(), 16);
+    assert_eq!(wave.len(), 64);
 
     let mut seq = ExecutionEvaluator::new(Measurement::default(), 0);
-    c.bench_function("exec_speedup_batch_16_seq", |b| {
+    c.bench_function("exec_speedup_batch_64_seq", |b| {
         b.iter(|| seq.speedup_batch(&program, &wave));
     });
 
     let mut par = ParallelEvaluator::new(Measurement::default(), 0, 4);
-    c.bench_function("exec_speedup_batch_16_par4", |b| {
+    c.bench_function("exec_speedup_batch_64_par4", |b| {
         b.iter(|| par.speedup_batch(&program, &wave));
     });
 
     let mut cached = CachedEvaluator::new(ExecutionEvaluator::new(Measurement::default(), 0));
     cached.speedup_batch(&program, &wave); // warm
-    c.bench_function("cached_exec_rescore_16", |b| {
+    c.bench_function("cached_exec_rescore_64", |b| {
         b.iter(|| cached.speedup_batch(&program, &wave));
     });
 }
@@ -247,6 +257,79 @@ fn serve_inference(c: &mut Criterion) {
         b.iter_batched(
             || InferenceService::new(model.clone(), featurizer.clone(), ServeConfig::default()),
             |service| service.speedup_batch_shared(&programs[0], &wave),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// The flywheel's retrain stage: one warm-start epoch over a fixed
+/// 256-row labeled set (8 programs, ~32 distinct schedules each,
+/// harness ground truth). Each iteration clones the warm incumbent and runs one
+/// `train` epoch — exactly what `modelctl flywheel` does per candidate
+/// per epoch — so per-row cost is this divided by 256, gated in CI as
+/// `flywheel_retrain_ns_per_row`.
+fn flywheel_retrain(c: &mut Criterion) {
+    let programs = bench_programs();
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let harness = Measurement::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    // 32 schedules per program, except a program whose entire distinct
+    // schedule space is smaller contributes what it has and the deficit
+    // is topped up round-robin from the others — the row count must be
+    // exactly 256 so the gated per-row cost has a fixed denominator.
+    let pools: Vec<Vec<Schedule>> = programs
+        .iter()
+        .map(|p| schedgen.generate_distinct(p, 64, &mut rng))
+        .collect();
+    let mut take: Vec<usize> = pools.iter().map(|p| p.len().min(32)).collect();
+    let mut total: usize = take.iter().sum();
+    while total < 256 {
+        let mut grew = false;
+        for (i, pool) in pools.iter().enumerate() {
+            if total == 256 {
+                break;
+            }
+            if take[i] < pool.len() {
+                take[i] += 1;
+                total += 1;
+                grew = true;
+            }
+        }
+        assert!(grew, "combined schedule spaces too small for 256 rows");
+    }
+    let mut rows: Vec<LabeledFeatures> = Vec::with_capacity(256);
+    for (pi, (program, pool)) in programs.iter().zip(&pools).enumerate() {
+        for schedule in &pool[..take[pi]] {
+            rows.push(LabeledFeatures {
+                feats: featurizer.featurize(program, schedule),
+                target: harness.speedup(program, schedule, 0).expect("legal"),
+                group: pi as u64,
+            });
+        }
+    }
+    assert_eq!(rows.len(), 256);
+    let (train_set, val_set) = rows.split_at(224);
+
+    // Warm incumbent: a few cold epochs, once, outside the timer.
+    let mut warm = CostModel::new(CostModelConfig::fast(featurizer.config().vector_width()), 0);
+    train(
+        &mut warm,
+        train_set,
+        val_set,
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        },
+    );
+    let retrain_cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::default()
+    };
+    c.bench_function("flywheel_retrain_256", |b| {
+        b.iter_batched(
+            || warm.clone(),
+            |mut model| train(&mut model, train_set, val_set, &retrain_cfg),
             BatchSize::SmallInput,
         );
     });
@@ -322,6 +405,7 @@ criterion_group!(
     generation,
     parallel_eval,
     serve_inference,
+    flywheel_retrain,
     search,
     suite_search
 );

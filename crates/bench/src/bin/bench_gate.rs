@@ -66,7 +66,7 @@ struct BenchSummary {
     exec_ns: f64,
     /// One legality check + schedule application.
     legality_ns: f64,
-    /// Per-candidate cost of a 16-candidate sequential execution batch.
+    /// Per-candidate cost of a 64-candidate sequential execution batch.
     exec_eval_seq_ns_per_candidate: f64,
     /// Per-candidate cost of the same batch through the 4-worker pool.
     exec_eval_par_ns_per_candidate: f64,
@@ -91,6 +91,9 @@ struct BenchSummary {
     /// TCP server, from `loadgen`'s `results/serve_net.json` (not the
     /// Criterion stream).
     net_p99_us: f64,
+    /// Per-row cost of one warm-start retraining epoch over the fixed
+    /// 256-row flywheel set (the `modelctl flywheel` retrain stage).
+    flywheel_retrain_ns_per_row: f64,
 }
 
 const BASELINE_PATH: &str = "ci/bench_baseline.json";
@@ -114,8 +117,8 @@ fn lookup(records: &[BenchRecord], name: &str) -> f64 {
 }
 
 fn summarize(records: &[BenchRecord]) -> BenchSummary {
-    let seq = lookup(records, "exec_speedup_batch_16_seq") / 16.0;
-    let par = lookup(records, "exec_speedup_batch_16_par4") / 16.0;
+    let seq = lookup(records, "exec_speedup_batch_64_seq") / 64.0;
+    let par = lookup(records, "exec_speedup_batch_64_par4") / 64.0;
     let suite_seq = lookup(records, "suite_search_driver_seq") / 4.0;
     let suite_par = lookup(records, "suite_search_driver_par4") / 4.0;
     BenchSummary {
@@ -127,7 +130,7 @@ fn summarize(records: &[BenchRecord]) -> BenchSummary {
         exec_eval_seq_ns_per_candidate: seq,
         exec_eval_par_ns_per_candidate: par,
         parallel_speedup_x: if par > 0.0 { seq / par } else { 0.0 },
-        cache_hit_ns_per_candidate: lookup(records, "cached_exec_rescore_16") / 16.0,
+        cache_hit_ns_per_candidate: lookup(records, "cached_exec_rescore_64") / 64.0,
         serve_infer_ns_per_query: lookup(records, "serve_speedup_batch_16") / 16.0,
         suite_search_seq_ns_per_search: suite_seq,
         suite_search_par_ns_per_search: suite_par,
@@ -137,6 +140,7 @@ fn summarize(records: &[BenchRecord]) -> BenchSummary {
             0.0
         },
         net_p99_us: read_net_p99(),
+        flywheel_retrain_ns_per_row: lookup(records, "flywheel_retrain_256") / 256.0,
     }
 }
 
@@ -191,6 +195,11 @@ fn latency_metrics(
             baseline.suite_search_seq_ns_per_search,
         ),
         ("net_p99_us", current.net_p99_us, baseline.net_p99_us),
+        (
+            "flywheel_retrain_ns_per_row",
+            current.flywheel_retrain_ns_per_row,
+            baseline.flywheel_retrain_ns_per_row,
+        ),
     ]
 }
 
@@ -478,13 +487,30 @@ fn main() {
             v.name, v.current, v.baseline, v.ratio, v.status
         );
     }
-    if !floors_enforced {
-        // Loud, not silent: the floors exist and this runner cannot
-        // check them.
-        println!(
-            "SPEEDUP FLOORS SKIPPED: runner reports {runner_cores} core(s) < {FLOOR_MIN_CORES}; \
-             the {SPEEDUP_FLOOR}x floors only enforce on the CI bench class"
-        );
+    // One line per floor, always printed: a red bench job names the
+    // exact floor that failed without log spelunking, and a green one
+    // shows the margin.
+    for v in metrics.iter().filter(|v| v.kind == "speedup") {
+        if floors_enforced {
+            println!(
+                "floor {}: {:.2}x vs {SPEEDUP_FLOOR}x floor — {}",
+                v.name,
+                v.current,
+                if v.current >= SPEEDUP_FLOOR {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
+            );
+        } else {
+            // Loud, not silent: the floor exists and this runner cannot
+            // check it.
+            println!(
+                "floor {}: {:.2}x vs {SPEEDUP_FLOOR}x floor — SKIPPED ({runner_cores} core(s) < \
+                 {FLOOR_MIN_CORES}; floors only enforce on the CI bench class)",
+                v.name, v.current
+            );
+        }
     }
 
     let passed = !metrics.iter().any(|v| v.failed);

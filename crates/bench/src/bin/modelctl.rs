@@ -26,13 +26,22 @@
 //!   mismatched featurizer schema, mid-drain) exits nonzero and the
 //!   incumbent keeps serving;
 //! - `promote ADDR --artifact DIR` — the shadow A/B gate: mirror a
-//!   fixed-seed query window to the incumbent (over the wire) and the
-//!   candidate (in-process), compare both against deterministic
-//!   simulated ground truth, and promote the candidate — an atomic
-//!   `Reload` plus a bit-identical post-swap probe — only if it scores
-//!   strictly better. The decision and both sides' metrics land in
-//!   `results/promotion.json`; `--dry-run` records the verdict without
-//!   swapping.
+//!   fixed-seed query window to the incumbent (over the wire) and every
+//!   candidate (in-process), compare all of them against deterministic
+//!   simulated ground truth, rank the candidates by window MAPE, and
+//!   promote the winner — an atomic `Reload` plus a bit-identical
+//!   post-swap probe — only if it scores strictly better than the
+//!   incumbent. `--candidates DIR1,DIR2,…` gates several artifacts in
+//!   one window (e.g. a flywheel's retrained cohort); the decision and
+//!   every side's metrics land in `results/promotion.json`; `--dry-run`
+//!   records the verdict without swapping;
+//! - `flywheel` — close the data loop in-process: serve a fixed-seed
+//!   replay window from the incumbent with mispredict capture on, drain
+//!   the WARN+ divergences into a new corpus generation, warm-start
+//!   retrain N candidate artifacts over the union corpus, and write
+//!   `results/flywheel.json`. The candidates land in `--out DIR`
+//!   (default `results/flywheel/candN`), ready for
+//!   `promote --candidates`.
 //!
 //! ```text
 //! modelctl train [--quick] [--threads N] [--shards K] [--epochs N] [--out DIR]
@@ -42,7 +51,11 @@
 //! modelctl serve --listen ADDR [--artifact DIR] [--threads N] [--cache-capacity N]
 //!                [--max-connections N] [--max-in-flight N]
 //! modelctl reload ADDR --artifact DIR
-//! modelctl promote ADDR --artifact DIR [--window N] [--dry-run] [--quick]
+//! modelctl promote ADDR [--artifact DIR | --candidates DIR1,DIR2,...] [--window N]
+//!                  [--dry-run] [--quick]
+//! modelctl flywheel [--artifact DIR] [--corpus DIR] [--out DIR] [--candidates N]
+//!                   [--window N] [--epochs N] [--sample-every N] [--capacity N]
+//!                   [--quick] [--threads N]
 //! ```
 //!
 //! `DIR` defaults to `results/model_artifact` (what `train` and
@@ -54,13 +67,15 @@ use std::time::Instant;
 
 use dlcm_bench::harness;
 use dlcm_bench::{
-    evaluate_artifact, load_artifact, model_artifact_dir, positive_flag, quick_mode, shards,
-    string_flag, threads, train_from_corpus, write_json,
+    corpus_dir, evaluate_artifact, load_artifact, model_artifact_dir, positive_flag, quick_mode,
+    results_dir, run_flywheel, shards, string_flag, threads, train_from_corpus, write_json,
+    FlywheelConfig,
 };
 use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
 use dlcm_eval::pool::parallel_map;
 use dlcm_eval::{Evaluator, ExecutionEvaluator, ModelEvaluator, SyncEvaluator};
 use dlcm_ir::fingerprint::to_hex;
+use dlcm_model::{CostModel, Featurizer};
 use dlcm_net::{NetClient, NetConfig, NetServer};
 use dlcm_serve::{InferenceService, ServeConfig, ServeStats};
 use rand::SeedableRng;
@@ -97,10 +112,11 @@ fn main() {
         "serve" => serve(),
         "reload" => reload(),
         "promote" => promote(),
+        "flywheel" => flywheel(),
         other => {
             eprintln!("unknown or missing subcommand {other:?}");
             eprintln!(
-                "usage: modelctl <train|info|eval|serve|reload|promote> [options]  \
+                "usage: modelctl <train|info|eval|serve|reload|promote|flywheel> [options]  \
                  (see --bin modelctl docs)"
             );
             std::process::exit(2);
@@ -312,6 +328,19 @@ struct PromotionSide {
     mean_latency_us: f64,
 }
 
+/// One ranked candidate of the promotion gate (report order = CLI
+/// order; `rank` 0 is the winner).
+#[derive(Serialize)]
+struct CandidateVerdict {
+    dir: String,
+    fingerprint: String,
+    rank: usize,
+    mape_vs_ground_truth: f64,
+    mean_latency_us: f64,
+    mean_abs_score_delta: f64,
+    max_abs_score_delta: f64,
+}
+
 /// What `promote` writes to `results/promotion.json`.
 #[derive(Serialize)]
 struct PromotionReport {
@@ -320,48 +349,91 @@ struct PromotionReport {
     wave_len: usize,
     queries: usize,
     incumbent: PromotionSide,
-    candidate: PromotionSide,
-    mean_abs_score_delta: f64,
-    max_abs_score_delta: f64,
+    candidates: Vec<CandidateVerdict>,
+    winner_fingerprint: String,
     verdict: String,
     action: String,
     post_swap_fingerprint: Option<String>,
 }
 
-/// `promote ADDR --artifact DIR`: the shadow A/B gate. A fixed-seed
-/// query window is mirrored to the incumbent (served, over the wire)
-/// and the candidate (in-process); both are scored against the
-/// deterministic simulated-execution ground truth, and the candidate is
-/// promoted — an atomic `Reload` plus a bit-identical post-swap probe —
-/// only if its window error is strictly lower. Latency is recorded but
-/// never decides: the verdict is a pure function of the artifacts and
-/// the window, so two runs of the gate agree.
+/// In-flight accumulation for one candidate artifact during the window.
+struct CandState {
+    dir: PathBuf,
+    fingerprint: String,
+    model: CostModel,
+    featurizer: Featurizer,
+    err: f64,
+    us: f64,
+    delta_sum: f64,
+    delta_max: f64,
+    probe: Option<Vec<f64>>,
+}
+
+/// `promote ADDR [--artifact DIR | --candidates DIR1,DIR2,…]`: the
+/// shadow A/B gate. A fixed-seed query window is mirrored to the
+/// incumbent (served, over the wire) and every candidate (in-process);
+/// all sides are scored against the deterministic simulated-execution
+/// ground truth, candidates are ranked by window MAPE (ties resolve to
+/// the earlier CLI position), and the winner is promoted — an atomic
+/// `Reload` plus a bit-identical post-swap probe — only if its window
+/// error is strictly lower than the incumbent's. Latency is recorded
+/// but never decides: the verdict is a pure function of the artifacts
+/// and the window, so two runs of the gate agree.
 fn promote() {
     let addr = addr_arg();
-    let dir = artifact_dir_arg();
     let quick = quick_mode();
     let dry_run = std::env::args().any(|a| a == "--dry-run");
     let window = positive_flag("window", if quick { 6 } else { 24 });
     let wave_len = 6;
+    let cand_dirs: Vec<PathBuf> = match string_flag("candidates") {
+        Some(list) => list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(PathBuf::from)
+            .collect(),
+        None => vec![artifact_dir_arg()],
+    };
+    if cand_dirs.is_empty() {
+        eprintln!("modelctl promote: --candidates needs at least one artifact directory");
+        std::process::exit(2);
+    }
     eprintln!(
-        "=== modelctl promote (addr={addr}, candidate={dir:?}, window={window}, \
+        "=== modelctl promote (addr={addr}, candidates={cand_dirs:?}, window={window}, \
          dry_run={dry_run}) ==="
     );
 
-    let dir = dir.canonicalize().unwrap_or(dir);
-    let artifact = load_artifact(&dir);
-    let candidate_fp = to_hex(artifact.weights_fingerprint());
-    let featurizer = artifact.featurizer();
-    let candidate_model = artifact.into_model();
-    let mut candidate_eval = ModelEvaluator::new(&candidate_model, featurizer);
+    let mut cands: Vec<CandState> = cand_dirs
+        .into_iter()
+        .map(|dir| {
+            let dir = dir.canonicalize().unwrap_or(dir);
+            let artifact = load_artifact(&dir);
+            CandState {
+                fingerprint: to_hex(artifact.weights_fingerprint()),
+                featurizer: artifact.featurizer(),
+                model: artifact.into_model(),
+                dir,
+                err: 0.0,
+                us: 0.0,
+                delta_sum: 0.0,
+                delta_max: 0.0,
+                probe: None,
+            }
+        })
+        .collect();
     // Paper-protocol measurement harness under a fixed seed: the ground
     // truth for the window is deterministic, so the verdict is too.
     let mut truth_eval = ExecutionEvaluator::new(harness(), 0);
 
     let mut client = connect(&addr, "promote");
     let incumbent_fp = client.model_info().expect("model info").fingerprint;
-    if incumbent_fp == candidate_fp {
-        eprintln!("modelctl promote: candidate is the incumbent ({incumbent_fp}); nothing to gate");
+    for cand in &cands {
+        if cand.fingerprint == incumbent_fp {
+            eprintln!(
+                "modelctl promote: candidate {:?} is the incumbent ({incumbent_fp}); it can \
+                 rank but never strictly beat itself",
+                cand.dir
+            );
+        }
     }
 
     // Mirrored traffic: the serve bench's fixed program pool (seed 17)
@@ -375,12 +447,8 @@ fn promote() {
     let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
 
     let mut incumbent_err = 0.0f64;
-    let mut candidate_err = 0.0f64;
-    let mut delta_sum = 0.0f64;
-    let mut delta_max = 0.0f64;
     let mut incumbent_us = 0.0f64;
-    let mut candidate_us = 0.0f64;
-    let mut probe: Option<(dlcm_ir::Program, Vec<dlcm_ir::Schedule>, Vec<f64>)> = None;
+    let mut probe_wave: Option<(dlcm_ir::Program, Vec<dlcm_ir::Schedule>)> = None;
     for round in 0..window {
         let program = &programs[round % programs.len()];
         let mut wave_rng = ChaCha8Rng::seed_from_u64(0xAB00 + round as u64);
@@ -392,40 +460,67 @@ fn promote() {
             std::process::exit(1);
         });
         incumbent_us += sent.elapsed().as_secs_f64() * 1e6;
-        let sent = Instant::now();
-        let candidate = candidate_eval.speedup_batch(program, &wave);
-        candidate_us += sent.elapsed().as_secs_f64() * 1e6;
         let truth = truth_eval.speedup_batch(program, &wave);
-
-        for ((i, c), t) in incumbent.iter().zip(&candidate).zip(&truth) {
+        for (i, t) in incumbent.iter().zip(&truth) {
             incumbent_err += (i - t).abs() / t;
-            candidate_err += (c - t).abs() / t;
-            let delta = (c - i).abs();
-            delta_sum += delta;
-            delta_max = delta_max.max(delta);
         }
-        if probe.is_none() {
-            probe = Some((program.clone(), wave, candidate));
+
+        for cand in &mut cands {
+            let sent = Instant::now();
+            let scores = ModelEvaluator::new(&cand.model, cand.featurizer.clone())
+                .speedup_batch(program, &wave);
+            cand.us += sent.elapsed().as_secs_f64() * 1e6;
+            for ((c, i), t) in scores.iter().zip(&incumbent).zip(&truth) {
+                cand.err += (c - t).abs() / t;
+                let delta = (c - i).abs();
+                cand.delta_sum += delta;
+                cand.delta_max = cand.delta_max.max(delta);
+            }
+            if cand.probe.is_none() {
+                cand.probe = Some(scores);
+            }
+        }
+        if probe_wave.is_none() {
+            probe_wave = Some((program.clone(), wave));
         }
     }
     let queries = window * wave_len;
     let incumbent_mape = incumbent_err / queries as f64;
-    let candidate_mape = candidate_err / queries as f64;
 
-    let promote = candidate_mape < incumbent_mape;
+    // Rank by window MAPE; `min_by` keeps the first of equals, so ties
+    // resolve to the earlier CLI position deterministically.
+    let winner = cands
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.err.partial_cmp(&b.err).expect("finite window error"))
+        .map(|(i, _)| i)
+        .expect("at least one candidate");
+    let winner_mape = cands[winner].err / queries as f64;
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_by(|&a, &b| {
+        cands[a]
+            .err
+            .partial_cmp(&cands[b].err)
+            .expect("finite window error")
+            .then(a.cmp(&b))
+    });
+    let rank_of = |i: usize| order.iter().position(|&j| j == i).expect("ranked");
+
+    let promote = winner_mape < incumbent_mape;
     let verdict = if promote { "promote" } else { "rollback" };
     let (action, post_swap_fingerprint) = if dry_run {
         ("dry-run", None)
     } else if promote {
         let info = client
-            .reload(dir.to_str().expect("utf-8 artifact path"))
+            .reload(cands[winner].dir.to_str().expect("utf-8 artifact path"))
             .unwrap_or_else(|e| {
                 eprintln!("modelctl promote: swap refused ({e}); the incumbent keeps serving");
                 std::process::exit(1);
             });
         // Post-swap probe: the first window request, replayed through
-        // the server, must now answer from the candidate bit-for-bit.
-        let (program, wave, expected) = probe.as_ref().expect("window is nonempty");
+        // the server, must now answer from the winner bit-for-bit.
+        let (program, wave) = probe_wave.as_ref().expect("window is nonempty");
+        let expected = cands[winner].probe.as_ref().expect("window is nonempty");
         let served = client.speedups(program, wave).unwrap_or_else(|e| {
             eprintln!("modelctl promote: post-swap probe failed: {e}");
             std::process::exit(1);
@@ -434,7 +529,7 @@ fn promote() {
         let expected_bits: Vec<u64> = expected.iter().map(|s| s.to_bits()).collect();
         if served_bits != expected_bits {
             eprintln!(
-                "modelctl promote: post-swap probe MISMATCH: served {served:?} vs candidate \
+                "modelctl promote: post-swap probe MISMATCH: served {served:?} vs winner \
                  {expected:?}"
             );
             std::process::exit(1);
@@ -454,29 +549,111 @@ fn promote() {
             mape_vs_ground_truth: incumbent_mape,
             mean_latency_us: incumbent_us / window as f64,
         },
-        candidate: PromotionSide {
-            fingerprint: candidate_fp,
-            mape_vs_ground_truth: candidate_mape,
-            mean_latency_us: candidate_us / window as f64,
-        },
-        mean_abs_score_delta: delta_sum / queries as f64,
-        max_abs_score_delta: delta_max,
+        candidates: cands
+            .iter()
+            .enumerate()
+            .map(|(i, cand)| CandidateVerdict {
+                dir: cand.dir.display().to_string(),
+                fingerprint: cand.fingerprint.clone(),
+                rank: rank_of(i),
+                mape_vs_ground_truth: cand.err / queries as f64,
+                mean_latency_us: cand.us / window as f64,
+                mean_abs_score_delta: cand.delta_sum / queries as f64,
+                max_abs_score_delta: cand.delta_max,
+            })
+            .collect(),
+        winner_fingerprint: cands[winner].fingerprint.clone(),
         verdict: verdict.into(),
         action: action.into(),
         post_swap_fingerprint,
     };
     println!(
-        "promotion verdict: {verdict} (action: {action}) over {queries} mirrored queries — \
-         incumbent MAPE {:.4} ({:.0}us/req served), candidate MAPE {:.4} ({:.0}us/req \
-         in-process), mean |Δscore| {:.4}, max {:.4}",
+        "promotion verdict: {verdict} (action: {action}) over {queries} mirrored queries x {} \
+         candidates — incumbent MAPE {:.4} ({:.0}us/req served), winner {} MAPE {:.4}",
+        report.candidates.len(),
         report.incumbent.mape_vs_ground_truth,
         report.incumbent.mean_latency_us,
-        report.candidate.mape_vs_ground_truth,
-        report.candidate.mean_latency_us,
-        report.mean_abs_score_delta,
-        report.max_abs_score_delta,
+        report.winner_fingerprint,
+        winner_mape,
     );
+    for &i in &order {
+        let c = &report.candidates[i];
+        println!(
+            "  #{} {}: MAPE {:.4} ({:.0}us/req in-process), mean |Δscore| vs incumbent {:.4}, \
+             max {:.4}{}",
+            c.rank,
+            c.dir,
+            c.mape_vs_ground_truth,
+            c.mean_latency_us,
+            c.mean_abs_score_delta,
+            c.max_abs_score_delta,
+            if i == winner { "  <- winner" } else { "" },
+        );
+    }
     write_json("promotion.json", &report);
+}
+
+/// `flywheel`: the whole data loop in one command — serve a fixed-seed
+/// replay window from the incumbent with mispredict capture on, append
+/// the drained WARN+ rows to the corpus as a new generation, warm-start
+/// retrain N candidates over the union corpus, and write
+/// `results/flywheel.json`. Hand the candidates to
+/// `promote --candidates` to close the loop.
+fn flywheel() {
+    let quick = quick_mode();
+    let artifact = string_flag("artifact").map_or_else(model_artifact_dir, PathBuf::from);
+    let corpus = string_flag("corpus").map_or_else(corpus_dir, PathBuf::from);
+    let out = string_flag("out").map_or_else(|| results_dir().join("flywheel"), PathBuf::from);
+    let mut cfg = FlywheelConfig::new(artifact, corpus, out, quick);
+    cfg.threads = threads();
+    cfg.candidates = positive_flag("candidates", cfg.candidates);
+    cfg.window = positive_flag("window", cfg.window);
+    cfg.epochs = positive_flag("epochs", cfg.epochs);
+    cfg.sample_every = positive_flag("sample-every", cfg.sample_every as usize) as u64;
+    cfg.capacity = positive_flag("capacity", cfg.capacity);
+    eprintln!(
+        "=== modelctl flywheel (artifact={:?}, corpus={:?}, out={:?}, candidates={}, \
+         window={}, epochs={}, sample_every={}, capacity={}, threads={}) ===",
+        cfg.artifact_dir,
+        cfg.corpus_dir,
+        cfg.out_dir,
+        cfg.candidates,
+        cfg.window,
+        cfg.epochs,
+        cfg.sample_every,
+        cfg.capacity,
+        cfg.threads,
+    );
+    let report = run_flywheel(&cfg).unwrap_or_else(|e| {
+        eprintln!("modelctl flywheel failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "flywheel: served {} queries from incumbent {}, checked {} ({} WARN / {} HIGH / {} \
+         CRITICAL, {} logged, {} dropped); generation {} appended {} points ({} duplicates \
+         dropped, chain {}); {} candidates retrained over corpus {}",
+        report.queries,
+        report.incumbent_fingerprint,
+        report.mispredicts.checked,
+        report.mispredicts.warn,
+        report.mispredicts.high,
+        report.mispredicts.critical,
+        report.mispredicts.logged,
+        report.mispredicts.dropped,
+        report.generation.id,
+        report.generation.num_points,
+        report.generation.duplicates_dropped,
+        report.generation.chain,
+        report.candidates.len(),
+        report.corpus_fingerprint,
+    );
+    for cand in &report.candidates {
+        println!(
+            "  {} (seed {}): weights {}, held-out MAPE {:.4}",
+            cand.dir, cand.seed, cand.weights_fingerprint, cand.held_out_mape
+        );
+    }
+    write_json("flywheel.json", &report);
 }
 
 /// `serve --listen ADDR`: the artifact on a TCP socket, in the

@@ -19,6 +19,13 @@
 
 #![warn(missing_docs)]
 
+mod flywheel;
+
+pub use flywheel::{
+    quick_flywheel_config, run_flywheel, FlywheelCandidate, FlywheelConfig, FlywheelReport,
+    FLYWHEEL_WAVE_SEED,
+};
+
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
@@ -193,9 +200,16 @@ pub fn ensure_corpus(
     let dir = corpus_dir();
     let cfg = corpus_config(quick, threads, num_shards);
     if let Ok(sharded) = ShardedDataset::open(&dir) {
-        if sharded.manifest().config == cfg.dataset
-            && sharded.manifest().shards.len() == cfg.num_shards
-        {
+        // Reuse keys on the *seed generation* only: a corpus the flywheel
+        // has extended with appended generations still matches its build
+        // config and must be reused, never clobbered.
+        let seed_shards = sharded
+            .manifest()
+            .shards
+            .iter()
+            .filter(|s| s.generation == 0)
+            .count();
+        if sharded.manifest().config == cfg.dataset && seed_shards == cfg.num_shards {
             eprintln!(
                 "reusing corpus at {dir:?} ({} programs, {} points)",
                 sharded.manifest().total_programs,

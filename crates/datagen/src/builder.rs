@@ -41,10 +41,12 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::{DataPoint, Dataset, DatasetConfig};
+use crate::genlog::DedupIndex;
 use crate::progen::ProgramGenerator;
 use crate::schedgen::ScheduleGenerator;
 use crate::shard::{
-    fingerprint_hex, ShardManifest, ShardRecord, ShardWriter, SHARD_FORMAT_VERSION,
+    chain_fingerprint, fingerprint_hex, GenerationInfo, ShardManifest, ShardRecord, ShardWriter,
+    SHARD_FORMAT_VERSION,
 };
 
 /// Scale, parallelism, and sharding knobs of the corpus builder.
@@ -312,6 +314,14 @@ impl ParallelDatasetBuilder {
             .into_iter()
             .map(ShardWriter::finish)
             .collect::<io::Result<_>>()?;
+        let seed_generation = GenerationInfo {
+            id: 0,
+            label: "seed".to_string(),
+            num_programs: stats.num_programs,
+            num_points: stats.num_points,
+            duplicates_dropped: stats.duplicates_dropped,
+            chain: chain_fingerprint(None, shards.iter().map(|s| s.fingerprint.as_str())),
+        };
         let manifest = ShardManifest {
             version: SHARD_FORMAT_VERSION,
             config: self.cfg.dataset.clone(),
@@ -319,8 +329,22 @@ impl ParallelDatasetBuilder {
             total_points: stats.num_points,
             duplicates_dropped: stats.duplicates_dropped,
             shards,
+            generations: vec![seed_generation],
         };
         manifest.save(dir)?;
+        // Persist the dedup index so later appended generations
+        // ([`crate::append_generation`]) dedup against the seed history.
+        // The retained points' keys *are* the full seen-set: a dropped
+        // duplicate's key is by definition already carried by a retained
+        // point.
+        let mut dedup = DedupIndex::default();
+        for point in &points {
+            dedup.insert(
+                fingerprints[point.program],
+                stable_fingerprint(&point.schedule),
+            );
+        }
+        dedup.save(dir)?;
         Ok((manifest, stats))
     }
 }

@@ -18,10 +18,19 @@
 //!   manifest ([`ShardWriter`]/[`ShardReader`]/[`ShardManifest`]) that
 //!   are **byte-identical at any thread count**.
 //!
+//! Corpora are *generation-versioned*: the builder's output is
+//! generation 0 of an append-only history, and [`append_generation`]
+//! adds later generations (e.g. mispredicts captured by the serving
+//! tier) as new shards whose [`GenerationInfo::chain`] fingerprints
+//! chain onto the parent's, deduplicated against the whole history via
+//! the persistent [`DedupIndex`].
+//!
 //! Training streams minibatches straight from shards through
 //! [`ShardBatches`] (a `dlcm_model::BatchSource`), featurizing each
-//! batch on demand; [`prepare`] is the in-memory equivalent. See
-//! DESIGN.md § "Dataset pipeline" for the on-disk format specification.
+//! batch on demand — the stream is the union of every generation, in
+//! manifest order; [`prepare`] is the in-memory equivalent. See
+//! DESIGN.md § "Dataset pipeline" and § "Data flywheel" for the on-disk
+//! format specification.
 //!
 //! # Examples
 //!
@@ -71,6 +80,7 @@
 
 mod builder;
 mod dataset;
+mod genlog;
 mod progen;
 mod schedgen;
 mod shard;
@@ -78,10 +88,11 @@ mod stream;
 
 pub use builder::{BuildConfig, BuildStats, ParallelDatasetBuilder};
 pub use dataset::{DataPoint, Dataset, DatasetConfig, Split};
+pub use genlog::{append_generation, AppendSample, DedupIndex};
 pub use progen::{Pattern, ProgramGenConfig, ProgramGenerator};
 pub use schedgen::{ScheduleGenConfig, ScheduleGenerator};
 pub use shard::{
-    fingerprint_hex, parse_fingerprint, ShardInfo, ShardManifest, ShardReader, ShardRecord,
-    ShardWriter, ShardedDataset, SHARD_FORMAT_VERSION,
+    chain_fingerprint, fingerprint_hex, parse_fingerprint, GenerationInfo, ShardInfo,
+    ShardManifest, ShardReader, ShardRecord, ShardWriter, ShardedDataset, SHARD_FORMAT_VERSION,
 };
 pub use stream::{prepare, ShardBatches};

@@ -39,8 +39,10 @@ use serde::{Deserialize, Serialize};
 use crate::dataset::{DataPoint, Dataset, DatasetConfig};
 
 /// Version tag written into every manifest; bump on any change to the
-/// record or manifest layout.
-pub const SHARD_FORMAT_VERSION: u32 = 1;
+/// record or manifest layout. Version 2 added the generation log
+/// ([`GenerationInfo`]) and per-shard generation ids — version-1 corpora
+/// are rejected on open and regenerate through the normal build path.
+pub const SHARD_FORMAT_VERSION: u32 = 2;
 
 /// Renders a 64-bit fingerprint the way the shard format stores it:
 /// 16 lower-case hex digits (re-exported workspace convention,
@@ -97,6 +99,54 @@ pub struct ShardInfo {
     pub num_points: usize,
     /// Byte-level FNV-1a fingerprint of the file contents, in hex.
     pub fingerprint: String,
+    /// The corpus generation this shard belongs to (index into
+    /// [`ShardManifest::generations`]): `0` for the synthetic seed,
+    /// `N` for the `N`-th appended generation.
+    pub generation: usize,
+}
+
+/// One entry of the manifest's generation log: a batch of shards
+/// appended together, with a content fingerprint *chained* onto the
+/// parent generation's so the whole corpus history is a hash chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationInfo {
+    /// Generation id; equals the index in
+    /// [`ShardManifest::generations`]. Generation 0 is the synthetic
+    /// seed corpus.
+    pub id: usize,
+    /// Human-readable provenance (`"seed"` for gen 0; flywheel
+    /// generations record the model fingerprint they were captured
+    /// under).
+    pub label: String,
+    /// `Program` records this generation added.
+    pub num_programs: usize,
+    /// `Point` records this generation added.
+    pub num_points: usize,
+    /// Samples dropped because their content key already occurred —
+    /// within this generation or anywhere in the corpus history.
+    pub duplicates_dropped: usize,
+    /// Chained content fingerprint in hex: gen 0 folds its own shard
+    /// fingerprints; gen N folds the parent's chain first, then its own
+    /// shard fingerprints ([`chain_fingerprint`]). Any change to any
+    /// ancestor generation changes every descendant's chain.
+    pub chain: String,
+}
+
+/// Folds a generation's shard fingerprints onto its parent's chain:
+/// FNV-1a over the parent chain hex (absent for generation 0) followed
+/// by each shard fingerprint hex, in shard order.
+pub fn chain_fingerprint<'a>(
+    parent_chain: Option<&str>,
+    shard_fingerprints: impl IntoIterator<Item = &'a str>,
+) -> String {
+    let mut state = FNV1A_INIT;
+    if let Some(parent) = parent_chain {
+        state = fnv1a(state, parent.as_bytes());
+    }
+    for fp in shard_fingerprints {
+        state = fnv1a(state, fp.as_bytes());
+    }
+    fingerprint_hex(state)
 }
 
 /// `manifest.json`: everything needed to validate and reproduce a corpus.
@@ -104,18 +154,22 @@ pub struct ShardInfo {
 pub struct ShardManifest {
     /// [`SHARD_FORMAT_VERSION`] at write time.
     pub version: u32,
-    /// The generation configuration (including the master seed), so a
-    /// corpus can be regenerated — and checked byte-for-byte — from its
-    /// manifest alone.
+    /// The generation configuration (including the master seed) of the
+    /// *seed* generation, so gen 0 can be regenerated — and checked
+    /// byte-for-byte — from its manifest alone. Appended generations
+    /// carry their provenance in [`ShardManifest::generations`].
     pub config: DatasetConfig,
     /// Total `Program` records across shards.
     pub total_programs: usize,
     /// Total `Point` records across shards.
     pub total_points: usize,
-    /// Samples dropped by cross-shard content dedup during generation.
+    /// Samples dropped by cross-shard content dedup, summed over every
+    /// generation.
     pub duplicates_dropped: usize,
     /// Per-shard counts and content fingerprints.
     pub shards: Vec<ShardInfo>,
+    /// Append-only generation log; entry `i` describes generation `i`.
+    pub generations: Vec<GenerationInfo>,
 }
 
 impl ShardManifest {
@@ -253,7 +307,8 @@ impl ShardWriter {
         self.out.write_all(line.as_bytes())
     }
 
-    /// Flushes the file and returns its manifest entry.
+    /// Flushes the file and returns its manifest entry (generation 0;
+    /// append paths override [`ShardInfo::generation`] on the entry).
     ///
     /// # Errors
     ///
@@ -265,6 +320,7 @@ impl ShardWriter {
             num_programs: self.num_programs,
             num_points: self.num_points,
             fingerprint: fingerprint_hex(self.hash),
+            generation: 0,
         })
     }
 }
@@ -333,6 +389,11 @@ impl ShardedDataset {
     /// The loaded manifest.
     pub fn manifest(&self) -> &ShardManifest {
         &self.manifest
+    }
+
+    /// The corpus directory this dataset was opened from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
 
     /// Absolute paths of the shard files, in manifest order.
@@ -464,8 +525,10 @@ mod tests {
                     num_programs: 0,
                     num_points: 0,
                     fingerprint: (*fp).to_string(),
+                    generation: 0,
                 })
                 .collect(),
+            generations: Vec::new(),
         };
         let a = manifest(&["00000000000000aa", "00000000000000bb"]);
         assert_eq!(
@@ -482,6 +545,34 @@ mod tests {
             a.content_fingerprint(),
             manifest(&["00000000000000bb", "00000000000000aa"]).content_fingerprint(),
             "shard order is part of the identity"
+        );
+    }
+
+    #[test]
+    fn chain_fingerprints_form_a_history_sensitive_chain() {
+        let gen0 = chain_fingerprint(None, ["00000000000000aa", "00000000000000bb"]);
+        assert_eq!(
+            gen0,
+            chain_fingerprint(None, ["00000000000000aa", "00000000000000bb"]),
+            "chaining is deterministic"
+        );
+        assert_ne!(
+            gen0,
+            chain_fingerprint(None, ["00000000000000bb", "00000000000000aa"]),
+            "shard order is part of the chain"
+        );
+
+        let gen1 = chain_fingerprint(Some(&gen0), ["00000000000000cc"]);
+        assert_ne!(
+            gen1,
+            chain_fingerprint(None, ["00000000000000cc"]),
+            "a chained generation differs from a rootless one"
+        );
+        let other_parent = chain_fingerprint(None, ["00000000000000ab", "00000000000000bb"]);
+        assert_ne!(
+            gen1,
+            chain_fingerprint(Some(&other_parent), ["00000000000000cc"]),
+            "any ancestor change ripples into every descendant chain"
         );
     }
 

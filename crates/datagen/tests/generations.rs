@@ -1,0 +1,298 @@
+//! The generation-versioned corpus contract: appended generations dedup
+//! against the entire history (and within the batch), the union corpus
+//! streams every generation, append results are independent of sample
+//! arrival order, the dedup index survives deletion via shard-scan
+//! rebuild, and generation chains link parent to child.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use dlcm_datagen::{
+    append_generation, AppendSample, BuildConfig, DatasetConfig, DedupIndex,
+    ParallelDatasetBuilder, ProgramGenConfig, ScheduleGenConfig, ScheduleGenerator, ShardBatches,
+    ShardedDataset,
+};
+use dlcm_ir::fingerprint::stable_fingerprint;
+use dlcm_machine::{Machine, Measurement};
+use dlcm_model::{BatchSource, Featurizer, FeaturizerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn build_config(seed: u64) -> BuildConfig {
+    BuildConfig {
+        threads: 2,
+        num_shards: 2,
+        ..BuildConfig::new(DatasetConfig {
+            num_programs: 10,
+            schedules_per_program: 6,
+            progen: ProgramGenConfig {
+                size_pool: vec![16, 32, 64],
+                max_points: 1 << 16,
+                ..ProgramGenConfig::wide()
+            },
+            ..DatasetConfig::tiny(seed)
+        })
+    }
+}
+
+fn harness() -> Measurement {
+    Measurement::new(Machine::default())
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dlcm_genlog_test_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seed_corpus(dir: &Path, seed: u64) {
+    ParallelDatasetBuilder::new(build_config(seed))
+        .write_corpus(&harness(), dir)
+        .unwrap();
+}
+
+/// Samples guaranteed fresh against the corpus: schedules generated
+/// under a disjoint seed for corpus programs, filtered against the
+/// persisted dedup index so the test knows the exact retained count.
+fn fresh_samples(dir: &Path, count: usize) -> Vec<AppendSample> {
+    let sharded = ShardedDataset::open(dir).unwrap();
+    let dataset = sharded.load_dataset().unwrap();
+    let dedup = DedupIndex::load_or_rebuild(&sharded).unwrap();
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFEED);
+    let mut samples = Vec::new();
+    'outer: for program in &dataset.programs {
+        let prog_fp = program.content_fingerprint();
+        for schedule in schedgen.generate_distinct(program, 8, &mut rng) {
+            if dedup.contains(prog_fp, stable_fingerprint(&schedule)) {
+                continue;
+            }
+            if samples.iter().any(|s: &AppendSample| {
+                s.program.content_fingerprint() == prog_fp
+                    && stable_fingerprint(&s.schedule) == stable_fingerprint(&schedule)
+            }) {
+                continue;
+            }
+            samples.push(AppendSample {
+                program: program.clone(),
+                schedule,
+                speedup: 1.0 + samples.len() as f64 * 0.125,
+            });
+            if samples.len() == count {
+                break 'outer;
+            }
+        }
+    }
+    assert_eq!(
+        samples.len(),
+        count,
+        "test corpus too small for {count} fresh samples"
+    );
+    samples
+}
+
+/// Samples that duplicate existing corpus points exactly.
+fn duplicate_samples(dir: &Path, count: usize) -> Vec<AppendSample> {
+    let dataset = ShardedDataset::open(dir).unwrap().load_dataset().unwrap();
+    dataset
+        .points
+        .iter()
+        .take(count)
+        .map(|p| AppendSample {
+            program: dataset.program_of(p).clone(),
+            schedule: p.schedule.clone(),
+            speedup: p.speedup,
+        })
+        .collect()
+}
+
+#[test]
+fn appends_dedup_against_the_whole_history() {
+    let dir = tmp_dir("dedup");
+    seed_corpus(&dir, 3);
+    let seed_manifest = ShardedDataset::open(&dir).unwrap().manifest().clone();
+    assert_eq!(
+        seed_manifest.generations.len(),
+        1,
+        "seed corpus is generation 0"
+    );
+    let seed_shards = seed_manifest.shards.len();
+
+    // Generation 1: 6 fresh rows mixed with 4 exact corpus duplicates
+    // and one in-batch duplicate — only the fresh rows survive.
+    let fresh = fresh_samples(&dir, 6);
+    let mut offered = fresh.clone();
+    offered.extend(duplicate_samples(&dir, 4));
+    offered.push(fresh[0].clone());
+    let gen1 = append_generation(&dir, "capture-1", offered, 2).unwrap();
+    assert_eq!(gen1.id, 1);
+    assert_eq!(gen1.num_points, 6);
+    assert_eq!(gen1.duplicates_dropped, 5);
+
+    let manifest = ShardedDataset::open(&dir).unwrap().manifest().clone();
+    assert_eq!(manifest.shards.len(), seed_shards + 1);
+    assert_eq!(manifest.shards.last().unwrap().generation, 1);
+    assert_eq!(manifest.total_points, seed_manifest.total_points + 6);
+    assert_eq!(
+        manifest.duplicates_dropped,
+        seed_manifest.duplicates_dropped + 5
+    );
+
+    // Generation 2: the very same batch again — every row now lives in
+    // the history, so nothing survives and no shard is written, but the
+    // generation log still records the append.
+    let mut replay = fresh.clone();
+    replay.extend(duplicate_samples(&dir, 4));
+    replay.push(fresh[0].clone());
+    let gen2 = append_generation(&dir, "capture-2", replay, 2).unwrap();
+    assert_eq!(gen2.id, 2);
+    assert_eq!(gen2.num_points, 0);
+    assert_eq!(gen2.duplicates_dropped, 11);
+    let manifest = ShardedDataset::open(&dir).unwrap().manifest().clone();
+    assert_eq!(
+        manifest.shards.len(),
+        seed_shards + 1,
+        "empty generation wrote a shard"
+    );
+    assert_eq!(manifest.generations.len(), 3);
+    assert_eq!(manifest.total_points, seed_manifest.total_points + 6);
+
+    // The union corpus has no duplicate content key anywhere.
+    let dataset = ShardedDataset::open(&dir).unwrap().load_dataset().unwrap();
+    let mut keys = HashSet::new();
+    for point in &dataset.points {
+        let key = (
+            dataset.programs[point.program].content_fingerprint(),
+            stable_fingerprint(&point.schedule),
+        );
+        assert!(keys.insert(key), "duplicate key crossed generations");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn union_streaming_covers_every_generation() {
+    let dir = tmp_dir("union");
+    seed_corpus(&dir, 5);
+    let seed_points = ShardedDataset::open(&dir).unwrap().manifest().total_points;
+    let gen1 = append_generation(&dir, "capture", fresh_samples(&dir, 5), 1).unwrap();
+    assert_eq!(gen1.num_points, 5);
+
+    let sharded = ShardedDataset::open(&dir).unwrap();
+    sharded
+        .verify()
+        .expect("appended shard fingerprints verify");
+    let dataset = sharded.load_dataset().unwrap();
+    assert_eq!(dataset.len(), seed_points + 5);
+
+    // The streaming batch source sees the union, structure-pure.
+    let featurizer = Featurizer::new(FeaturizerConfig::default());
+    let source = ShardBatches::open(&dir, featurizer, 4, 2).unwrap();
+    assert_eq!(source.num_points(), seed_points + 5);
+    let mut streamed = 0;
+    for i in 0..source.num_batches() {
+        let batch = source.load_batch(i);
+        assert!(!batch.is_empty());
+        for sample in &batch {
+            assert_eq!(sample.group, batch[0].group, "batch mixes programs");
+        }
+        streamed += batch.len();
+    }
+    assert_eq!(streamed, seed_points + 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn append_is_independent_of_arrival_order_and_threads() {
+    let dir_a = tmp_dir("order_a");
+    let dir_b = tmp_dir("order_b");
+    seed_corpus(&dir_a, 7);
+    seed_corpus(&dir_b, 7);
+
+    let samples = fresh_samples(&dir_a, 8);
+    let mut reversed = samples.clone();
+    reversed.reverse();
+    let gen_a = append_generation(&dir_a, "wave", samples, 1).unwrap();
+    let gen_b = append_generation(&dir_b, "wave", reversed, 4).unwrap();
+
+    assert_eq!(gen_a.chain, gen_b.chain, "chain depends on arrival order");
+    assert_eq!(gen_a.num_points, gen_b.num_points);
+    assert_eq!(gen_a.num_programs, gen_b.num_programs);
+
+    for file in ["manifest.json", "dedup.json"] {
+        assert_eq!(
+            std::fs::read(dir_a.join(file)).unwrap(),
+            std::fs::read(dir_b.join(file)).unwrap(),
+            "{file} differs between arrival orders"
+        );
+    }
+    let shard_a = ShardedDataset::open(&dir_a).unwrap();
+    let shard_b = ShardedDataset::open(&dir_b).unwrap();
+    let last_a = shard_a.shard_paths().last().unwrap().clone();
+    let last_b = shard_b.shard_paths().last().unwrap().clone();
+    assert_eq!(
+        std::fs::read(last_a).unwrap(),
+        std::fs::read(last_b).unwrap(),
+        "appended shard bytes differ between arrival orders"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn dedup_index_rebuild_matches_persisted_index() {
+    let dir = tmp_dir("rebuild");
+    seed_corpus(&dir, 9);
+    append_generation(&dir, "wave", fresh_samples(&dir, 4), 1).unwrap();
+
+    let persisted_bytes = std::fs::read(DedupIndex::path(&dir)).unwrap();
+    let sharded = ShardedDataset::open(&dir).unwrap();
+    let persisted = DedupIndex::load_or_rebuild(&sharded).unwrap();
+
+    // Delete the file: the index must be reconstructible from shards
+    // alone (pre-generation-log corpora have no dedup.json).
+    std::fs::remove_file(DedupIndex::path(&dir)).unwrap();
+    let rebuilt = DedupIndex::load_or_rebuild(&sharded).unwrap();
+    assert_eq!(rebuilt.len(), persisted.len());
+    rebuilt.save(&dir).unwrap();
+    assert_eq!(
+        std::fs::read(DedupIndex::path(&dir)).unwrap(),
+        persisted_bytes,
+        "shard-scan rebuild diverged from the persisted index"
+    );
+
+    // A present-but-corrupt index is an error, never a silent rebuild.
+    std::fs::write(DedupIndex::path(&dir), b"{not json").unwrap();
+    assert!(DedupIndex::load_or_rebuild(&sharded).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generation_chains_link_parent_to_child() {
+    let dir = tmp_dir("chain");
+    seed_corpus(&dir, 11);
+    let manifest = ShardedDataset::open(&dir).unwrap().manifest().clone();
+    let gen0 = manifest.generations[0].clone();
+    assert_eq!(gen0.id, 0);
+    assert_eq!(gen0.label, "seed");
+
+    let gen1 = append_generation(&dir, "wave-1", fresh_samples(&dir, 3), 1).unwrap();
+    let gen2 = append_generation(&dir, "wave-2", fresh_samples(&dir, 3), 1).unwrap();
+    assert_ne!(gen0.chain, gen1.chain);
+    assert_ne!(gen1.chain, gen2.chain);
+
+    // An empty append still advances the chain: the history records
+    // that the append happened even when nothing survived.
+    let gen3 = append_generation(&dir, "empty", Vec::new(), 1).unwrap();
+    assert_eq!(gen3.num_points, 0);
+    assert_ne!(gen2.chain, gen3.chain);
+
+    let manifest = ShardedDataset::open(&dir).unwrap().manifest().clone();
+    let chains: Vec<String> = manifest
+        .generations
+        .iter()
+        .map(|g| g.chain.clone())
+        .collect();
+    assert_eq!(chains, vec![gen0.chain, gen1.chain, gen2.chain, gen3.chain]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

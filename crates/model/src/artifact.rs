@@ -245,6 +245,16 @@ impl ModelArtifact {
         self.model
     }
 
+    /// A clone of the trained model to warm-start incremental
+    /// retraining from: pass it to [`crate::train_stream`] instead of a
+    /// freshly seeded [`CostModel`] and training continues from this
+    /// artifact's weights. Byte-determinism carries over — the same
+    /// artifact, data, and [`TrainConfig`] reproduce the same retrained
+    /// weights.
+    pub fn warm_start(&self) -> CostModel {
+        self.model.clone()
+    }
+
     /// The featurizer every query against this model must be encoded
     /// with, built from the manifest's schema.
     pub fn featurizer(&self) -> Featurizer {

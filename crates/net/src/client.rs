@@ -128,7 +128,7 @@ impl NetClient {
     /// Fetches the server's serving + network counters.
     pub fn stats(&mut self) -> Result<StatsReport, NetError> {
         match self.call(&Request::Stats)? {
-            Response::Stats(report) => Ok(report),
+            Response::Stats(report) => Ok(*report),
             other => Err(NetError::Protocol(format!(
                 "expected Stats reply, got {other:?}"
             ))),

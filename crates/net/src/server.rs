@@ -478,7 +478,7 @@ where
                 }
             }
             Request::Stats => {
-                let report = shared.stats_report();
+                let report = Box::new(shared.stats_report());
                 if wire::write_message(&mut stream, FrameKind::Response, &Response::Stats(report))
                     .is_err()
                 {

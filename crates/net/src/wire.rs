@@ -146,8 +146,9 @@ pub enum Response {
         /// to in-process evaluation.
         scores: Vec<f64>,
     },
-    /// Counters for a [`Request::Stats`].
-    Stats(StatsReport),
+    /// Counters for a [`Request::Stats`] (boxed: the report is by far
+    /// the widest variant and would otherwise inflate every `Response`).
+    Stats(Box<StatsReport>),
     /// Identity of the active model, for a [`Request::ModelInfo`].
     ModelInfo(ModelInfoReport),
     /// Acknowledges a completed [`Request::Reload`]: the swap has

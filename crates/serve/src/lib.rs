@@ -17,7 +17,14 @@
 //! - [`ServeConfig`] tunes the pool width, micro-batch cap, and the
 //!   deterministic simulated per-query inference charge;
 //! - [`ServeStats`] exposes throughput, latency, batch-coalescing,
-//!   cache hit-rate, and model-swap counters.
+//!   cache hit-rate, model-swap, and mispredict-capture counters;
+//! - mispredict capture
+//!   ([`InferenceService::enable_mispredict_capture`]) spot-checks a
+//!   content-keyed sample of served rows against ground truth, bands
+//!   divergences PASS/WARN/HIGH/CRITICAL by relative error
+//!   ([`band_for`]), and retains WARN+ rows in a bounded
+//!   [`MispredictLog`] — the capture half of the data flywheel (see
+//!   DESIGN.md § "Data flywheel").
 //!
 //! The served model is **hot-swappable** ([`InferenceService::reload`] /
 //! [`ArtifactReloadable::reload_artifact`]): the active model lives in an
@@ -45,9 +52,14 @@
 
 mod batcher;
 mod epoch;
+mod mispredict;
 mod service;
 
 pub use epoch::ModelEpoch;
+pub use mispredict::{
+    band_for, ErrorBand, MispredictConfig, MispredictCounters, MispredictLog, MispredictRecord,
+    BAND_CRITICAL_THRESHOLD, BAND_HIGH_THRESHOLD, BAND_WARN_THRESHOLD,
+};
 pub use service::{ArtifactReloadable, InferenceService, ReloadError, ServeConfig, ServeStats};
 
 // The whole point of the service is to be shared across client threads;

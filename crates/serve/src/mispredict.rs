@@ -1,0 +1,424 @@
+//! Mispredict capture: sampled ground-truth spot checks of served
+//! predictions, banded by relative error, retained in a bounded log.
+//!
+//! The serving tier sees exactly the traffic that exposes the cost
+//! model's blind spots; this module is the capture half of the data
+//! flywheel that turns those blind spots into training data:
+//!
+//! - **sampling** is content-keyed ([`MispredictConfig::sample_every`]):
+//!   whether a row is checked is a pure function of `(program
+//!   fingerprint, schedule fingerprint, model fingerprint)`, never of
+//!   thread interleaving or cache state — so a fixed-seed serve window
+//!   checks the same rows at any `--threads` setting;
+//! - **ground truth** comes from a caller-supplied [`SyncEvaluator`]
+//!   (in practice `dlcm_eval::ParallelEvaluator` over the execution
+//!   harness, fanned behind the shared worker pool), queried only for
+//!   sampled, not-yet-seen rows;
+//! - **banding** ([`band_for`]) grades each divergence
+//!   PASS/WARN/HIGH/CRITICAL by relative error — a pure function of
+//!   `(predicted, measured)` — and only WARN+ rows are retained;
+//! - **bounding**: the [`MispredictLog`] holds at most `capacity`
+//!   records, dropping oldest-first with an exact
+//!   [`MispredictCounters::dropped`] count, and a bounded seen-set LRU
+//!   ensures a row whose cache entry was evicted and re-served is never
+//!   double-counted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dlcm_eval::{LruMap, SyncEvaluator};
+use dlcm_ir::fingerprint::{fnv1a, stable_fingerprint, FNV1A_INIT};
+use dlcm_ir::{Program, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Relative error below which a prediction is considered on target.
+pub const BAND_WARN_THRESHOLD: f64 = 0.10;
+/// Relative error at which a divergence escalates from WARN to HIGH.
+pub const BAND_HIGH_THRESHOLD: f64 = 0.25;
+/// Relative error at which a divergence escalates from HIGH to CRITICAL.
+pub const BAND_CRITICAL_THRESHOLD: f64 = 0.50;
+
+/// Severity of one prediction's divergence from ground truth, by
+/// relative error (see [`band_for`]). Ordered: `Pass < Warn < High <
+/// Critical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ErrorBand {
+    /// Relative error below [`BAND_WARN_THRESHOLD`] — not worth
+    /// learning from; never retained.
+    Pass,
+    /// Relative error in `[0.10, 0.25)`.
+    Warn,
+    /// Relative error in `[0.25, 0.50)`.
+    High,
+    /// Relative error `>= 0.50`, or a non-finite prediction.
+    Critical,
+}
+
+impl std::fmt::Display for ErrorBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorBand::Pass => "PASS",
+            ErrorBand::Warn => "WARN",
+            ErrorBand::High => "HIGH",
+            ErrorBand::Critical => "CRITICAL",
+        })
+    }
+}
+
+/// Grades `predicted` against `measured` ground truth: a pure function
+/// of its two arguments (no clock, no RNG, no global state), so band
+/// assignment is identical at any thread count and on every replay.
+///
+/// The relative error is `|predicted - measured| / max(|measured|, ε)`;
+/// non-finite error (NaN/infinite inputs) is graded [`ErrorBand::Critical`].
+pub fn band_for(predicted: f64, measured: f64) -> ErrorBand {
+    let rel = (predicted - measured).abs() / measured.abs().max(f64::EPSILON);
+    if !rel.is_finite() {
+        return ErrorBand::Critical;
+    }
+    if rel < BAND_WARN_THRESHOLD {
+        ErrorBand::Pass
+    } else if rel < BAND_HIGH_THRESHOLD {
+        ErrorBand::Warn
+    } else if rel < BAND_CRITICAL_THRESHOLD {
+        ErrorBand::High
+    } else {
+        ErrorBand::Critical
+    }
+}
+
+/// One retained mispredict: everything the flywheel needs to turn the
+/// divergence into a labeled corpus sample (the *measured* speedup is
+/// the label; the prediction and band are provenance).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MispredictRecord {
+    /// The program the query was served against.
+    pub program: Program,
+    /// The transformation sequence queried.
+    pub schedule: Schedule,
+    /// What the served model answered.
+    pub predicted: f64,
+    /// Ground-truth speedup from the truth evaluator.
+    pub measured: f64,
+    /// Severity band of the divergence (always `>=` [`ErrorBand::Warn`]
+    /// for retained records).
+    pub band: ErrorBand,
+    /// Fingerprint of the model epoch that produced `predicted`.
+    pub model_fingerprint: u64,
+}
+
+/// Capture knobs; see the module docs for semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MispredictConfig {
+    /// Check one in `sample_every` rows (content-keyed, so the sampled
+    /// subset is deterministic); `1` checks every row. Clamped to at
+    /// least 1.
+    pub sample_every: u64,
+    /// Maximum records the [`MispredictLog`] retains; oldest records
+    /// are dropped first on overflow.
+    pub capacity: usize,
+    /// Entry bound of the seen-set LRU that de-duplicates repeat
+    /// checks of the same `(model, program, schedule)` row.
+    pub seen_capacity: usize,
+}
+
+impl Default for MispredictConfig {
+    fn default() -> Self {
+        Self {
+            sample_every: 1,
+            capacity: 1024,
+            seen_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Monotonic capture accounting, surfaced through
+/// `dlcm_serve::ServeStats` (and thence the network `Stats` frame).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MispredictCounters {
+    /// Rows spot-checked against ground truth (first occurrence only).
+    pub checked: usize,
+    /// Checked rows graded [`ErrorBand::Warn`].
+    pub warn: usize,
+    /// Checked rows graded [`ErrorBand::High`].
+    pub high: usize,
+    /// Checked rows graded [`ErrorBand::Critical`].
+    pub critical: usize,
+    /// WARN+ records pushed into the log (monotonic — unaffected by
+    /// drains or drops).
+    pub logged: usize,
+    /// Records dropped oldest-first to honor the log capacity.
+    pub dropped: usize,
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    entries: VecDeque<MispredictRecord>,
+    logged: usize,
+    dropped: usize,
+}
+
+/// A bounded, thread-safe FIFO of retained mispredicts: at most
+/// `capacity` records, oldest dropped first, with exact `logged` /
+/// `dropped` accounting. Draining returns records in capture order.
+#[derive(Debug)]
+pub struct MispredictLog {
+    capacity: usize,
+    inner: Mutex<LogInner>,
+}
+
+impl MispredictLog {
+    /// An empty log holding at most `capacity` records (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(LogInner::default()),
+        }
+    }
+
+    /// The configured record bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently retained (always `<=` capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("mispredict log").entries.len()
+    }
+
+    /// `true` when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records pushed so far (monotonic).
+    pub fn logged(&self) -> usize {
+        self.inner.lock().expect("mispredict log").logged
+    }
+
+    /// Records dropped oldest-first to stay within capacity (monotonic).
+    pub fn dropped(&self) -> usize {
+        self.inner.lock().expect("mispredict log").dropped
+    }
+
+    /// Appends a record, evicting the oldest if the log is full.
+    pub fn push(&self, record: MispredictRecord) {
+        let mut inner = self.inner.lock().expect("mispredict log");
+        if inner.entries.len() == self.capacity {
+            inner.entries.pop_front();
+            inner.dropped += 1;
+        }
+        inner.entries.push_back(record);
+        inner.logged += 1;
+    }
+
+    /// Removes and returns every retained record, oldest first. The
+    /// `logged`/`dropped` counters are unaffected (they are monotonic
+    /// totals, not gauges).
+    pub fn drain(&self) -> Vec<MispredictRecord> {
+        let mut inner = self.inner.lock().expect("mispredict log");
+        inner.entries.drain(..).collect()
+    }
+}
+
+/// Content-keyed sampling hash: FNV-1a over the three identity
+/// fingerprints, so the sampled subset is a pure function of *what* was
+/// served, not when or by which thread.
+fn sample_key(program_fp: u64, schedule_fp: u64, model_fp: u64) -> u64 {
+    let mut state = FNV1A_INIT;
+    for v in [program_fp, schedule_fp, model_fp] {
+        state = fnv1a(state, &v.to_le_bytes());
+    }
+    state
+}
+
+/// The capture half of the flywheel, installed once per service via
+/// `InferenceService::enable_mispredict_capture`.
+pub(crate) struct CaptureState {
+    truth: Box<dyn SyncEvaluator>,
+    sample_every: u64,
+    log: MispredictLog,
+    /// `(model_fp, program_fp, schedule_fp)` rows already checked —
+    /// bounded, so sustained traffic cannot grow it; checked under one
+    /// lock so concurrent repeats of a row serialize and exactly one
+    /// claims it.
+    seen: Mutex<LruMap<(u64, u64, u64), ()>>,
+    checked: AtomicUsize,
+    warn: AtomicUsize,
+    high: AtomicUsize,
+    critical: AtomicUsize,
+}
+
+impl CaptureState {
+    pub(crate) fn new(truth: Box<dyn SyncEvaluator>, cfg: MispredictConfig) -> Self {
+        Self {
+            truth,
+            sample_every: cfg.sample_every.max(1),
+            log: MispredictLog::new(cfg.capacity),
+            seen: Mutex::new(LruMap::with_capacity(cfg.seen_capacity)),
+            checked: AtomicUsize::new(0),
+            warn: AtomicUsize::new(0),
+            high: AtomicUsize::new(0),
+            critical: AtomicUsize::new(0),
+        }
+    }
+
+    /// Spot-checks one served batch: samples rows by content key,
+    /// claims the not-yet-seen ones, scores them against ground truth,
+    /// and retains WARN+ divergences. Runs after the response values
+    /// are fixed — it can never change an answer, only observe it.
+    pub(crate) fn observe(
+        &self,
+        program: &Program,
+        schedules: &[Schedule],
+        predicted: &[f64],
+        model_fp: u64,
+    ) {
+        let program_fp = program.content_fingerprint();
+        let sampled: Vec<(usize, u64)> = schedules
+            .iter()
+            .enumerate()
+            .filter_map(|(i, schedule)| {
+                let schedule_fp = stable_fingerprint(schedule);
+                (sample_key(program_fp, schedule_fp, model_fp) % self.sample_every == 0)
+                    .then_some((i, schedule_fp))
+            })
+            .collect();
+        if sampled.is_empty() {
+            return;
+        }
+        let fresh: Vec<(usize, u64)> = {
+            let mut seen = self.seen.lock().expect("mispredict seen set");
+            sampled
+                .into_iter()
+                .filter(|(_, schedule_fp)| {
+                    let key = (model_fp, program_fp, *schedule_fp);
+                    if seen.get(&key).is_some() {
+                        false
+                    } else {
+                        seen.insert(key, ());
+                        true
+                    }
+                })
+                .collect()
+        };
+        if fresh.is_empty() {
+            return;
+        }
+        let subset: Vec<Schedule> = fresh.iter().map(|(i, _)| schedules[*i].clone()).collect();
+        let (measured, _) = self.truth.speedup_batch_shared(program, &subset);
+        self.checked.fetch_add(fresh.len(), Ordering::Relaxed);
+        for ((i, _), measured) in fresh.iter().zip(&measured) {
+            let band = band_for(predicted[*i], *measured);
+            let counter = match band {
+                ErrorBand::Pass => continue,
+                ErrorBand::Warn => &self.warn,
+                ErrorBand::High => &self.high,
+                ErrorBand::Critical => &self.critical,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            self.log.push(MispredictRecord {
+                program: program.clone(),
+                schedule: schedules[*i].clone(),
+                predicted: predicted[*i],
+                measured: *measured,
+                band,
+                model_fingerprint: model_fp,
+            });
+        }
+    }
+
+    pub(crate) fn drain(&self) -> Vec<MispredictRecord> {
+        self.log.drain()
+    }
+
+    pub(crate) fn counters(&self) -> MispredictCounters {
+        MispredictCounters {
+            checked: self.checked.load(Ordering::Relaxed),
+            warn: self.warn.load(Ordering::Relaxed),
+            high: self.high.load(Ordering::Relaxed),
+            critical: self.critical.load(Ordering::Relaxed),
+            logged: self.log.logged(),
+            dropped: self.log.dropped(),
+        }
+    }
+}
+
+impl std::fmt::Debug for CaptureState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaptureState")
+            .field("sample_every", &self.sample_every)
+            .field("counters", &self.counters())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlcm_ir::{Expr, ProgramBuilder};
+
+    fn record(tag: u64) -> MispredictRecord {
+        let mut b = ProgramBuilder::new("p");
+        let i = b.iter("i", 0, 8);
+        let inp = b.input("in", &[8]);
+        let out = b.buffer("out", &[8]);
+        let acc = b.access(inp, &[i.into()], &[i]);
+        b.assign("c", &[i], out, &[i.into()], Expr::Load(acc));
+        MispredictRecord {
+            program: b.build().unwrap(),
+            schedule: Schedule::empty(),
+            predicted: tag as f64,
+            measured: 1.0,
+            band: ErrorBand::Critical,
+            model_fingerprint: tag,
+        }
+    }
+
+    #[test]
+    fn banding_thresholds() {
+        assert_eq!(band_for(1.0, 1.0), ErrorBand::Pass);
+        assert_eq!(band_for(1.09, 1.0), ErrorBand::Pass);
+        assert_eq!(band_for(1.10, 1.0), ErrorBand::Warn);
+        assert_eq!(band_for(0.80, 1.0), ErrorBand::Warn);
+        assert_eq!(band_for(1.25, 1.0), ErrorBand::High);
+        assert_eq!(band_for(0.60, 1.0), ErrorBand::High);
+        assert_eq!(band_for(1.50, 1.0), ErrorBand::Critical);
+        assert_eq!(band_for(10.0, 1.0), ErrorBand::Critical);
+        assert_eq!(band_for(f64::NAN, 1.0), ErrorBand::Critical);
+        assert_eq!(band_for(f64::INFINITY, 1.0), ErrorBand::Critical);
+        // Banding is symmetric in error magnitude, scaled by |measured|.
+        assert_eq!(band_for(2.15, 2.0), ErrorBand::Pass);
+        assert_eq!(band_for(2.6, 2.0), ErrorBand::High);
+        assert!(ErrorBand::Pass < ErrorBand::Warn);
+        assert!(ErrorBand::Warn < ErrorBand::High);
+        assert!(ErrorBand::High < ErrorBand::Critical);
+    }
+
+    #[test]
+    fn bounded_log_drops_oldest_first() {
+        let log = MispredictLog::new(3);
+        for tag in 0..5 {
+            log.push(record(tag));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.logged(), 5);
+        assert_eq!(log.dropped(), 2);
+        let drained = log.drain();
+        let tags: Vec<u64> = drained.iter().map(|r| r.model_fingerprint).collect();
+        assert_eq!(tags, vec![2, 3, 4], "oldest records fell out first");
+        assert!(log.is_empty());
+        assert_eq!(log.logged(), 5, "monotonic counters survive a drain");
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn sample_key_is_content_pure() {
+        let a = sample_key(1, 2, 3);
+        assert_eq!(a, sample_key(1, 2, 3));
+        assert_ne!(a, sample_key(2, 1, 3), "argument order matters");
+        assert_ne!(a, sample_key(1, 2, 4), "model identity is in the key");
+    }
+}

@@ -3,7 +3,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use dlcm_eval::pool::parallel_map;
@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::batcher::MicroBatcher;
 use crate::epoch::{ModelEpoch, ModelSlot};
+use crate::mispredict::{CaptureState, MispredictConfig, MispredictCounters, MispredictRecord};
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -114,6 +115,20 @@ pub struct ServeStats {
     /// Hot model swaps completed since the service started (see
     /// [`InferenceService::reload`]).
     pub model_swaps: usize,
+    /// Served rows spot-checked against ground truth by mispredict
+    /// capture (0 unless [`InferenceService::enable_mispredict_capture`]
+    /// was called).
+    pub mispredict_checked: usize,
+    /// Checked rows banded WARN (relative error in `[0.10, 0.25)`).
+    pub mispredict_warn: usize,
+    /// Checked rows banded HIGH (relative error in `[0.25, 0.50)`).
+    pub mispredict_high: usize,
+    /// Checked rows banded CRITICAL (relative error `>= 0.50`).
+    pub mispredict_critical: usize,
+    /// WARN+ records pushed into the bounded mispredict log (monotonic).
+    pub mispredict_logged: usize,
+    /// Mispredict records dropped oldest-first to honor the log bound.
+    pub mispredict_dropped: usize,
     /// Summed wall-clock seconds spent inside client calls.
     pub total_latency: f64,
     /// Mean wall-clock seconds per client call.
@@ -282,6 +297,7 @@ pub struct InferenceService<M: SpeedupPredictor> {
     rejected_overload: AtomicUsize,
     rejected_deadline: AtomicUsize,
     deadline_missed: AtomicUsize,
+    capture: OnceLock<CaptureState>,
 }
 
 impl<M: SpeedupPredictor> InferenceService<M> {
@@ -323,7 +339,44 @@ impl<M: SpeedupPredictor> InferenceService<M> {
             rejected_overload: AtomicUsize::new(0),
             rejected_deadline: AtomicUsize::new(0),
             deadline_missed: AtomicUsize::new(0),
+            capture: OnceLock::new(),
         }
+    }
+
+    /// Installs mispredict capture (at most once per service): sampled
+    /// served rows are spot-checked against `truth` — ground truth, in
+    /// practice a `dlcm_eval::ParallelEvaluator` over the execution
+    /// harness — and WARN+ divergences are retained in a bounded log
+    /// (see [`crate::MispredictLog`]). Returns `false` (and changes
+    /// nothing) if capture was already enabled.
+    ///
+    /// The check runs *after* a response's values are fixed, so capture
+    /// can never change an answer; it adds truth-evaluation latency
+    /// only to calls that carry sampled, first-seen rows.
+    pub fn enable_mispredict_capture(
+        &self,
+        truth: Box<dyn SyncEvaluator>,
+        cfg: MispredictConfig,
+    ) -> bool {
+        self.capture.set(CaptureState::new(truth, cfg)).is_ok()
+    }
+
+    /// Removes and returns every retained mispredict record, oldest
+    /// first (empty when capture is disabled or nothing diverged). The
+    /// flywheel drains this into a new corpus generation.
+    pub fn drain_mispredicts(&self) -> Vec<MispredictRecord> {
+        self.capture
+            .get()
+            .map(CaptureState::drain)
+            .unwrap_or_default()
+    }
+
+    /// Capture accounting (all zeros when capture is disabled).
+    pub fn mispredict_counters(&self) -> MispredictCounters {
+        self.capture
+            .get()
+            .map(CaptureState::counters)
+            .unwrap_or_default()
     }
 
     /// Atomically replaces the served model: queries that pinned the old
@@ -397,6 +450,7 @@ impl<M: SpeedupPredictor> InferenceService<M> {
         let forward_rows = core.batcher.forward_rows();
         let hits = self.cache.hits();
         let misses = self.cache.misses();
+        let mispredict = self.mispredict_counters();
         ServeStats {
             queries: ledger.queries,
             client_calls: ledger.calls,
@@ -419,6 +473,12 @@ impl<M: SpeedupPredictor> InferenceService<M> {
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
             model_swaps: core.slot.swaps(),
+            mispredict_checked: mispredict.checked,
+            mispredict_warn: mispredict.warn,
+            mispredict_high: mispredict.high,
+            mispredict_critical: mispredict.critical,
+            mispredict_logged: mispredict.logged,
+            mispredict_dropped: mispredict.dropped,
             total_latency: ledger.latency,
             mean_latency: if ledger.calls > 0 {
                 ledger.latency / ledger.calls as f64
@@ -489,6 +549,13 @@ impl<M: SpeedupPredictor> SyncEvaluator for InferenceService<M> {
             delta.search_time += per_candidate * schedules.len() as f64;
         }
         delta.num_evals = schedules.len();
+        // Mispredict capture observes the *final* values under the same
+        // pinned epoch that produced them — it can never change an
+        // answer, and a swap landing mid-call attributes the check to
+        // the epoch that actually served it.
+        if let Some(capture) = self.capture.get() {
+            capture.observe(program, schedules, &values, epoch.fingerprint());
+        }
         {
             let mut ledger = self.ledger.lock().expect("client ledger");
             ledger.calls += 1;
