@@ -19,50 +19,10 @@
 //! [--threads N] [--model-artifact DIR] [epochs]`
 
 use dlcm_bench::{
-    evaluate_artifact, load_artifact, model_artifact_dir, model_artifact_flag, quick_mode,
-    results_dir, shards, threads, train_from_corpus, write_json,
+    accuracy_report, evaluate_artifact, load_artifact, model_artifact_dir, model_artifact_flag,
+    quick_mode, results_dir, shards, threads, train_from_corpus, write_json, AccuracyReport,
 };
-use dlcm_model::{evaluate, HeldOutMetrics, ModelArtifact};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct AccuracyReport {
-    num_programs: usize,
-    num_points: usize,
-    epochs: usize,
-    train_points: usize,
-    test_points: usize,
-    test_mape: f64,
-    pearson: f64,
-    spearman: f64,
-    r2: f64,
-    paper_mape: f64,
-    paper_pearson: f64,
-    paper_spearman: f64,
-}
-
-fn report(
-    dataset_programs: usize,
-    dataset_points: usize,
-    epochs: usize,
-    train_points: usize,
-    m: &HeldOutMetrics,
-) -> AccuracyReport {
-    AccuracyReport {
-        num_programs: dataset_programs,
-        num_points: dataset_points,
-        epochs,
-        train_points,
-        test_points: m.test_points,
-        test_mape: m.mape,
-        pearson: m.pearson,
-        spearman: m.spearman,
-        r2: m.r2,
-        paper_mape: 0.16,
-        paper_pearson: 0.90,
-        paper_spearman: 0.95,
-    }
-}
+use dlcm_model::{evaluate, ModelArtifact};
 
 fn print_metrics(report: &AccuracyReport, unseen_programs: usize) {
     println!(
@@ -76,6 +36,17 @@ fn print_metrics(report: &AccuracyReport, unseen_programs: usize) {
     println!("Pearson r    : {:.3}   (paper: 0.90)", report.pearson);
     println!("Spearman rho : {:.3}   (paper: 0.95)", report.spearman);
     println!("R^2          : {:.3}", report.r2);
+    println!("--- per family ---");
+    for row in &report.per_family {
+        println!(
+            "{:<20} {:>5} pts  MAPE {:>6.1}%  R^2 {:>6.3}  rho {:>6.3}",
+            row.family,
+            row.test_points,
+            100.0 * row.mape,
+            row.r2,
+            row.spearman
+        );
+    }
 }
 
 fn write_legacy_model(model: &dlcm_model::CostModel) {
@@ -134,12 +105,15 @@ fn main() {
             .train
             .as_ref()
             .map_or(epochs, |t| t.epochs);
-        let rep = report(
-            dataset.programs.len(),
-            dataset.len(),
+        let rep = accuracy_report(
+            &dataset,
             epochs,
             split.train.len(),
             &held_out,
+            &evaluation.program_families,
+            &evaluation.test_indices,
+            &evaluation.test_set,
+            &evaluation.test_preds,
         );
         let unseen = split
             .test
@@ -159,12 +133,15 @@ fn main() {
         .save_json(&results_dir().join("dataset.json"))
         .expect("persist dataset");
 
-    let rep = report(
-        outcome.dataset.programs.len(),
-        outcome.dataset.len(),
+    let rep = accuracy_report(
+        &outcome.dataset,
         epochs,
         outcome.dataset.split(0).train.len(),
         &outcome.artifact.manifest().metrics,
+        &outcome.program_families,
+        &outcome.test_indices,
+        &outcome.test_set,
+        &outcome.test_preds,
     );
     let unseen = outcome
         .test_indices

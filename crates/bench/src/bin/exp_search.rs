@@ -98,7 +98,7 @@ fn main() {
                 // and conv windows — no matmul-like reductions or
                 // reduction pipelines (the Halide model's §6
                 // training-domain gap).
-                pattern_weights: [3, 3, 0, 3, 0, 0],
+                pattern_weights: vec![3, 3, 0, 3, 0, 0],
                 ..ProgramGenConfig::default()
             },
             ..DatasetConfig::default()

@@ -67,9 +67,9 @@ use std::time::Instant;
 
 use dlcm_bench::harness;
 use dlcm_bench::{
-    corpus_dir, evaluate_artifact, load_artifact, model_artifact_dir, positive_flag, quick_mode,
-    results_dir, run_flywheel, shards, string_flag, threads, train_from_corpus, write_json,
-    FlywheelConfig,
+    accuracy_report, corpus_dir, evaluate_artifact, load_artifact, model_artifact_dir,
+    positive_flag, quick_mode, results_dir, run_flywheel, shards, string_flag, threads,
+    train_from_corpus, write_json, FlywheelConfig,
 };
 use dlcm_datagen::{ProgramGenConfig, ProgramGenerator, ScheduleGenConfig, ScheduleGenerator};
 use dlcm_eval::pool::parallel_map;
@@ -166,7 +166,8 @@ fn eval() {
     let dir = artifact_dir_arg();
     eprintln!("=== modelctl eval (quick={quick}, threads={threads}, artifact={dir:?}) ===");
     let artifact = load_artifact(&dir);
-    let held_out = evaluate_artifact(&artifact, quick, threads, shards()).metrics;
+    let evaluation = evaluate_artifact(&artifact, quick, threads, shards());
+    let held_out = evaluation.metrics;
     let stored = artifact.manifest().metrics;
     println!("{:<12} {:>12} {:>12}", "metric", "manifest", "re-eval");
     for (name, a, b) in [
@@ -184,6 +185,35 @@ fn eval() {
         );
         std::process::exit(1);
     }
+    // Same report builder as exp_accuracy: the emitted accuracy.json is
+    // byte-identical to a training/reuse run over the same artifact and
+    // corpus (CI diffs them).
+    let epochs = artifact.manifest().train.as_ref().map_or(0, |t| t.epochs);
+    let rep = accuracy_report(
+        &evaluation.dataset,
+        epochs,
+        evaluation.dataset.split(0).train.len(),
+        &held_out,
+        &evaluation.program_families,
+        &evaluation.test_indices,
+        &evaluation.test_set,
+        &evaluation.test_preds,
+    );
+    println!(
+        "{:<20} {:>6} {:>9} {:>8} {:>8}",
+        "family", "points", "MAPE%", "R^2", "rho"
+    );
+    for row in &rep.per_family {
+        println!(
+            "{:<20} {:>6} {:>9.1} {:>8.3} {:>8.3}",
+            row.family,
+            row.test_points,
+            100.0 * row.mape,
+            row.r2,
+            row.spearman
+        );
+    }
+    write_json("accuracy.json", &rep);
     println!(
         "artifact validated: {} held-out points reproduce the manifest metrics exactly",
         held_out.test_points

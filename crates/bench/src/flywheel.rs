@@ -203,6 +203,7 @@ pub fn run_flywheel(cfg: &FlywheelConfig) -> io::Result<FlywheelReport> {
             program: r.program,
             schedule: r.schedule,
             speedup: r.measured,
+            family: None,
         })
         .collect();
     let generation = append_generation(

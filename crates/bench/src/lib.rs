@@ -30,7 +30,7 @@ use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
 use dlcm_datagen::{
-    prepare, BuildConfig, BuildStats, Dataset, DatasetConfig, ParallelDatasetBuilder,
+    prepare, BuildConfig, BuildStats, Dataset, DatasetConfig, ParallelDatasetBuilder, Pattern,
     ProgramGenConfig, ShardBatches, ShardedDataset,
 };
 use dlcm_machine::{Machine, Measurement};
@@ -165,7 +165,7 @@ pub fn harness() -> Measurement {
 }
 
 /// The canonical dataset configuration for the accuracy experiments:
-/// all six scenario families ([`ProgramGenConfig::wide`]). Scaled down
+/// all nine scenario families ([`ProgramGenConfig::wide`]). Scaled down
 /// from the paper's 56,250 x 32 to fit the simulated environment;
 /// `quick` shrinks it further for smoke tests.
 pub fn dataset_config(quick: bool) -> DatasetConfig {
@@ -259,6 +259,22 @@ pub fn load_or_generate_dataset(quick: bool) -> Dataset {
     ds
 }
 
+/// Family tags for `dataset`'s programs, read from the canonical corpus
+/// when it describes the same program set; all-`None` when the corpus
+/// is absent or disagrees (e.g. the dataset came from a legacy
+/// `dataset.json`), so callers degrade to one `untagged` bucket instead
+/// of mislabeling.
+pub fn corpus_program_families(dataset: &Dataset) -> Vec<Option<String>> {
+    if let Ok(sharded) = ShardedDataset::open(&corpus_dir()) {
+        if let Ok(families) = sharded.program_families() {
+            if families.len() == dataset.programs.len() {
+                return families;
+            }
+        }
+    }
+    vec![None; dataset.programs.len()]
+}
+
 /// Loads the model trained by `exp_accuracy`.
 ///
 /// # Panics
@@ -322,6 +338,10 @@ pub struct TrainOutcome {
     pub test_set: Vec<LabeledFeatures>,
     /// Model predictions over [`TrainOutcome::test_set`], in order.
     pub test_preds: Vec<f64>,
+    /// Scenario-family tag of each corpus program, indexed by global
+    /// program index ([`dlcm_datagen::Pattern::name`]; `None` for
+    /// untagged legacy programs).
+    pub program_families: Vec<Option<String>>,
 }
 
 /// The one training pipeline behind `exp_accuracy` and `modelctl train`:
@@ -341,6 +361,7 @@ pub fn train_from_corpus(
 ) -> TrainOutcome {
     let (sharded, _build_stats) = ensure_corpus(quick, threads, num_shards);
     let corpus_fingerprint = sharded.manifest().content_fingerprint();
+    let program_families = sharded.program_families().expect("read family tags");
     let dataset = sharded.load_dataset().expect("load corpus");
     let split = dataset.split(0);
 
@@ -396,6 +417,7 @@ pub fn train_from_corpus(
         test_indices: split.test,
         test_set,
         test_preds,
+        program_families,
     }
 }
 
@@ -407,10 +429,15 @@ pub struct ArtifactEvaluation {
     pub metrics: HeldOutMetrics,
     /// The full dataset reassembled from the corpus shards.
     pub dataset: Dataset,
+    /// Dataset indices of the held-out test points.
+    pub test_indices: Vec<usize>,
     /// Featurized held-out test set.
     pub test_set: Vec<LabeledFeatures>,
     /// Model predictions over the test set, in order.
     pub test_preds: Vec<f64>,
+    /// Scenario-family tag of each corpus program, indexed by global
+    /// program index (`None` for untagged legacy programs).
+    pub program_families: Vec<Option<String>>,
 }
 
 /// Re-evaluates a loaded artifact on the held-out test split of its
@@ -445,6 +472,7 @@ pub fn evaluate_artifact(
         );
         std::process::exit(1);
     }
+    let program_families = sharded.program_families().expect("read family tags");
     let dataset = sharded.load_dataset().expect("load corpus");
     let split = dataset.split(0);
     let featurizer = artifact.featurizer();
@@ -461,8 +489,192 @@ pub fn evaluate_artifact(
     ArtifactEvaluation {
         metrics,
         dataset,
+        test_indices: split.test,
         test_set,
         test_preds,
+        program_families,
+    }
+}
+
+/// Name of the catch-all per-family bucket: held-out points whose
+/// program carries no family tag (legacy corpora built before family
+/// accounting, or serving-tier captures of unknown provenance), plus
+/// tags this build does not recognize.
+pub const UNTAGGED_FAMILY: &str = "untagged";
+
+/// One scenario family's slice of the held-out metrics.
+///
+/// Rows for all nine generator families are always emitted — zero-point
+/// rows keep the report shape independent of which families the corpus
+/// config enabled — followed by an [`UNTAGGED_FAMILY`] row only when
+/// untagged points exist. `ss_res` (the raw squared-error sum) is
+/// carried so the aggregate R² is exactly recoverable from the rows:
+/// `R² = 1 − Σ_f ss_res_f / ss_tot`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct FamilyMetrics {
+    /// Family name ([`dlcm_datagen::Pattern::name`] or
+    /// [`UNTAGGED_FAMILY`]).
+    pub family: String,
+    /// Held-out test points whose program belongs to this family.
+    pub test_points: usize,
+    /// Mean Absolute Percentage Error over the family's points (0 when
+    /// empty).
+    pub mape: f64,
+    /// R² over the family's points (0 when empty or degenerate).
+    pub r2: f64,
+    /// Spearman rank correlation over the family's points (0 when
+    /// empty or degenerate).
+    pub spearman: f64,
+    /// Σ (target − prediction)² over the family's points.
+    pub ss_res: f64,
+}
+
+fn family_row(family: String, targets: &[f64], preds: &[f64]) -> FamilyMetrics {
+    let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
+    let ss_res: f64 = targets
+        .iter()
+        .zip(preds)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    FamilyMetrics {
+        family,
+        test_points: targets.len(),
+        mape: if targets.is_empty() {
+            0.0
+        } else {
+            finite(metrics::mape(targets, preds))
+        },
+        r2: finite(metrics::r2(targets, preds)),
+        spearman: finite(metrics::spearman(targets, preds)),
+        // A sum of squares is non-negative; abs() only normalizes the
+        // empty sum's -0.0 identity so reports never print "-0".
+        ss_res: finite(ss_res.abs()),
+    }
+}
+
+/// Partitions held-out predictions by the owning program's scenario
+/// family and scores each slice.
+///
+/// `test_indices[k]` is the dataset point behind `targets[k]` /
+/// `preds[k]`; the point's program index selects the family from
+/// `program_families`. Row order is deterministic:
+/// [`dlcm_datagen::Pattern::ALL`] order, then [`UNTAGGED_FAMILY`] last
+/// (only when non-empty). The partition is exact — every test point
+/// lands in exactly one row, so `Σ_f test_points_f` equals the
+/// aggregate count and `Σ_f test_points_f · mape_f` recombines to the
+/// aggregate MAPE.
+pub fn per_family_metrics(
+    program_families: &[Option<String>],
+    dataset: &Dataset,
+    test_indices: &[usize],
+    targets: &[f64],
+    preds: &[f64],
+) -> Vec<FamilyMetrics> {
+    assert_eq!(test_indices.len(), targets.len(), "length mismatch");
+    assert_eq!(test_indices.len(), preds.len(), "length mismatch");
+    let mut buckets: Vec<(&str, Vec<f64>, Vec<f64>)> = Pattern::ALL
+        .iter()
+        .map(|p| (p.name(), Vec::new(), Vec::new()))
+        .collect();
+    let mut untagged: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+    for (k, &pi) in test_indices.iter().enumerate() {
+        let program = dataset.points[pi].program;
+        let family = program_families.get(program).and_then(|f| f.as_deref());
+        match family.and_then(|name| buckets.iter_mut().find(|(b, _, _)| *b == name)) {
+            Some((_, t, p)) => {
+                t.push(targets[k]);
+                p.push(preds[k]);
+            }
+            None => {
+                untagged.0.push(targets[k]);
+                untagged.1.push(preds[k]);
+            }
+        }
+    }
+    let mut rows: Vec<FamilyMetrics> = buckets
+        .into_iter()
+        .map(|(family, t, p)| family_row(family.to_string(), &t, &p))
+        .collect();
+    if !untagged.0.is_empty() {
+        rows.push(family_row(
+            UNTAGGED_FAMILY.to_string(),
+            &untagged.0,
+            &untagged.1,
+        ));
+    }
+    rows
+}
+
+/// The `accuracy.json` schema shared by `exp_accuracy` and `modelctl
+/// eval`: §6 headline metrics plus the per-family breakdown. Both the
+/// training and artifact-reuse paths build it through
+/// [`accuracy_report`], so the emitted JSON is byte-identical whenever
+/// the underlying evaluation is (CI diffs the two).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AccuracyReport {
+    /// Distinct programs in the corpus.
+    pub num_programs: usize,
+    /// Labeled points in the corpus.
+    pub num_points: usize,
+    /// Training epochs behind the evaluated weights.
+    pub epochs: usize,
+    /// Points in the training split.
+    pub train_points: usize,
+    /// Points in the held-out test split.
+    pub test_points: usize,
+    /// Held-out MAPE.
+    pub test_mape: f64,
+    /// Held-out Pearson r.
+    pub pearson: f64,
+    /// Held-out Spearman rho.
+    pub spearman: f64,
+    /// Held-out R².
+    pub r2: f64,
+    /// Paper's reported MAPE (16%).
+    pub paper_mape: f64,
+    /// Paper's reported Pearson r (0.90).
+    pub paper_pearson: f64,
+    /// Paper's reported Spearman rho (0.95).
+    pub paper_spearman: f64,
+    /// Held-out metrics partitioned by scenario family.
+    pub per_family: Vec<FamilyMetrics>,
+}
+
+/// Builds the shared [`AccuracyReport`] from an evaluation's pieces.
+// The argument list mirrors TrainOutcome/ArtifactEvaluation field for
+// field; bundling them into a struct would just duplicate those types.
+#[allow(clippy::too_many_arguments)]
+pub fn accuracy_report(
+    dataset: &Dataset,
+    epochs: usize,
+    train_points: usize,
+    held_out: &HeldOutMetrics,
+    program_families: &[Option<String>],
+    test_indices: &[usize],
+    test_set: &[LabeledFeatures],
+    test_preds: &[f64],
+) -> AccuracyReport {
+    let targets: Vec<f64> = test_set.iter().map(|s| s.target).collect();
+    AccuracyReport {
+        num_programs: dataset.programs.len(),
+        num_points: dataset.len(),
+        epochs,
+        train_points,
+        test_points: held_out.test_points,
+        test_mape: held_out.mape,
+        pearson: held_out.pearson,
+        spearman: held_out.spearman,
+        r2: held_out.r2,
+        paper_mape: 0.16,
+        paper_pearson: 0.90,
+        paper_spearman: 0.95,
+        per_family: per_family_metrics(
+            program_families,
+            dataset,
+            test_indices,
+            &targets,
+            test_preds,
+        ),
     }
 }
 

@@ -42,7 +42,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::dataset::{DataPoint, Dataset, DatasetConfig};
 use crate::genlog::DedupIndex;
-use crate::progen::ProgramGenerator;
+use crate::progen::{Pattern, ProgramGenerator};
 use crate::schedgen::ScheduleGenerator;
 use crate::shard::{
     chain_fingerprint, fingerprint_hex, GenerationInfo, ShardManifest, ShardRecord, ShardWriter,
@@ -95,6 +95,15 @@ struct BuiltPoint {
     schedule: Schedule,
 }
 
+/// The generated programs with the per-program metadata the shard
+/// format persists: content fingerprints and (when the configuration
+/// opted in) scenario-family tags.
+struct BuiltPrograms {
+    programs: Vec<Program>,
+    fingerprints: Vec<u64>,
+    families: Vec<Option<String>>,
+}
+
 /// Sharded, parallel, deduplicating dataset builder — the corpus-scale
 /// replacement for [`Dataset::generate`].
 ///
@@ -134,32 +143,37 @@ impl ParallelDatasetBuilder {
     /// (by global index), their content fingerprints, and the retained
     /// points — ownership is moved out of the generation buffers, so the
     /// corpus exists in memory once.
-    fn build(
-        &self,
-        measurement: &Measurement,
-    ) -> (Vec<Program>, Vec<u64>, Vec<BuiltPoint>, BuildStats) {
+    fn build(&self, measurement: &Measurement) -> (BuiltPrograms, Vec<BuiltPoint>, BuildStats) {
         let ds = &self.cfg.dataset;
         let threads = self.cfg.threads.max(1);
         let progen = ProgramGenerator::new(ds.progen.clone());
         let schedgen = ScheduleGenerator::new(ds.schedgen.clone());
+        // Family tags ride the nine-family opt-in: untagged (default
+        // weight) corpora keep their exact pre-tag record bytes.
+        let tag_families = ds.progen.tags_families();
 
         // Phase 1: generation, fanned across the worker pool. Each program
         // index seeds its own RNG (same derivation as `Dataset::generate`),
         // and `parallel_map` returns results in index order, so the fan-out
         // is invisible in the output.
-        let generated: Vec<(Program, Vec<Schedule>)> =
+        let generated: Vec<(Program, Pattern, Vec<Schedule>)> =
             pool::parallel_map(threads, ds.num_programs, |pi| {
                 let mut rng = ChaCha8Rng::seed_from_u64(
                     ds.seed ^ (pi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
-                let program = progen.generate(&mut rng, &format!("rand_{pi}"));
+                let (program, family) =
+                    progen.generate_with_family(&mut rng, &format!("rand_{pi}"));
                 let schedules =
                     schedgen.generate_distinct(&program, ds.schedules_per_program, &mut rng);
-                (program, schedules)
+                (program, family, schedules)
             });
         let fingerprints: Vec<u64> = generated
             .iter()
-            .map(|(p, _)| p.content_fingerprint())
+            .map(|(p, _, _)| p.content_fingerprint())
+            .collect();
+        let families: Vec<Option<String>> = generated
+            .iter()
+            .map(|(_, family, _)| tag_families.then(|| family.name().to_string()))
             .collect();
 
         // Phase 2: labeling through one shared cache. The parallel
@@ -177,7 +191,7 @@ impl ParallelDatasetBuilder {
         ));
         let labeled: Vec<Vec<f64>> = generated
             .iter()
-            .map(|(program, schedules)| evaluator.speedup_batch(program, schedules))
+            .map(|(program, _, schedules)| evaluator.speedup_batch(program, schedules))
             .collect();
 
         // Phase 3: cross-shard dedup on exact content. A sample is
@@ -193,7 +207,7 @@ impl ParallelDatasetBuilder {
         let mut duplicates_dropped = 0usize;
         let mut programs: Vec<Program> = Vec::with_capacity(generated.len());
         let mut points: Vec<BuiltPoint> = Vec::new();
-        for (pi, (program, schedules)) in generated.into_iter().enumerate() {
+        for (pi, (program, _, schedules)) in generated.into_iter().enumerate() {
             programs.push(program);
             for (schedule, speedup) in schedules.into_iter().zip(&labeled[pi]) {
                 if seen.insert((fingerprints[pi], stable_fingerprint(&schedule))) {
@@ -229,7 +243,15 @@ impl ParallelDatasetBuilder {
             duplicates_dropped,
             eval: evaluator.stats(),
         };
-        (programs, fingerprints, points, stats)
+        (
+            BuiltPrograms {
+                programs,
+                fingerprints,
+                families,
+            },
+            points,
+            stats,
+        )
     }
 
     /// Builds the corpus in memory.
@@ -239,9 +261,9 @@ impl ParallelDatasetBuilder {
     /// at any [`BuildConfig::threads`] — to what [`Self::write_corpus`]
     /// followed by [`crate::ShardedDataset::load_dataset`] produces.
     pub fn generate(&self, measurement: &Measurement) -> (Dataset, BuildStats) {
-        let (programs, _, points, stats) = self.build(measurement);
+        let (built, points, stats) = self.build(measurement);
         let dataset = Dataset {
-            programs,
+            programs: built.programs,
             points: points
                 .into_iter()
                 .map(|p| DataPoint {
@@ -268,7 +290,7 @@ impl ParallelDatasetBuilder {
         measurement: &Measurement,
         dir: &Path,
     ) -> io::Result<(ShardManifest, BuildStats)> {
-        let (programs, fingerprints, points, stats) = self.build(measurement);
+        let (built, points, stats) = self.build(measurement);
         std::fs::create_dir_all(dir)?;
         // Clear shard files from any previous corpus in this directory:
         // a regeneration with fewer shards must not leave stale
@@ -287,14 +309,15 @@ impl ParallelDatasetBuilder {
             .collect::<io::Result<_>>()?;
 
         let mut next_point = 0usize;
-        for (pi, program) in programs.iter().enumerate() {
+        for (pi, program) in built.programs.iter().enumerate() {
             let writer = &mut writers[pi % num_shards];
             // NB: ShardRecord owns its payload, so each record clones its
             // program/schedule transiently (one record at a time) — peak
             // memory stays one corpus plus one record.
             writer.write(&ShardRecord::Program {
                 index: pi,
-                fingerprint: fingerprint_hex(fingerprints[pi]),
+                fingerprint: fingerprint_hex(built.fingerprints[pi]),
+                family: built.families[pi].clone(),
                 program: program.clone(),
             })?;
             while next_point < points.len() && points[next_point].program == pi {
@@ -340,7 +363,7 @@ impl ParallelDatasetBuilder {
         let mut dedup = DedupIndex::default();
         for point in &points {
             dedup.insert(
-                fingerprints[point.program],
+                built.fingerprints[point.program],
                 stable_fingerprint(&point.schedule),
             );
         }

@@ -45,6 +45,11 @@ pub struct AppendSample {
     pub schedule: Schedule,
     /// Ground-truth speedup over the unoptimized program.
     pub speedup: f64,
+    /// Scenario-family tag carried into the appended `Program` record
+    /// ([`crate::Pattern::name`]); `None` when provenance is unknown —
+    /// mispredict captures from the serving tier do not know which
+    /// generator family produced the program.
+    pub family: Option<String>,
 }
 
 /// The persistent cross-generation dedup index: every `(program
@@ -240,6 +245,10 @@ pub fn append_generation(
                 writer.write(&ShardRecord::Program {
                     index: program_index[prog_fp],
                     fingerprint: fingerprint_hex(*prog_fp),
+                    // First retained occurrence declares the program;
+                    // content-identical samples carry identical tags by
+                    // construction, so first-wins is deterministic.
+                    family: sample.family.clone(),
                     program: sample.program.clone(),
                 })?;
             }

@@ -57,7 +57,15 @@ pub fn parse_fingerprint(s: &str) -> Option<u64> {
 }
 
 /// One line of a shard file.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (not derived) for one
+/// reason: the optional `family` tag on `Program` records must be
+/// *absent* from the serialized bytes when `None`, and tolerated as
+/// absent on read — so corpora built from untagged (default-weight)
+/// configurations stay byte-identical to pre-family-tag output, and
+/// pre-tag corpora still load. Everything else matches the derive's
+/// externally-tagged layout exactly.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ShardRecord {
     /// Declares a generated program; emitted before any of its points.
     Program {
@@ -68,6 +76,13 @@ pub enum ShardRecord {
         /// lets readers detect corruption and lets dedup recognize
         /// re-generated identical programs across shards.
         fingerprint: String,
+        /// Scenario-family tag ([`crate::Pattern::name`]) of the
+        /// program, stamped when the generating configuration opted
+        /// into family tagging
+        /// ([`crate::ProgramGenConfig::tags_families`]); `None` on
+        /// untagged and pre-tag corpora, and omitted from the
+        /// serialized record bytes in that case.
+        family: Option<String>,
         /// The program itself.
         program: Program,
     },
@@ -86,6 +101,78 @@ pub enum ShardRecord {
         /// The transformation sequence.
         schedule: Schedule,
     },
+}
+
+impl serde::Serialize for ShardRecord {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let inner = match self {
+            ShardRecord::Program {
+                index,
+                fingerprint,
+                family,
+                program,
+            } => {
+                let mut fields = vec![
+                    ("index".to_string(), index.to_value()),
+                    ("fingerprint".to_string(), fingerprint.to_value()),
+                ];
+                if let Some(family) = family {
+                    fields.push(("family".to_string(), family.to_value()));
+                }
+                fields.push(("program".to_string(), program.to_value()));
+                ("Program", fields)
+            }
+            ShardRecord::Point {
+                program,
+                structure,
+                speedup,
+                schedule,
+            } => (
+                "Point",
+                vec![
+                    ("program".to_string(), program.to_value()),
+                    ("structure".to_string(), structure.to_value()),
+                    ("speedup".to_string(), speedup.to_value()),
+                    ("schedule".to_string(), schedule.to_value()),
+                ],
+            ),
+        };
+        Value::Obj(vec![(inner.0.to_string(), Value::Obj(inner.1))])
+    }
+}
+
+impl serde::Deserialize for ShardRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::Value;
+        let Value::Obj(fields) = v else {
+            return Err(serde::Error::msg("expected externally tagged ShardRecord"));
+        };
+        let [(tag, inner)] = fields.as_slice() else {
+            return Err(serde::Error::msg("expected single-variant ShardRecord"));
+        };
+        match tag.as_str() {
+            "Program" => Ok(ShardRecord::Program {
+                index: usize::from_value(inner.get_field("index")?)?,
+                fingerprint: String::from_value(inner.get_field("fingerprint")?)?,
+                // Absent on untagged and pre-tag corpora.
+                family: match inner.get_field("family") {
+                    Ok(value) => Some(String::from_value(value)?),
+                    Err(_) => None,
+                },
+                program: Program::from_value(inner.get_field("program")?)?,
+            }),
+            "Point" => Ok(ShardRecord::Point {
+                program: usize::from_value(inner.get_field("program")?)?,
+                structure: String::from_value(inner.get_field("structure")?)?,
+                speedup: f64::from_value(inner.get_field("speedup")?)?,
+                schedule: Schedule::from_value(inner.get_field("schedule")?)?,
+            }),
+            other => Err(serde::Error::msg(format!(
+                "unknown variant `{other}` of ShardRecord"
+            ))),
+        }
+    }
 }
 
 /// Per-shard entry of the [`ShardManifest`].
@@ -243,6 +330,7 @@ impl ShardManifest {
 ///     .write(&ShardRecord::Program {
 ///         index: 0,
 ///         fingerprint: dlcm_datagen::fingerprint_hex(program.content_fingerprint()),
+///         family: None,
 ///         program: program.clone(),
 ///     })
 ///     .unwrap();
@@ -405,6 +493,28 @@ impl ShardedDataset {
             .collect()
     }
 
+    /// Scans every shard's `Program` records and returns the per-program
+    /// scenario-family tags, indexed by global program index. Untagged
+    /// programs (default-weight or pre-tag corpora) map to `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO/parse errors and rejects out-of-range indices.
+    pub fn program_families(&self) -> io::Result<Vec<Option<String>>> {
+        let mut families: Vec<Option<String>> = vec![None; self.manifest.total_programs];
+        for path in self.shard_paths() {
+            for record in ShardReader::open(&path)? {
+                if let ShardRecord::Program { index, family, .. } = record? {
+                    let slot = families.get_mut(index).ok_or_else(|| {
+                        io::Error::other(format!("program index {index} out of range"))
+                    })?;
+                    *slot = family;
+                }
+            }
+        }
+        Ok(families)
+    }
+
     /// Recomputes every shard's byte fingerprint and checks it against
     /// the manifest.
     ///
@@ -454,6 +564,7 @@ impl ShardedDataset {
                     ShardRecord::Program {
                         index,
                         fingerprint,
+                        family: _,
                         program,
                     } => {
                         if index >= n || programs[index].is_some() {

@@ -77,6 +77,7 @@ fn fresh_samples(dir: &Path, count: usize) -> Vec<AppendSample> {
                 program: program.clone(),
                 schedule,
                 speedup: 1.0 + samples.len() as f64 * 0.125,
+                family: None,
             });
             if samples.len() == count {
                 break 'outer;
@@ -102,6 +103,7 @@ fn duplicate_samples(dir: &Path, count: usize) -> Vec<AppendSample> {
             program: dataset.program_of(p).clone(),
             schedule: p.schedule.clone(),
             speedup: p.speedup,
+            family: None,
         })
         .collect()
 }
@@ -264,6 +266,82 @@ fn dedup_index_rebuild_matches_persisted_index() {
     // A present-but-corrupt index is an error, never a silent rebuild.
     std::fs::write(DedupIndex::path(&dir), b"{not json").unwrap();
     assert!(DedupIndex::load_or_rebuild(&sharded).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn family_tags_survive_append_generation() {
+    let dir = tmp_dir("family_append");
+    seed_corpus(&dir, 17);
+    let seed_families = ShardedDataset::open(&dir)
+        .unwrap()
+        .program_families()
+        .unwrap();
+    let seed_programs = seed_families.len();
+    // The wide seed corpus tags every program.
+    assert!(seed_families.iter().all(|f| f.is_some()));
+
+    // One fresh schedule for each of three *distinct* programs, so the
+    // appended generation declares exactly three programs.
+    let sharded = ShardedDataset::open(&dir).unwrap();
+    let dataset = sharded.load_dataset().unwrap();
+    let dedup = DedupIndex::load_or_rebuild(&sharded).unwrap();
+    let schedgen = ScheduleGenerator::new(ScheduleGenConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFA);
+    let mut samples: Vec<AppendSample> = Vec::new();
+    for program in &dataset.programs {
+        let prog_fp = program.content_fingerprint();
+        if samples
+            .iter()
+            .any(|s| s.program.content_fingerprint() == prog_fp)
+        {
+            continue;
+        }
+        if let Some(schedule) = schedgen
+            .generate_distinct(program, 8, &mut rng)
+            .into_iter()
+            .find(|s| !dedup.contains(prog_fp, stable_fingerprint(s)))
+        {
+            samples.push(AppendSample {
+                program: program.clone(),
+                schedule,
+                speedup: 1.5,
+                family: None,
+            });
+        }
+        if samples.len() == 3 {
+            break;
+        }
+    }
+    assert_eq!(samples.len(), 3, "seed corpus too small");
+    // Tagged and untagged samples in the same batch: tags are
+    // per-program provenance, not a corpus-wide mode.
+    samples[0].family = Some("attention".to_string());
+    samples[1].family = Some("gather_scatter".to_string());
+    samples[2].family = None;
+    // Fresh global indices are assigned in sorted program-fingerprint
+    // order, so that ordering predicts where each tag must land.
+    let mut expected: Vec<(u64, Option<String>)> = samples
+        .iter()
+        .map(|s| (s.program.content_fingerprint(), s.family.clone()))
+        .collect();
+    expected.sort_by_key(|(fp, _)| *fp);
+    let generation = append_generation(&dir, "tagged-wave", samples, 2).unwrap();
+    assert_eq!(generation.num_programs, 3);
+
+    let families = ShardedDataset::open(&dir)
+        .unwrap()
+        .program_families()
+        .unwrap();
+    assert_eq!(families.len(), seed_programs + 3);
+    assert_eq!(&families[..seed_programs], &seed_families[..]);
+    for (k, (_, family)) in expected.iter().enumerate() {
+        assert_eq!(
+            &families[seed_programs + k],
+            family,
+            "tag mismatch for appended program {k}"
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

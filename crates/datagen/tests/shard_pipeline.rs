@@ -143,7 +143,7 @@ fn corpus_dedups_and_reuses_measurements() {
                 size_pool: vec![8],
                 max_points: 1 << 12,
                 max_comps: 1,
-                pattern_weights: [1, 0, 0, 0, 0, 0],
+                pattern_weights: vec![1, 0, 0, 0, 0, 0],
                 ..ProgramGenConfig::default()
             },
             ..DatasetConfig::tiny(1)
@@ -233,6 +233,58 @@ fn shard_batches_filter_and_group() {
 /// `Dataset::generate` (the in-memory rayon path) and the builder agree
 /// on the *shape* of the corpus (programs and schedules come from the
 /// same seeded generators; only the labeling protocol differs).
+#[test]
+fn wide_corpus_tags_every_program_family() {
+    let dir = tmp_dir("family_tags");
+    let (manifest, _) = ParallelDatasetBuilder::new(build_config(9, 2, 2))
+        .write_corpus(&harness(), &dir)
+        .expect("write corpus");
+    let sharded = ShardedDataset::open(&dir).expect("open");
+    let families = sharded.program_families().expect("families");
+    assert_eq!(families.len(), manifest.total_programs);
+    let known: Vec<String> = dlcm_datagen::Pattern::ALL
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    for (pi, family) in families.iter().enumerate() {
+        let name = family
+            .as_deref()
+            .unwrap_or_else(|| panic!("wide-config program {pi} missing its family tag"));
+        assert!(known.contains(&name.to_string()), "unknown family {name:?}");
+    }
+    // Tags must survive a second open (i.e. they live in the shard
+    // bytes, not in builder state).
+    let reopened = ShardedDataset::open(&dir).expect("reopen");
+    assert_eq!(reopened.program_families().expect("families"), families);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn default_corpus_omits_family_keys_entirely() {
+    // Legacy 6-entry weight configs must not gain a `family` field —
+    // the key's mere presence would change default-corpus bytes.
+    let dir = tmp_dir("family_untagged");
+    ParallelDatasetBuilder::new(BuildConfig {
+        threads: 2,
+        num_shards: 2,
+        ..BuildConfig::new(DatasetConfig::tiny(9))
+    })
+    .write_corpus(&harness(), &dir)
+    .expect("write corpus");
+    let sharded = ShardedDataset::open(&dir).expect("open");
+    for family in sharded.program_families().expect("families") {
+        assert_eq!(family, None);
+    }
+    for path in sharded.shard_paths() {
+        let bytes = std::fs::read_to_string(path).unwrap();
+        assert!(
+            !bytes.contains("\"family\""),
+            "family key leaked into default shards"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn builder_generates_the_same_programs_as_dataset_generate() {
     let cfg = test_dataset_config(4);
